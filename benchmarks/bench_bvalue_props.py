@@ -1,0 +1,113 @@
+"""Experiment L3.3-3.5 (Figures 2-4): the b-value identities, verified in
+bulk and timed.
+
+* Lemma 3.3: every proper 4-cycle has b = 0 (exhaustive).
+* Lemma 3.4: every simple rectangle cycle of a randomly properly colored
+  grid has b = 0 (randomized mass check).
+* Lemma 3.5: the parity law on random proper paths (randomized mass
+  check).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.bvalue import (
+    b_value,
+    b_value_parity,
+    cycle_b_value,
+    path_b_value,
+    rectangle_cycle,
+)
+from repro.families.grids import SimpleGrid
+from repro.verify.coloring import is_proper
+
+
+def random_proper_grid_coloring(grid: SimpleGrid, seed: int):
+    """A random proper 3-coloring built by randomized greedy over a
+    random node order (restarts until greedy succeeds)."""
+    rng = random.Random(seed)
+    nodes = sorted(grid.graph.nodes())
+    while True:
+        rng.shuffle(nodes)
+        coloring = {}
+        ok = True
+        for node in nodes:
+            used = {
+                coloring.get(v) for v in grid.graph.neighbors(node)
+            }
+            options = [c for c in (1, 2, 3) if c not in used]
+            if not options:
+                ok = False
+                break
+            coloring[node] = rng.choice(options)
+        if ok:
+            assert is_proper(grid.graph, coloring)
+            return coloring
+
+
+def random_proper_path(rng, length):
+    colors = [rng.randint(1, 3)]
+    for __ in range(length):
+        colors.append(rng.choice([c for c in (1, 2, 3) if c != colors[-1]]))
+    return colors
+
+
+def test_lemma_3_3_exhaustive():
+    count = 0
+    for colors in itertools.product((1, 2, 3), repeat=4):
+        ring = list(colors) + [colors[0]]
+        if any(a == b for a, b in zip(ring, ring[1:])):
+            continue
+        assert cycle_b_value(colors) == 0
+        count += 1
+    print(f"\nLemma 3.3: all {count} proper C4 colorings have b = 0")
+
+
+def test_lemma_3_4_randomized_mass():
+    grid = SimpleGrid(8, 8)
+    checked = 0
+    for seed in range(5):
+        coloring = random_proper_grid_coloring(grid, seed)
+        for r1 in range(0, 6, 2):
+            for r2 in range(r1 + 1, 8, 2):
+                for c1 in range(0, 6, 2):
+                    for c2 in range(c1 + 1, 8, 2):
+                        cycle = rectangle_cycle(r1, r2, c1, c2)
+                        assert b_value(cycle, coloring, cycle=True) == 0
+                        checked += 1
+    print(f"\nLemma 3.4: {checked} rectangle cycles over 5 random proper "
+          f"colorings, all b = 0")
+
+
+def test_lemma_3_5_randomized_mass():
+    rng = random.Random(42)
+    rows = []
+    for length in (1, 5, 20, 100):
+        trials = 500
+        for __ in range(trials):
+            colors = random_proper_path(rng, length)
+            assert path_b_value(colors) % 2 == b_value_parity(
+                length, colors[0], colors[-1]
+            )
+        rows.append([length, trials, "all match"])
+    print()
+    print("Lemma 3.5 parity law, randomized:")
+    print(render_table(["path length", "trials", "result"], rows))
+
+
+def test_bench_bvalue_evaluation(benchmark):
+    rng = random.Random(7)
+    colors = random_proper_path(rng, 10_000)
+    total = benchmark(lambda: path_b_value(colors))
+    assert abs(total) <= 10_000
+
+
+def test_bench_lemma_3_4_check(benchmark):
+    grid = SimpleGrid(8, 8)
+    coloring = random_proper_grid_coloring(grid, 3)
+    cycle = rectangle_cycle(0, 7, 0, 7)
+    result = benchmark(lambda: b_value(cycle, coloring, cycle=True))
+    assert result == 0

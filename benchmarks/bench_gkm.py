@@ -1,0 +1,71 @@
+"""Experiment GKM: SLOCAL-in-LOCAL via network decompositions (intro).
+
+Measures, per instance, the decomposition quality (c, d) and the maximum
+dependency radius the LOCAL simulation needs, against the c(d+T)+T
+budget — the executable content of the Ghaffari–Kuhn–Maus connection the
+paper's introduction builds on.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_tree
+from repro.graphs.decomposition import ball_carving_decomposition, check_decomposition
+from repro.models.gkm import GkmSimulation
+from repro.models.slocal import SLocalAlgorithm, SLocalView
+from repro.verify.coloring import is_proper
+
+
+class GreedySLocal(SLocalAlgorithm):
+    name = "greedy"
+
+    def color(self, view: SLocalView) -> int:
+        used = {view.colors.get(v) for v in view.graph.neighbors(view.center)}
+        return min(c for c in range(1, self.num_colors + 1) if c not in used)
+
+
+CASES = {
+    "grid-5x5": lambda: SimpleGrid(5, 5).graph,
+    "grid-6x8": lambda: SimpleGrid(6, 8).graph,
+    "tree-40": lambda: random_tree(40, seed=2),
+}
+
+
+def measure(name):
+    graph = CASES[name]()
+    decomposition = ball_carving_decomposition(graph)
+    c, d = check_decomposition(graph, decomposition)
+    sim = GkmSimulation(graph, decomposition, GreedySLocal(), locality=1, num_colors=5)
+    labels = sim.run()
+    assert is_proper(graph, labels)
+    budget = sim.radius_budget()
+    probes = sorted(graph.nodes(), key=repr)[:: max(1, graph.num_nodes // 6)]
+    worst = max(sim.dependency_radius(node, max_radius=budget) for node in probes)
+    assert worst <= budget
+    return [name, graph.num_nodes, c, d, budget, worst]
+
+
+def test_gkm_dependency_radii():
+    rows = [measure(name) for name in sorted(CASES)]
+    print()
+    print("GKM simulation: measured dependency radius vs the c(d+T)+T budget")
+    print(
+        render_table(
+            ["instance", "n", "c", "d", "budget", "max measured radius"], rows
+        )
+    )
+
+
+def test_bench_gkm_emulation(benchmark):
+    graph = SimpleGrid(6, 6).graph
+    decomposition = ball_carving_decomposition(graph)
+
+    def run():
+        sim = GkmSimulation(
+            graph, decomposition, GreedySLocal(), locality=1, num_colors=5
+        )
+        return sim.run()
+
+    labels = benchmark(run)
+    assert is_proper(graph, labels)

@@ -1,0 +1,55 @@
+"""Experiment LCL: the intro's path/cycle LCL problems at O(log* n).
+
+MIS and maximal matching on paths/cycles via Cole–Vishkin: round counts
+stay flat (log*) while n and the id magnitude grow.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.colevishkin import round_bound
+from repro.core.lcl_paths import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    maximal_independent_set,
+    maximal_matching,
+)
+
+
+def ids_for(n, bits, seed):
+    rng = random.Random(seed)
+    pool = set()
+    while len(pool) < n:
+        pool.add(rng.randrange(2 ** bits))
+    return list(pool)
+
+
+def test_lcl_round_counts_are_log_star_flat():
+    rows = []
+    for n, bits in ((100, 20), (1000, 30), (5000, 40)):
+        ids = ids_for(n, bits, seed=n)
+        members, mis_rounds = maximal_independent_set(ids)
+        matching, mm_rounds = maximal_matching(ids)
+        assert is_maximal_independent_set(members, n, cyclic=False)
+        assert is_maximal_matching(matching, n, cyclic=False)
+        assert mis_rounds <= round_bound(max(ids)) + 3
+        rows.append([n, f"2^{bits}", mis_rounds, mm_rounds])
+    print()
+    print("LCLs on paths: rounds vs n (log* growth — effectively flat):")
+    print(render_table(["n", "id bound", "MIS rounds", "matching rounds"], rows))
+    round_counts = [row[2] for row in rows]
+    assert max(round_counts) - min(round_counts) <= 2
+
+
+def test_bench_mis(benchmark):
+    ids = ids_for(2000, 40, seed=3)
+    members, __ = benchmark(lambda: maximal_independent_set(ids))
+    assert is_maximal_independent_set(members, 2000, cyclic=False)
+
+
+def test_bench_matching(benchmark):
+    ids = ids_for(2000, 40, seed=4)
+    matching, __ = benchmark(lambda: maximal_matching(ids))
+    assert is_maximal_matching(matching, 2000, cyclic=False)

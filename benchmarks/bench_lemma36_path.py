@@ -1,0 +1,63 @@
+"""Experiment L3.6 (Figure 5): forcing b-value k with bounded regions.
+
+Measures, per target level k, the discovered-region length and reveal
+count the path builder needs against the long-surviving greedy victim,
+and checks both the 2^k recurrence our construction satisfies and the
+paper's looser 5^(k+1) T budget.
+"""
+
+import pytest
+
+from repro.adversaries.path_builder import PathBuilder
+from repro.analysis.tables import render_table
+from repro.core.baselines import GreedyOnlineColorer
+from repro.models.adaptive import FloatingGridInstance
+
+LEVELS = (1, 2, 3, 4, 5, 6, 7, 8)
+T = 1
+
+
+def build_to(level):
+    instance = FloatingGridInstance(
+        GreedyOnlineColorer(), locality=T, num_colors=3, declared_n=10 ** 9
+    )
+    builder = PathBuilder(instance)
+    built = builder.build(level)
+    assert built is not None, "greedy stays proper on a line"
+    lo, hi = instance.fragment_row_extent(built.fragment)
+    return built, hi - lo + 1, builder.reveals
+
+
+def test_lemma36_region_growth():
+    rows = []
+    prev_region = None
+    for level in LEVELS:
+        built, region, reveals = build_to(level)
+        ours = 2 ** level * (2 * T + 1) + 3 * (2 ** level - 1)
+        paper = 5 ** (level + 1) * T
+        assert built.b >= level
+        assert region <= ours <= paper
+        growth = "-" if prev_region is None else f"{region / prev_region:.2f}x"
+        rows.append([level, built.b, region, ours, paper, reveals, growth])
+        prev_region = region
+    print()
+    print(f"Lemma 3.6 (T={T}, victim=greedy): region needed to force b >= k")
+    print(
+        render_table(
+            ["k", "b achieved", "region", "2^k bound", "paper 5^(k+1)T", "reveals", "growth"],
+            rows,
+        )
+    )
+
+
+def test_lemma36_growth_is_at_most_doubling_plus_gap():
+    """R(k) <= 2 R(k-1) + 3 empirically, level to level."""
+    regions = [build_to(level)[1] for level in LEVELS]
+    for smaller, larger in zip(regions, regions[1:]):
+        assert larger <= 2 * smaller + 3
+
+
+@pytest.mark.parametrize("level", (3, 6))
+def test_bench_lemma36(benchmark, level):
+    built, region, reveals = benchmark(lambda: build_to(level))
+    assert built.b >= level

@@ -1,0 +1,65 @@
+"""Experiment D1.4 (Figure 1): membership in L_{k,l} for the paper's
+families, checked by exhaustive enumeration on small instances.
+
+* grids ∈ L_{2,0} (bipartite, radius 0),
+* triangular grids ∈ L_{3,1},
+* k-trees ∈ L_{k+1,1},
+* and the negative control: a path is NOT in L_{3,1}.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.families.grids import SimpleGrid
+from repro.families.ktree import random_ktree
+from repro.families.triangular import TriangularGrid
+from repro.graphs.graph import Graph
+from repro.verify.liuc import (
+    has_locally_inferable_unique_coloring,
+    sample_connected_subsets,
+)
+
+
+def check(name, graph, k, ell, fragments):
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        graph, k=k, ell=ell, fragments=fragments
+    )
+    return [name, k, ell, len(fragments), "holds" if ok else f"FAILS at {counterexample}"], ok
+
+
+def test_liuc_membership_table():
+    grid = SimpleGrid(3, 4)
+    tri = TriangularGrid(4)
+    ktree = random_ktree(2, 9, seed=0)
+    rows = []
+    cases = [
+        ("simple grid", grid.graph, 2, 0,
+         sample_connected_subsets(grid.graph, 20, 5, seed=1)),
+        ("triangular grid", tri.graph, 3, 1,
+         sample_connected_subsets(tri.graph, 20, 5, seed=2)),
+        ("2-tree", ktree.graph, 3, 1,
+         sample_connected_subsets(ktree.graph, 15, 4, seed=3)),
+    ]
+    for name, graph, k, ell, fragments in cases:
+        row, ok = check(name, graph, k, ell, fragments)
+        rows.append(row)
+        assert ok, row
+    # Negative control.
+    path = Graph(edges=[(i, i + 1) for i in range(6)])
+    row, ok = check("path (control)", path, 3, 1, [{2, 3, 4}])
+    rows.append(row)
+    assert not ok
+    print()
+    print("Definition 1.4 membership:")
+    print(render_table(["family", "k", "l", "fragments", "verdict"], rows))
+
+
+def test_bench_liuc_check(benchmark):
+    tri = TriangularGrid(4)
+    fragments = sample_connected_subsets(tri.graph, 5, 4, seed=9)
+    ok, __ = benchmark(
+        lambda: has_locally_inferable_unique_coloring(
+            tri.graph, k=3, ell=1, fragments=fragments
+        )
+    )
+    assert ok

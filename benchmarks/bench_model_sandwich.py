@@ -1,0 +1,141 @@
+"""Experiment SANDWICH: the five-model landscape of the introduction.
+
+(Δ+1)-coloring is solvable in every model at locality ≤ 1 plus LOCAL's
+full view; 3-coloring separates Online-LOCAL (O(log n), Corollary 1.1)
+from LOCAL (Θ(√n), [BHK+17]).  Also exercises Cole–Vishkin, the classic
+LOCAL algorithm, at its O(log* n) round count.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
+from repro.core.colevishkin import round_bound, three_color_directed_path
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_reveal_order
+from repro.models.dynamic_local import DynamicGreedy, DynamicLocalSimulator
+from repro.models.local import LocalSimulator
+from repro.models.online_local import OnlineLocalSimulator
+from repro.models.simulation import LocalAsOnline, SLocalAsOnline
+from repro.models.slocal import SLocalAlgorithm, SLocalSimulator, SLocalView
+from repro.verify.coloring import is_proper
+
+
+class GreedySLocal(SLocalAlgorithm):
+    name = "greedy"
+
+    def color(self, view: SLocalView) -> int:
+        used = {view.colors.get(v) for v in view.graph.neighbors(view.center)}
+        return min(c for c in range(1, self.num_colors + 1) if c not in used)
+
+
+def test_delta_plus_one_everywhere():
+    grid = SimpleGrid(10, 10)
+    order = random_reveal_order(sorted(grid.graph.nodes()), seed=1)
+    outcomes = []
+
+    slocal = SLocalSimulator(grid.graph, GreedySLocal(), locality=1, num_colors=5)
+    outcomes.append(["SLOCAL", is_proper(grid.graph, slocal.run(list(order)))])
+
+    dynamic = DynamicLocalSimulator(DynamicGreedy(), locality=1, num_colors=5)
+    present = set()
+    for node in order:
+        dynamic.insert(
+            node, [v for v in grid.graph.neighbors(node) if v in present]
+        )
+        present.add(node)
+    outcomes.append(["Dynamic-LOCAL", is_proper(grid.graph, dynamic.colors)])
+
+    online = OnlineLocalSimulator(
+        grid.graph, GreedyOnlineColorer(), locality=1, num_colors=5
+    )
+    outcomes.append(["Online-LOCAL", is_proper(grid.graph, online.run(list(order)))])
+
+    print()
+    print("(Δ+1)-coloring across the sandwich (all must be proper):")
+    print(render_table(["model", "proper"], outcomes))
+    assert all(row[1] for row in outcomes)
+
+
+def test_three_coloring_separates_local_from_online():
+    """Akbari is proper at the log budget on EVERY order; the LOCAL
+    baseline — whose guess anchors on the earliest id in each view —
+    goes improper on SOME order (it provably cannot work for all orders
+    below ~sqrt(n) locality, but a lucky order can save it)."""
+    grid = SimpleGrid(40, 40)
+    budget = 3 * math.ceil(math.log2(grid.num_nodes))
+    local_failed = False
+    for seed in range(4):
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+        akbari = OnlineLocalSimulator(
+            grid.graph, AkbariBipartiteColoring(), locality=budget, num_colors=3
+        ).run(list(order))
+        assert is_proper(grid.graph, akbari)
+        if not local_failed:
+            local = OnlineLocalSimulator(
+                grid.graph,
+                LocalAsOnline(CanonicalLocalColorer()),
+                locality=budget,
+                num_colors=3,
+            ).run(list(order))
+            local_failed = not is_proper(grid.graph, local)
+    assert local_failed, "LOCAL baseline survived every tested order"
+    print(f"\n3-coloring 40x40 at T={budget}: Online-LOCAL proper on all "
+          f"orders, LOCAL baseline improper on some (needs ~sqrt(n))")
+
+
+def test_cole_vishkin_round_scale():
+    rows = []
+    for bits in (16, 32, 64):
+        rng = random.Random(bits)
+        pool = set()
+        while len(pool) < 200:
+            pool.add(rng.randrange(2 ** bits))
+        ids = sorted(pool, key=lambda __: rng.random())
+        colors, rounds = three_color_directed_path(ids, cyclic=False)
+        assert len(set(colors)) <= 3
+        assert rounds <= round_bound(max(ids))
+        rows.append([f"2^{bits}", rounds])
+    print()
+    print("Cole-Vishkin rounds vs id magnitude (log* growth):")
+    print(render_table(["id bound", "rounds"], rows))
+    # Quadrupling the bit width adds at most a couple of rounds.
+    assert rows[-1][1] <= rows[0][1] + 2
+
+
+def test_bench_slocal_greedy(benchmark):
+    grid = SimpleGrid(12, 12)
+    order = random_reveal_order(sorted(grid.graph.nodes()), seed=0)
+
+    def run():
+        sim = SLocalSimulator(grid.graph, GreedySLocal(), locality=1, num_colors=5)
+        return sim.run(list(order))
+
+    coloring = benchmark(run)
+    assert is_proper(grid.graph, coloring)
+
+
+def test_bench_dynamic_growth(benchmark):
+    grid = SimpleGrid(12, 12)
+    nodes = sorted(grid.graph.nodes())
+
+    def run():
+        sim = DynamicLocalSimulator(DynamicGreedy(), locality=1, num_colors=5)
+        present = set()
+        for node in nodes:
+            sim.insert(node, [v for v in grid.graph.neighbors(node) if v in present])
+            present.add(node)
+        return sim.colors
+
+    colors = benchmark(run)
+    assert is_proper(grid.graph, colors)
+
+
+def test_bench_cole_vishkin(benchmark):
+    ids = random.Random(9).sample(range(2 ** 40), 2000)
+    colors, rounds = benchmark(lambda: three_color_directed_path(ids))
+    assert set(colors) <= {1, 2, 3}

@@ -1,0 +1,68 @@
+"""Experiment T2 (Theorem 2): Ω(√n) for toroidal and cylindrical grids.
+
+For each locality T the adversary needs side ≥ 4T+4 (two disjoint bands);
+conversely it defeats every portfolio member on the smallest valid odd
+side.  The minimal side therefore grows *linearly* in T — i.e. the
+defeated locality grows like √n — which the fit asserts.
+"""
+
+import pytest
+
+from repro.adversaries.torus import TorusAdversary
+from repro.analysis.fitting import fit_growth
+from repro.analysis.tables import render_table
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.baselines import GreedyOnlineColorer
+
+LOCALITIES = (1, 2, 3, 4)
+
+
+def run_sweep(topology):
+    rows = []
+    for T in LOCALITIES:
+        adversary = TorusAdversary(locality=T, topology=topology)
+        result = adversary.run(AkbariBipartiteColoring())
+        assert result.won, f"akbari survived {topology} at T={T}"
+        rows.append(
+            [
+                T,
+                adversary.side,
+                adversary.side ** 2,
+                result.reason,
+                result.stats.get("b_sum", "-"),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("topology", ["torus", "cylinder"])
+def test_theorem2_defeats_at_sqrt_scale(topology):
+    rows = run_sweep(topology)
+    print()
+    print(f"Theorem 2 ({topology}): defeated locality vs instance size")
+    print(render_table(["T", "side (=sqrt n)", "n", "outcome", "b1+b2"], rows))
+    # side ~ 4T: T as a function of n is Θ(√n).
+    ts = [float(row[0]) for row in rows]
+    sides = [float(row[1]) for row in rows]
+    fit = fit_growth(ts, sides, "linear")
+    print(f"side vs T: slope {fit.slope:.2f} (theory: 4), R^2 {fit.r_squared:.3f}")
+    assert fit.r_squared > 0.98
+    assert 3.0 <= fit.slope <= 5.0
+
+
+def test_theorem2_greedy_also_defeated():
+    for topology in ("torus", "cylinder"):
+        result = TorusAdversary(locality=2, topology=topology).run(
+            GreedyOnlineColorer()
+        )
+        assert result.won
+
+
+@pytest.mark.parametrize("topology", ["torus", "cylinder"])
+def test_bench_theorem2(benchmark, topology):
+    result = benchmark(
+        lambda: TorusAdversary(locality=2, topology=topology).run(
+            AkbariBipartiteColoring()
+        )
+    )
+    assert result.won

@@ -1,0 +1,29 @@
+"""Experiment TOURNAMENT: all adversaries vs all victims, clean sweep.
+
+Also a useful regression net: any change weakening an adversary or
+super-powering a victim breaks the sweep assertion immediately.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.analysis.tournament import clean_sweep, run_tournament
+
+
+@pytest.mark.parametrize("locality", (1, 2))
+def test_clean_sweep(locality):
+    rows = run_tournament(locality=locality)
+    print()
+    print(f"Tournament at T={locality}:")
+    print(render_table(
+        ["adversary", "victim", "verdict"],
+        [[r.adversary, r.victim, "defeated" if r.won else "SURVIVED"]
+         for r in rows],
+    ))
+    assert clean_sweep(rows), [r for r in rows if not r.won]
+    assert len(rows) == 18
+
+
+def test_bench_tournament(benchmark):
+    rows = benchmark(lambda: run_tournament(locality=1))
+    assert clean_sweep(rows)

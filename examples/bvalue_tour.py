@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's b-value machinery (Figures 2-4).
+
+The b-value of a directed path counts the imbalance between
+3→2→…→1→3 and 3→1→…→2→3 crossings of color-3 "barriers" — the potential
+the adversary pumps up to defeat small-locality algorithms.  This script
+walks through the definitions and the three lemmas with concrete numbers.
+"""
+
+import itertools
+
+from repro.core.bvalue import (
+    a_value,
+    b_value_parity,
+    cycle_b_value,
+    path_b_value,
+)
+
+
+def main() -> None:
+    print("Definition 3.1 — a-values (nonzero only on 1-2 edges):")
+    for u, v in itertools.product((1, 2, 3), repeat=2):
+        if u != v:
+            print(f"  a({u},{v}) = {a_value(u, v):+d}")
+    print()
+
+    print("Figure 3 — a closable path (b = 0):")
+    fig3 = [3, 2, 1, 2, 1, 2, 3]
+    print(f"  colors {fig3}  ->  b = {path_b_value(fig3)}")
+    print("  (the 1-2 region can be enclosed by a single ring of 3s)")
+    print()
+
+    print("Figure 4 — an unclosable path (b = 1):")
+    fig4 = [3, 2, 1, 2, 1, 3]
+    print(f"  colors {fig4}  ->  b = {path_b_value(fig4)}")
+    print("  (any cycle containing it must cross back with b = -1)")
+    print()
+
+    print("Lemma 3.3 — every proper 4-cycle cancels:")
+    shown = 0
+    for colors in itertools.product((1, 2, 3), repeat=4):
+        ring = list(colors) + [colors[0]]
+        if any(a == b for a, b in zip(ring, ring[1:])):
+            continue
+        if shown < 4:
+            print(f"  cycle {list(colors)}  ->  b = {cycle_b_value(colors)}")
+        shown += 1
+    print(f"  ... ({shown} proper C4 colorings, all b = 0)")
+    print()
+
+    print("Lemma 3.5 — parity is pinned by endpoints + length:")
+    examples = [
+        [1, 2, 1, 2],      # len 3, ends 1,2
+        [3, 1, 2, 3],      # len 3, ends 3,3
+        [2, 3, 1, 3, 2],   # len 4, ends 2,2
+    ]
+    for colors in examples:
+        predicted = b_value_parity(len(colors) - 1, colors[0], colors[-1])
+        actual = path_b_value(colors) % 2
+        print(f"  {colors}: predicted parity {predicted}, actual "
+              f"{actual} (b = {path_b_value(colors)})")
+    print()
+    print("The adversary uses exactly this parity law to pick the gap "
+          "l in {2,3} when concatenating fragments (Lemma 3.6).")
+
+
+if __name__ == "__main__":
+    main()

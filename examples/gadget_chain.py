@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Theorem 3 live: (2k-2)-coloring k-partite graphs needs Ω(n) locality.
+
+The hard instance G* is a chain of gadgets (k x k node grids, adjacent
+iff differing in both coordinates).  Under any proper (2k-2)-coloring a
+gadget is exactly one of row-colorful / column-colorful (Claim 4.5), and
+the whole chain must agree (Lemma 4.6).  The adversary colors the two end
+gadgets while their views are disjoint, then transposes the far fragment
+if needed so the ends disagree — making completion impossible.
+"""
+
+from repro.adversaries import GadgetAdversary
+from repro.analysis.tables import render_table
+from repro.core import GreedyOnlineColorer
+from repro.families import GadgetChain
+from repro.verify.gadget_props import classify_gadget
+
+
+def main() -> None:
+    # Show the structural dichotomy first (Claim 4.5).
+    chain = GadgetChain(3, 3)
+    row_coloring = {node: chain.canonical_color(node) + 1 for node in chain.graph.nodes()}
+    verdict = classify_gadget(
+        [chain.row(0, i) for i in range(3)],
+        [chain.column(0, j) for j in range(3)],
+        row_coloring,
+    )
+    print(f"Canonical row coloring of G*(k=3): gadget 0 is {verdict}-colorful")
+    print()
+
+    rows = []
+    for k in (3, 4):
+        for T in (1, 2, 4):
+            adversary = GadgetAdversary(k=k, locality=T)
+            result = adversary.run(GreedyOnlineColorer())
+            rows.append(
+                [
+                    k,
+                    2 * k - 2,
+                    T,
+                    adversary.length,
+                    k * k * adversary.length,
+                    result.stats.get("head_class", "-"),
+                    result.stats.get("tail_class", "-"),
+                    result.stats.get("tail_committed", "-"),
+                    "DEFEATED" if result.won else "survived",
+                ]
+            )
+    print("Theorem 3: end-gadget transposition adversary")
+    print(
+        render_table(
+            ["k", "colors", "T", "gadgets", "n", "head", "tail(pre)",
+             "commit", "verdict"],
+            rows,
+        )
+    )
+    print()
+    print("The chain length needed is only 2T+3, so the defeated locality "
+          "scales linearly with n — the Ω(n) bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""All lower bounds vs all victims — the full tournament.
+
+The paper predicts a clean sweep: every adversary defeats every
+deterministic algorithm whose locality is below its theorem's threshold.
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.tournament import clean_sweep, run_tournament
+
+
+def main() -> None:
+    rows = run_tournament(locality=1)
+    print(render_table(
+        ["adversary", "victim", "T", "verdict", "how"],
+        [
+            [row.adversary, row.victim, row.locality,
+             "DEFEATED" if row.won else "survived", row.reason]
+            for row in rows
+        ],
+    ))
+    print()
+    if clean_sweep(rows):
+        print(f"Clean sweep: {len(rows)}/{len(rows)} games won by the "
+              f"adversaries, as the theorems demand.")
+    else:
+        losses = [row for row in rows if not row.won]
+        print(f"UNEXPECTED: {len(losses)} game(s) survived: {losses}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+from setuptools import setup
+
+# Legacy shim: environments without the `wheel` package cannot do PEP 660
+# editable installs; `python setup.py develop` works and needs the entry
+# point declared here (old setuptools ignores [project.scripts] in
+# develop mode).
+setup(entry_points={"console_scripts": ["repro=repro.cli:main"]})

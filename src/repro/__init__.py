@@ -1,0 +1,81 @@
+"""repro — executable reproduction of "A Tight Lower Bound for 3-Coloring
+Grids in the Online-LOCAL Model" (Chang, Mishra, Nguyen, Yang, Yeh,
+PODC 2024).
+
+The package builds, from scratch, everything the paper's theorems touch:
+
+* the LOCAL / SLOCAL / Online-LOCAL model simulators
+  (:mod:`repro.models`), including the adaptive deferred-embedding
+  instances that give the Online-LOCAL adversary its paper-granted
+  powers;
+* every graph family (:mod:`repro.families`): simple / cylindrical /
+  toroidal grids, triangular grids, k-trees, the Section 4 gadget chain
+  :math:`G^*`, and the Section 5 duplicate hierarchy :math:`G_k`;
+* the b-value potential machinery (:mod:`repro.core.bvalue`);
+* the upper-bound algorithms — Akbari et al.'s bipartite 3-coloring and
+  the paper's generalized (k+1)-coloring with type unification
+  (:mod:`repro.core`), plus the oracles of Definition 1.4
+  (:mod:`repro.oracles`);
+* executable adversaries for Theorems 1, 2, 3, and 5
+  (:mod:`repro.adversaries`), with machine-checked win certificates
+  (:mod:`repro.verify`).
+
+Quickstart::
+
+    from repro.families import SimpleGrid
+    from repro.core import AkbariBipartiteColoring
+    from repro.models import OnlineLocalSimulator
+
+    grid = SimpleGrid(32, 32)
+    simulator = OnlineLocalSimulator(
+        grid.graph, AkbariBipartiteColoring(), locality=36, num_colors=3
+    )
+    coloring = simulator.run(sorted(grid.graph.nodes()))
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the headline API.  Subpackages remain the
+# canonical import paths; these cover the common quickstart flows.
+from repro.adversaries import (  # noqa: E402
+    GadgetAdversary,
+    GridAdversary,
+    HierarchyReduction,
+    TorusAdversary,
+    reduce_to_grid,
+)
+from repro.core import (  # noqa: E402
+    AkbariBipartiteColoring,
+    GreedyOnlineColorer,
+    UnifyColoring,
+)
+from repro.families import (  # noqa: E402
+    CylindricalGrid,
+    GadgetChain,
+    Hierarchy,
+    SimpleGrid,
+    ToroidalGrid,
+    TriangularGrid,
+)
+from repro.models import OnlineLocalSimulator  # noqa: E402
+from repro.verify import assert_proper, is_proper  # noqa: E402
+
+__all__ = [
+    "GridAdversary",
+    "TorusAdversary",
+    "GadgetAdversary",
+    "HierarchyReduction",
+    "reduce_to_grid",
+    "AkbariBipartiteColoring",
+    "GreedyOnlineColorer",
+    "UnifyColoring",
+    "SimpleGrid",
+    "CylindricalGrid",
+    "ToroidalGrid",
+    "TriangularGrid",
+    "GadgetChain",
+    "Hierarchy",
+    "OnlineLocalSimulator",
+    "assert_proper",
+    "is_proper",
+]

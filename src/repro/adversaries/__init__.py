@@ -1,0 +1,28 @@
+"""Executable lower-bound adversaries for Theorems 1, 2, 3, and 5.
+
+Each adversary drives a deterministic Online-LOCAL algorithm (any
+:class:`~repro.models.base.OnlineAlgorithm`) through an adaptive
+instance, branching only on the colors the algorithm returns, and
+produces an :class:`~repro.adversaries.result.AdversaryResult` whose win
+is machine-checked (an explicit monochromatic edge plus, where
+applicable, a b-value certificate, and a full view-consistency audit).
+"""
+
+from repro.adversaries.result import AdversaryError, AdversaryResult
+from repro.adversaries.path_builder import BuiltPath, PathBuilder
+from repro.adversaries.grid import GridAdversary
+from repro.adversaries.torus import TorusAdversary
+from repro.adversaries.gadget import GadgetAdversary
+from repro.adversaries.reduction import HierarchyReduction, reduce_to_grid
+
+__all__ = [
+    "AdversaryError",
+    "AdversaryResult",
+    "BuiltPath",
+    "PathBuilder",
+    "GridAdversary",
+    "TorusAdversary",
+    "GadgetAdversary",
+    "HierarchyReduction",
+    "reduce_to_grid",
+]

@@ -1,0 +1,45 @@
+"""Common result record for adversary runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class AdversaryError(Exception):
+    """The adversary reached a state the paper proves unreachable —
+    indicates a bug in the adversary or a dishonest simulator, never a
+    legitimate algorithm win."""
+
+
+@dataclass
+class AdversaryResult:
+    """Outcome of one adversary-vs-algorithm game.
+
+    Attributes
+    ----------
+    won:
+        Whether the adversary defeated the algorithm.
+    reason:
+        ``"monochromatic-edge"`` (an explicit improper edge exists in the
+        committed coloring), ``"model-violation"`` (the algorithm colored
+        an unseen node, recolored a node, or used an out-of-range color),
+        or ``"survived"`` (the algorithm produced a locally consistent
+        coloring — expected only when its locality exceeds the theorem's
+        threshold or it cheats outside the model).
+    improper_edge:
+        A host-labeled witness edge when reason is monochromatic-edge.
+    certificate:
+        The b-value certificate explaining *why* the loss was forced
+        (Theorems 1 and 2), if one was assembled before the improper edge
+        appeared.
+    stats:
+        Adversary-specific measurements (region length, reveals used,
+        achieved b-value, ...), consumed by the benchmarks.
+    """
+
+    won: bool
+    reason: str
+    improper_edge: Optional[Tuple[Any, Any]] = None
+    certificate: Optional[Any] = None
+    stats: Dict[str, Any] = field(default_factory=dict)

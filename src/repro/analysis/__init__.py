@@ -1,0 +1,20 @@
+"""Experiment analysis: growth-curve fitting and result tables.
+
+The theorems claim asymptotic *shapes* (Θ(log n), Θ(√n), Θ(n)); the
+benchmarks measure thresholds across a sweep of n and this package
+decides which shape fits best and renders the paper-vs-measured tables
+recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.fitting import FitResult, best_growth_model, fit_growth
+from repro.analysis.experiments import ExperimentRecord, threshold_locality
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "FitResult",
+    "best_growth_model",
+    "fit_growth",
+    "ExperimentRecord",
+    "threshold_locality",
+    "render_table",
+]

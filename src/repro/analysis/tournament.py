@@ -1,0 +1,112 @@
+"""The adversary tournament: every lower bound vs every victim, one call.
+
+``run_tournament()`` plays the full cartesian product of
+
+* adversaries — Theorem 1 (grids), Theorem 2 (torus + cylinder),
+  Theorem 3 (gadgets, both the 2k−2 and the k+1 color budgets), and
+  Theorem 5 (the reduction chain), and
+* victims — greedy, the truncated Akbari algorithm, and the sandwiched
+  LOCAL baseline,
+
+returning structured rows for reporting.  Used by
+``examples/tournament.py`` and ``benchmarks/bench_tournament.py``; the
+paper's prediction is a clean sweep, which callers assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.adversaries.gadget import GadgetAdversary
+from repro.adversaries.grid import GridAdversary
+from repro.adversaries.reduction import reduce_to_grid
+from repro.adversaries.torus import TorusAdversary
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
+from repro.core.unify import UnifyColoring
+from repro.models.base import OnlineAlgorithm
+from repro.models.simulation import LocalAsOnline
+from repro.oracles import CliqueChainOracle
+
+
+@dataclass
+class TournamentRow:
+    """One adversary-vs-victim game outcome."""
+
+    adversary: str
+    victim: str
+    locality: int
+    won: bool
+    reason: str
+
+
+def default_victims() -> Dict[str, Callable[[], OnlineAlgorithm]]:
+    """The standard victim portfolio."""
+    return {
+        "greedy": GreedyOnlineColorer,
+        "akbari": AkbariBipartiteColoring,
+        "local-canonical": lambda: LocalAsOnline(CanonicalLocalColorer()),
+    }
+
+
+def default_adversaries(locality: int) -> Dict[str, Callable[[OnlineAlgorithm], object]]:
+    """The standard adversary lineup at the given victim locality."""
+    return {
+        "theorem1-grid": lambda victim: GridAdversary(locality=locality).run(
+            victim
+        ),
+        "theorem2-torus": lambda victim: TorusAdversary(
+            locality=locality, topology="torus"
+        ).run(victim),
+        "theorem2-cylinder": lambda victim: TorusAdversary(
+            locality=locality, topology="cylinder"
+        ).run(victim),
+        "theorem3-gadget(2k-2)": lambda victim: GadgetAdversary(
+            k=3, locality=locality
+        ).run(victim),
+        "corollary13-gadget(k+1)": lambda victim: GadgetAdversary(
+            k=3, locality=locality, colors=4
+        ).run(victim),
+        "theorem5-reduction": lambda victim: GridAdversary(
+            locality=locality
+        ).run(
+            reduce_to_grid(UnifyColoring(CliqueChainOracle(3, 3)), k=3)
+        ),
+    }
+
+
+def run_tournament(
+    locality: int = 1,
+    victims: Optional[Dict[str, Callable[[], OnlineAlgorithm]]] = None,
+    adversaries: Optional[Dict[str, Callable]] = None,
+) -> List[TournamentRow]:
+    """Play every pairing; returns one row per game.
+
+    Note the Theorem 5 entry ignores the supplied victim (its victim is
+    the reduced hierarchy colorer by construction); it is played once
+    per victim anyway so the sweep stays rectangular.
+    """
+    victims = victims if victims is not None else default_victims()
+    adversaries = (
+        adversaries if adversaries is not None else default_adversaries(locality)
+    )
+    rows: List[TournamentRow] = []
+    for adversary_name, play in adversaries.items():
+        for victim_name, factory in victims.items():
+            result = play(factory())
+            rows.append(
+                TournamentRow(
+                    adversary=adversary_name,
+                    victim=victim_name,
+                    locality=locality,
+                    won=result.won,
+                    reason=result.reason,
+                )
+            )
+    return rows
+
+
+def clean_sweep(rows: List[TournamentRow]) -> bool:
+    """Whether the adversaries won every game — the paper's prediction."""
+    return all(row.won for row in rows)

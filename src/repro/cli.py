@@ -1,0 +1,184 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+``demo``
+    Run one of the example scenarios (quickstart rendering, adversary
+    duel, ...), printing the same output as the scripts in examples/.
+``adversary``
+    Run a lower-bound adversary (theorem1/theorem2/theorem3/theorem5)
+    against a chosen victim at a chosen locality.
+``upper-bound``
+    Run an upper-bound algorithm (akbari/unify) on a chosen family at
+    the paper's locality budget and verify the coloring.
+``report``
+    Regenerate EXPERIMENTS.md content on stdout.
+
+Examples::
+
+    python -m repro.cli adversary theorem1 --victim akbari --locality 2
+    python -m repro.cli upper-bound akbari --side 24
+    python -m repro.cli upper-bound unify-triangular --side 14
+    python -m repro.cli report
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional
+
+from repro.adversaries.gadget import GadgetAdversary
+from repro.adversaries.grid import GridAdversary
+from repro.adversaries.reduction import reduce_to_grid
+from repro.adversaries.torus import TorusAdversary
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
+from repro.core.unify import UnifyColoring, recommended_locality
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import scattered_reveal_order
+from repro.families.triangular import TriangularGrid
+from repro.models.online_local import OnlineLocalSimulator
+from repro.models.simulation import LocalAsOnline
+from repro.oracles import CliqueChainOracle, TriangularOracle
+from repro.verify.coloring import assert_proper
+
+
+def _make_victim(name: str):
+    factories = {
+        "greedy": GreedyOnlineColorer,
+        "akbari": AkbariBipartiteColoring,
+        "local-canonical": lambda: LocalAsOnline(CanonicalLocalColorer()),
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown victim {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def cmd_adversary(args: argparse.Namespace) -> int:
+    victim = _make_victim(args.victim)
+    if args.theorem == "theorem1":
+        result = GridAdversary(locality=args.locality).run(victim)
+    elif args.theorem == "theorem2":
+        result = TorusAdversary(
+            locality=args.locality, topology=args.topology
+        ).run(victim)
+    elif args.theorem == "theorem3":
+        result = GadgetAdversary(k=args.k, locality=args.locality).run(victim)
+    elif args.theorem == "theorem5":
+        inner = UnifyColoring(CliqueChainOracle(args.k, args.k))
+        result = GridAdversary(locality=args.locality).run(
+            reduce_to_grid(inner, k=args.k)
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown theorem {args.theorem!r}")
+    verdict = "DEFEATED" if result.won else "survived"
+    print(f"{args.theorem} vs {args.victim} at T={args.locality}: {verdict}")
+    print(f"  how: {result.reason}")
+    if result.improper_edge is not None:
+        print(f"  witness edge: {result.improper_edge}")
+    for key, value in sorted(result.stats.items()):
+        print(f"  {key}: {value}")
+    return 0 if result.won else 1
+
+
+def cmd_upper_bound(args: argparse.Namespace) -> int:
+    if args.algorithm == "akbari":
+        grid = SimpleGrid(args.side, args.side)
+        graph = grid.graph
+        n = graph.num_nodes
+        budget = args.locality or 3 * math.ceil(math.log2(n))
+        algorithm = AkbariBipartiteColoring()
+        colors = 3
+    elif args.algorithm == "unify-triangular":
+        tri = TriangularGrid(args.side)
+        graph = tri.graph
+        n = graph.num_nodes
+        budget = args.locality or recommended_locality(3, 1, n)
+        algorithm = UnifyColoring(TriangularOracle())
+        colors = 4
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    sim = OnlineLocalSimulator(graph, algorithm, locality=budget, num_colors=colors)
+    order = scattered_reveal_order(sorted(graph.nodes()), seed=args.seed)
+    coloring = sim.run(order)
+    assert_proper(graph, coloring, max_colors=colors)
+    print(
+        f"{args.algorithm}: proper {colors}-coloring of {n} nodes at "
+        f"T={budget} under an adversarial order (seed {args.seed})"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate
+
+    sys.stdout.write(generate())
+    return 0
+
+
+def cmd_tournament(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.analysis.tournament import clean_sweep, run_tournament
+
+    rows = run_tournament(locality=args.locality)
+    print(render_table(
+        ["adversary", "victim", "T", "verdict"],
+        [[r.adversary, r.victim, r.locality,
+          "DEFEATED" if r.won else "survived"] for r in rows],
+    ))
+    swept = clean_sweep(rows)
+    print(f"\nclean sweep: {swept} ({sum(r.won for r in rows)}/{len(rows)})")
+    return 0 if swept else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of the PODC 2024 Online-LOCAL "
+        "grid-coloring lower bounds.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    adversary = sub.add_parser("adversary", help="run a lower-bound adversary")
+    adversary.add_argument(
+        "theorem",
+        choices=["theorem1", "theorem2", "theorem3", "theorem5"],
+    )
+    adversary.add_argument("--victim", default="greedy")
+    adversary.add_argument("--locality", type=int, default=1)
+    adversary.add_argument("--topology", default="torus",
+                           choices=["torus", "cylinder"])
+    adversary.add_argument("--k", type=int, default=3)
+    adversary.set_defaults(func=cmd_adversary)
+
+    upper = sub.add_parser("upper-bound", help="run an upper-bound algorithm")
+    upper.add_argument("algorithm", choices=["akbari", "unify-triangular"])
+    upper.add_argument("--side", type=int, default=16)
+    upper.add_argument("--locality", type=int, default=None)
+    upper.add_argument("--seed", type=int, default=0)
+    upper.set_defaults(func=cmd_upper_bound)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
+    report.set_defaults(func=cmd_report)
+
+    tournament = sub.add_parser(
+        "tournament", help="run every adversary against every victim"
+    )
+    tournament.add_argument("--locality", type=int, default=1)
+    tournament.set_defaults(func=cmd_tournament)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

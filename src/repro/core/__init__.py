@@ -1,0 +1,36 @@
+"""The paper's primary contribution: b-value theory, the upper-bound
+coloring algorithms, and baseline algorithms.
+
+* :mod:`repro.core.bvalue` — a-values and b-values (Definitions 3.1–3.2)
+  with the cancellation and parity lemmas (Lemmas 3.3–3.5).
+* :mod:`repro.core.akbari` — the Akbari et al. O(log n) Online-LOCAL
+  3-coloring of bipartite graphs (Section 5.1.1).
+* :mod:`repro.core.unify` — this paper's generalization: (k+1)-coloring
+  graphs with locally inferable unique colorings, including Algorithm 1
+  (Section 5.1.2).
+* :mod:`repro.core.baselines` — greedy and canonical colorers used as the
+  algorithm portfolio in benchmarks.
+"""
+
+from repro.core.bvalue import a_value, b_value, b_value_parity, path_b_value
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.unify import UnifyColoring
+from repro.core.baselines import (
+    CanonicalLocalColorer,
+    CheatingCoordinateColorer,
+    GreedyOnlineColorer,
+    GreedySLocalColorer,
+)
+
+__all__ = [
+    "a_value",
+    "b_value",
+    "b_value_parity",
+    "path_b_value",
+    "AkbariBipartiteColoring",
+    "UnifyColoring",
+    "CanonicalLocalColorer",
+    "CheatingCoordinateColorer",
+    "GreedyOnlineColorer",
+    "GreedySLocalColorer",
+]

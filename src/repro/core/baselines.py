@@ -1,0 +1,139 @@
+"""Baseline colorers: the adversary's victim portfolio and sanity anchors.
+
+* :class:`GreedyOnlineColorer` — first-fit online coloring; locality-
+  independent and easily defeated by every adversary in this library.
+* :class:`GreedySLocalColorer` — the classical SLOCAL locality-1 greedy
+  (degree+1)-coloring (Section 1's example of SLOCAL power).
+* :class:`CanonicalLocalColorer` — a LOCAL-model algorithm that 2-colors
+  bipartite graphs once its view covers the whole graph (the trivial
+  O(diameter) upper bound; on a √n×√n grid that is the Θ(√n) LOCAL
+  baseline of [BHK+17]).
+* :class:`CheatingCoordinateColorer` — an out-of-model control: it reads
+  grid coordinates out of the node identifiers, which the Online-LOCAL
+  model forbids (identifiers are opaque).  Run against the fixed-host
+  simulator with ``leak_labels=True`` it 2-colors any grid at locality 0,
+  demonstrating that the lower bounds hinge on identifier anonymity and
+  adaptive instance commitment, not on graph structure alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.graphs.traversal import bfs_distances
+from repro.models.base import AlgorithmView, Color, NodeId, OnlineAlgorithm
+from repro.models.local import LocalAlgorithm, LocalView
+
+
+class GreedyOnlineColorer(OnlineAlgorithm):
+    """First-fit greedy: smallest color not used by a colored neighbor.
+
+    When every color is blocked (the adversary cornered it) the colorer
+    plays color 1 — an improper edge, i.e., a recorded loss — rather than
+    crashing, so adversary benchmarks can count defeats.
+    """
+
+    name = "greedy-online"
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        used = {
+            view.colors[v]
+            for v in view.graph.neighbors(target)
+            if v in view.colors
+        }
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+class GreedySLocalColorer(OnlineAlgorithm):
+    """The SLOCAL greedy run through the Online-LOCAL sandwich.
+
+    Identical decisions to :class:`GreedyOnlineColorer` (greedy only
+    inspects radius-1 information), but implemented against the SLOCAL
+    view discipline: it recomputes everything from the 1-ball around the
+    target, ignoring the global memory it is entitled to.  Kept as a
+    separate class so benchmarks can report the models side by side.
+    """
+
+    name = "greedy-slocal"
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        used = set()
+        for v in view.graph.neighbors(target):
+            color = view.colors.get(v)
+            if color is not None:
+                used.add(color)
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+class CanonicalLocalColorer(LocalAlgorithm):
+    """LOCAL-model 2-coloring of connected bipartite graphs.
+
+    Correct exactly when the view radius reaches the whole graph
+    (``T ≥ diameter``): every node then sees the same graph and computes
+    the same canonical bipartition (BFS parity from the minimum id).
+    With a smaller radius the node colors by the parity of its distance
+    to the minimum id *in its view* — a reasonable but defeatable guess.
+    """
+
+    name = "canonical-local"
+
+    def color(self, view: LocalView) -> Color:
+        anchor = min(view.graph.nodes())
+        distances = bfs_distances(view.graph, anchor)
+        return 1 + distances.get(view.center, 0) % 2
+
+
+class RandomizedGreedyColorer(OnlineAlgorithm):
+    """Seeded randomized greedy: a uniformly random available color.
+
+    The paper treats deterministic algorithms, but its adversaries are
+    *adaptive* — they branch on the colors actually committed — so they
+    defeat randomized victims on every run as well (the follow-up work
+    [ACd+24] proves the Ω(log n) bound survives randomization).  This
+    victim exists to demonstrate that empirically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.name = f"randomized-greedy[{seed}]"
+
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        super().reset(n, locality, num_colors)
+        import random
+
+        self._rng = random.Random(self.seed)
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        used = {
+            view.colors[v]
+            for v in view.graph.neighbors(target)
+            if v in view.colors
+        }
+        available = [
+            color for color in range(1, self.num_colors + 1) if color not in used
+        ]
+        if not available:
+            return {target: 1}
+        return {target: self._rng.choice(available)}
+
+
+class CheatingCoordinateColorer(OnlineAlgorithm):
+    """Out-of-model control: assumes ids are grid ``(row, col)`` labels.
+
+    Only meaningful with ``OnlineLocalSimulator(..., leak_labels=True)``.
+    Colors ``(row + col) % 2 + 1`` — proper on any simple grid with zero
+    locality, no memory, no adaptivity.  The paper's adversaries are
+    impossible against it, which isolates *where* their power comes from.
+    """
+
+    name = "cheating-coordinates"
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        row, col = target  # type: ignore[misc]
+        return {target: (row + col) % 2 + 1}

@@ -1,0 +1,146 @@
+"""a-values and b-values of 3-colorings (paper Section 3.1).
+
+Given a proper 3-coloring :math:`c : V \\to \\{1, 2, 3\\}`:
+
+* the *a-value* of a directed edge ``(u, v)`` is ``c(u) - c(v)`` when
+  neither endpoint is colored 3, else 0 (Definition 3.1);
+* the *b-value* of a directed path or cycle is the sum of the a-values
+  of its directed edges (Definition 3.2).
+
+The key facts proved in the paper and re-verified by this library's test
+suite and benchmarks:
+
+* every 4-node directed cycle has b-value 0 (Lemma 3.3, "cells cancel"),
+* every simple directed cycle in a grid has b-value 0 (Lemma 3.4),
+* the parity of a path's b-value is determined by its length and the
+  colors of its endpoints: ``b(P) ≡ i(u) + i(v) + len (mod 2)`` where
+  ``i(x) = 1`` iff ``c(x) = 3`` (Lemma 3.5).
+
+The b-value measures how hard a partially colored path is to "close off":
+an adversary that forces a large |b| forces an improper coloring
+somewhere (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+Node = Hashable
+Color = int
+
+
+def a_value(color_u: Color, color_v: Color) -> int:
+    """The a-value of a directed edge with the given endpoint colors.
+
+    Nonzero exactly when one endpoint has color 1 and the other color 2.
+    """
+    _check_color(color_u)
+    _check_color(color_v)
+    if color_u == 3 or color_v == 3:
+        return 0
+    return color_u - color_v
+
+
+def _check_color(color: Color) -> None:
+    if color not in (1, 2, 3):
+        raise ValueError(f"b-value machinery needs colors in {{1,2,3}}, got {color}")
+
+
+def path_b_value(colors: Sequence[Color]) -> int:
+    """The b-value of a directed path given its node colors in order.
+
+    A zero- or one-node path has b-value 0.
+    """
+    return sum(
+        a_value(colors[i], colors[i + 1]) for i in range(len(colors) - 1)
+    )
+
+
+def cycle_b_value(colors: Sequence[Color]) -> int:
+    """The b-value of a directed cycle given its node colors in cyclic order.
+
+    The closing edge from the last node back to the first is included;
+    the first node must not be repeated at the end of the sequence.
+    """
+    if len(colors) < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {len(colors)}")
+    return path_b_value(list(colors) + [colors[0]])
+
+
+def b_value(
+    nodes: Sequence[Node],
+    coloring: Mapping[Node, Color],
+    cycle: bool = False,
+) -> int:
+    """The b-value of a directed path (or cycle) of nodes under ``coloring``.
+
+    Parameters
+    ----------
+    nodes:
+        The nodes in traversal order.  For a cycle, do not repeat the
+        first node.
+    coloring:
+        Node colors; every listed node must be colored.
+    cycle:
+        Whether to include the closing edge.
+    """
+    colors = [coloring[node] for node in nodes]
+    if cycle:
+        return cycle_b_value(colors)
+    return path_b_value(colors)
+
+
+def endpoint_indicator(color: Color) -> int:
+    """The paper's ``i(u)``: 1 iff the color is 3."""
+    _check_color(color)
+    return 1 if color == 3 else 0
+
+
+def b_value_parity(
+    length: int, color_start: Color, color_end: Color
+) -> int:
+    """The parity Lemma 3.5 predicts for a path's b-value.
+
+    ``b(P) ≡ i(u) + i(v) + length (mod 2)`` for a directed path of the
+    given edge-``length`` from a node colored ``color_start`` to one
+    colored ``color_end``.
+    """
+    if length < 0:
+        raise ValueError(f"path length must be non-negative, got {length}")
+    return (endpoint_indicator(color_start) + endpoint_indicator(color_end) + length) % 2
+
+
+def cycle_b_value_parity(length: int) -> int:
+    """The parity Lemma 3.5 predicts for a cycle's b-value: ``length mod 2``."""
+    if length < 3:
+        raise ValueError(f"a cycle has length at least 3, got {length}")
+    return length % 2
+
+
+def rectangle_cycle(
+    row_low: int, row_high: int, col_left: int, col_right: int
+) -> list:
+    """The directed rectangle cycle used in the Theorem 1 contradiction.
+
+    Traverses: rightward along the low row, upward along the right
+    column, leftward along the high row, downward along the left column.
+    Nodes are ``(row, col)`` grid labels; the first node is not repeated.
+    """
+    if row_low >= row_high or col_left >= col_right:
+        raise ValueError("rectangle must have positive height and width")
+    cycle = [(row_low, col) for col in range(col_left, col_right + 1)]
+    cycle += [(row, col_right) for row in range(row_low + 1, row_high + 1)]
+    cycle += [(row_high, col) for col in range(col_right - 1, col_left - 1, -1)]
+    cycle += [(row, col_left) for row in range(row_high - 1, row_low, -1)]
+    return cycle
+
+
+def grid_cell_cycles(rows: int, cols: int):
+    """All unit-cell 4-cycles of a ``rows x cols`` grid, oriented uniformly.
+
+    Used to re-verify Lemma 3.4's summation argument: the b-value of any
+    simple cycle equals the sum over enclosed cells.
+    """
+    for i in range(rows - 1):
+        for j in range(cols - 1):
+            yield [(i, j), (i, j + 1), (i + 1, j + 1), (i + 1, j)]

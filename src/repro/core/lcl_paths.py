@@ -1,0 +1,146 @@
+"""LCL problems on paths and cycles (the paper's introduction).
+
+Akbari et al. showed that all locally checkable labeling problems on
+paths, cycles, and rooted regular trees have nearly the same locality in
+every model of the sandwich.  The canonical nontrivial LCLs there are
+maximal independent set and maximal matching, both solvable in
+O(log* n) rounds by color-reduction (Cole–Vishkin) followed by a
+constant number of selection rounds.  This module implements that
+pipeline; tests validate the LCL conditions and the round counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.colevishkin import three_color_directed_path
+
+
+def _neighbors(index: int, n: int, cyclic: bool) -> List[int]:
+    result = []
+    if index > 0:
+        result.append(index - 1)
+    elif cyclic:
+        result.append(n - 1)
+    if index + 1 < n:
+        result.append(index + 1)
+    elif cyclic:
+        result.append(0)
+    return [i for i in result if i != index]
+
+
+def maximal_independent_set(
+    ids: Sequence[int], cyclic: bool = False
+) -> Tuple[Set[int], int]:
+    """A maximal independent set of a path/cycle, in O(log* n) rounds.
+
+    Pipeline: 3-color with Cole–Vishkin, then for each color class in
+    order (1, 2, 3) — one round each — every node of that color joins
+    the MIS unless a neighbor already joined.
+
+    Returns
+    -------
+    (member indices, rounds used).
+    """
+    n = len(ids)
+    if n == 0:
+        return set(), 0
+    colors, rounds = three_color_directed_path(ids, cyclic=cyclic)
+    in_mis: Set[int] = set()
+    for color_class in (1, 2, 3):
+        joining = {
+            index
+            for index in range(n)
+            if colors[index] == color_class
+            and not any(
+                nbr in in_mis for nbr in _neighbors(index, n, cyclic)
+            )
+        }
+        in_mis |= joining
+        rounds += 1
+    return in_mis, rounds
+
+
+def maximal_matching(
+    ids: Sequence[int], cyclic: bool = False
+) -> Tuple[Set[Tuple[int, int]], int]:
+    """A maximal matching of a path/cycle, in O(log* n) rounds.
+
+    Pipeline: 3-color the nodes; then for each color class in order,
+    every unmatched node of that color proposes to its successor edge
+    (the edge toward index+1) if both endpoints are unmatched; a final
+    symmetric pass proposes the predecessor edge.  Each pass is O(1)
+    rounds and maximality follows because an unmatched edge would have
+    been proposable by its smaller-colored endpoint.
+
+    Returns
+    -------
+    (set of matched index pairs ``(i, i+1 mod n)``, rounds used).
+    """
+    n = len(ids)
+    if n <= 1:
+        return set(), 0
+    colors, rounds = three_color_directed_path(ids, cyclic=cyclic)
+    matched: Set[int] = set()
+    matching: Set[Tuple[int, int]] = set()
+    edge_count = n if cyclic else n - 1
+
+    def try_edge(left: int) -> None:
+        right = (left + 1) % n
+        if left not in matched and right not in matched:
+            matching.add((left, right))
+            matched.add(left)
+            matched.add(right)
+
+    for color_class in (1, 2, 3):
+        for index in range(n):
+            if colors[index] != color_class or index in matched:
+                continue
+            if index + 1 < n or cyclic:
+                try_edge(index)
+        rounds += 1
+    # Final pass: an unmatched node with an unmatched predecessor grabs
+    # that edge (covers the tail direction on paths).
+    for index in range(n):
+        prev = index - 1 if index > 0 else (n - 1 if cyclic else None)
+        if prev is not None and index not in matched and prev not in matched:
+            try_edge(prev)
+    rounds += 1
+    assert len(matching) <= edge_count
+    return matching, rounds
+
+
+def is_maximal_independent_set(
+    members: Set[int], n: int, cyclic: bool
+) -> bool:
+    """LCL check: independent, and every non-member has a member neighbor."""
+    for index in members:
+        if any(nbr in members for nbr in _neighbors(index, n, cyclic)):
+            return False
+    for index in range(n):
+        if index in members:
+            continue
+        if not any(nbr in members for nbr in _neighbors(index, n, cyclic)):
+            return False
+    return True
+
+
+def is_maximal_matching(
+    matching: Set[Tuple[int, int]], n: int, cyclic: bool
+) -> bool:
+    """LCL check: a matching, and no edge has both endpoints unmatched."""
+    matched: Set[int] = set()
+    for left, right in matching:
+        if right != (left + 1) % n:
+            return False
+        if left in matched or right in matched:
+            return False
+        matched.add(left)
+        matched.add(right)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    if cyclic and n >= 3:
+        edges.append((n - 1, 0))
+    for left, right in edges:
+        if left not in matched and right not in matched:
+            return False
+    return True

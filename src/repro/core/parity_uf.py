@@ -1,0 +1,89 @@
+"""Union-find with parity, used to maintain bipartitions incrementally.
+
+Each element carries a parity bit relative to its set's root.  Adding the
+constraint "u and v have opposite parity" (an edge of a bipartite graph)
+either merges two sets or checks consistency inside one set.  A
+contradiction marks the component *odd* (non-bipartite) — the Akbari
+algorithm uses this to detect that the adversary's graph fragment cannot
+be 2-colored (e.g., an odd row cycle of a torus).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+Element = Hashable
+
+
+class ParityUnionFind:
+    """Disjoint sets with relative parities and odd-component detection."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Element, Element] = {}
+        self._parity: Dict[Element, int] = {}
+        self._size: Dict[Element, int] = {}
+        self._odd: Dict[Element, bool] = {}
+
+    def add(self, element: Element) -> None:
+        """Register a new singleton element (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._parity[element] = 0
+            self._size[element] = 1
+            self._odd[element] = False
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._parent
+
+    def find(self, element: Element) -> Tuple[Element, int]:
+        """The root of ``element``'s set and the parity of ``element``
+        relative to the root."""
+        root = element
+        parity = 0
+        while self._parent[root] != root:
+            parity ^= self._parity[root]
+            root = self._parent[root]
+        # Path compression, re-deriving parities relative to the root.
+        node = element
+        carry = parity
+        while self._parent[node] != node:
+            parent, bit = self._parent[node], self._parity[node]
+            self._parent[node] = root
+            self._parity[node] = carry
+            carry ^= bit
+            node = parent
+        return root, parity
+
+    def union_opposite(self, u: Element, v: Element) -> Element:
+        """Add the constraint ``parity(u) != parity(v)`` (an edge).
+
+        Returns the root of the merged (or existing) set.  If the
+        constraint contradicts the current parities, the component is
+        marked odd rather than raising — callers inspect :meth:`is_odd`.
+        """
+        root_u, par_u = self.find(u)
+        root_v, par_v = self.find(v)
+        if root_u == root_v:
+            if par_u == par_v:
+                self._odd[root_u] = True
+            return root_u
+        # Union by size; rebase the smaller root's parity so that
+        # parity(u) ^ parity(v) == 1 holds in the merged frame.
+        if self._size[root_u] < self._size[root_v]:
+            root_u, root_v = root_v, root_u
+            par_u, par_v = par_v, par_u
+        self._parent[root_v] = root_u
+        self._parity[root_v] = par_u ^ par_v ^ 1
+        self._size[root_u] += self._size[root_v]
+        self._odd[root_u] = self._odd[root_u] or self._odd[root_v]
+        return root_u
+
+    def size(self, element: Element) -> int:
+        """The size of the set containing ``element``."""
+        root, __ = self.find(element)
+        return self._size[root]
+
+    def is_odd(self, element: Element) -> bool:
+        """Whether the component picked up a parity contradiction."""
+        root, __ = self.find(element)
+        return self._odd[root]

@@ -1,0 +1,366 @@
+"""(k+1)-coloring graphs with locally inferable unique colorings.
+
+This is the paper's upper-bound contribution (Section 5.1.2, Theorem 4):
+an Online-LOCAL algorithm with locality ``O(log n)`` that (k+1)-colors
+any graph in :math:`\\mathcal{L}_{k,\\ell}` with ℓ ∈ O(1), generalizing
+Akbari et al.'s bipartite parity-flipping to arbitrary *types*
+(assignments of the k colors to the k oracle parts) unified via
+Algorithm 1's color-swapping layers.
+
+Structure of the implementation
+-------------------------------
+* The algorithm runs with total locality ``T``; it spends ``ℓ`` of it on
+  the oracle and manages groups over the *logic region* — the union of
+  ``(T - ℓ)``-radius balls around revealed nodes — exactly the paper's
+  accounting ("the oracle can be implemented with an extra locality of
+  ℓ").
+* A group's *type* is a permutation ``π`` (stored as a list:
+  ``π[part] = color``).  When groups merge, each smaller group's type is
+  rebased into the merged oracle frame and transformed into the largest
+  group's type by at most ``k - 1`` color swaps.
+* One swap = Algorithm 1: three ``change_index`` layers around the
+  group's colored core, using the spare color ``k + 1`` as scratch.
+
+The paper's budget is ``T = 3(k-1)·log2 n + ℓ``; the helper
+:func:`recommended_locality` computes it.  Run below budget the algorithm
+keeps playing best-effort (skipping unreachable layer nodes) and loses —
+the behavior Theorem 5 proves unavoidable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graphs.traversal import ball
+from repro.models.base import AlgorithmView, Color, NodeId, OnlineAlgorithm
+from repro.oracles.base import OracleError, PartitionOracle
+
+
+def recommended_locality(k: int, ell: int, n: int) -> int:
+    """The paper's locality budget ``3(k-1)·log2(n) + ℓ`` (rounded up)."""
+    if n < 2:
+        return ell + 1
+    return 3 * (k - 1) * math.ceil(math.log2(n)) + ell
+
+
+class _Group:
+    """Per-root group metadata over the logic region."""
+
+    __slots__ = ("members", "colored", "pi")
+
+    def __init__(self) -> None:
+        self.members: Set[NodeId] = set()
+        self.colored: Set[NodeId] = set()
+        self.pi: Optional[List[Color]] = None  # pi[part] = color
+
+
+class UnifyColoring(OnlineAlgorithm):
+    """The Theorem 4 algorithm, parameterized by a partition oracle."""
+
+    def __init__(self, oracle: PartitionOracle) -> None:
+        self.oracle = oracle
+        self.name = f"unify-k{oracle.num_parts}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        super().reset(n, locality, num_colors)
+        k = self.oracle.num_parts
+        if num_colors < k + 1:
+            raise ValueError(
+                f"(k+1)-coloring with k={k} needs {k + 1} colors, "
+                f"got {num_colors}"
+            )
+        self.logic_radius = max(0, locality - self.oracle.radius)
+        self._logic: Set[NodeId] = set()
+        self._parent: Dict[NodeId, NodeId] = {}
+        self._groups: Dict[NodeId, _Group] = {}
+        self._part: Dict[NodeId, int] = {}
+        self._colors: Dict[NodeId, Color] = {}
+        self.swap_count = 0  # instrumentation for benchmarks
+
+    # ------------------------------------------------------------------
+    # Union-find over logic nodes (plain, with member sets at roots)
+    # ------------------------------------------------------------------
+    def _find(self, node: NodeId) -> NodeId:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def _union(self, u: NodeId, v: NodeId) -> NodeId:
+        root_u, root_v = self._find(u), self._find(v)
+        if root_u == root_v:
+            return root_u
+        group_u = self._groups[root_u]
+        group_v = self._groups[root_v]
+        if len(group_u.members) < len(group_v.members):
+            root_u, root_v = root_v, root_u
+            group_u, group_v = group_v, group_u
+        self._parent[root_v] = root_u
+        group_u.members |= group_v.members
+        group_u.colored |= group_v.colored
+        del self._groups[root_v]
+        return root_u
+
+    # ------------------------------------------------------------------
+    # Step
+    # ------------------------------------------------------------------
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        assignment: Dict[NodeId, Color] = {}
+        k = self.oracle.num_parts
+        old_groups = self._absorb(view, target)
+        root = self._find(target)
+        group = self._groups[root]
+
+        # Snapshot parts of old groups before the oracle call overwrites.
+        old_parts = {
+            node: self._part[node]
+            for __, members, __, __ in old_groups
+            for node in members
+            if node in self._part
+        }
+        try:
+            fresh_parts = self.oracle.infer(view.graph, set(group.members))
+        except OracleError:
+            self._greedy_color(view, target, assignment)
+            group.colored |= set(assignment)
+            return assignment
+        # Oracle propagation may reach nodes of *other* logic groups
+        # (through the seen region); their stored parts are calibrated to
+        # their own group's frame and must not be overwritten here.
+        self._part.update(
+            {
+                node: part
+                for node, part in fresh_parts.items()
+                if node in group.members
+            }
+        )
+
+        if not old_groups:
+            # A brand-new group: anchor the type so the target gets color 1.
+            group.pi = self._initial_type(self._part[target], k)
+            self._commit(target, 1, assignment)
+        else:
+            rebased = self._rebase(old_groups, old_parts, k)
+            rebased.sort(key=lambda item: (-item[0], item[1]))
+            reference_pi = list(rebased[0][1])
+            for __, pi, colored in rebased[1:]:
+                pi = list(pi)
+                if pi != reference_pi:
+                    self._transform_type(
+                        view, set(colored), pi, reference_pi, assignment
+                    )
+            group.pi = reference_pi
+            if target not in self._colors:
+                color = reference_pi[self._part[target]]
+                self._commit(target, color, assignment)
+        group.colored |= set(assignment)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Structure maintenance
+    # ------------------------------------------------------------------
+    def _absorb(
+        self, view: AlgorithmView, target: NodeId
+    ) -> List[Tuple[int, Set[NodeId], Tuple[Color, ...], Set[NodeId]]]:
+        """Grow the logic region by the target's logic ball and merge
+        groups; returns snapshots of the old groups touched:
+        ``(size, members, pi, colored)``."""
+        new_logic = [
+            node
+            for node in ball(view.graph, target, self.logic_radius)
+            if node not in self._logic
+        ]
+        snapshots: Dict[NodeId, Tuple[int, Set[NodeId], Tuple[Color, ...], Set[NodeId]]] = {}
+
+        def touch(old_node: NodeId) -> None:
+            old_root = self._find(old_node)
+            if old_root not in snapshots:
+                old = self._groups[old_root]
+                if old.pi is not None:
+                    snapshots[old_root] = (
+                        len(old.members),
+                        set(old.members),
+                        tuple(old.pi),
+                        set(old.colored),
+                    )
+
+        if target in self._logic:
+            touch(target)
+        for node in new_logic:
+            for nbr in view.graph.neighbors(node):
+                if nbr in self._logic:
+                    touch(nbr)
+        for node in new_logic:
+            self._logic.add(node)
+            self._parent[node] = node
+            fresh = _Group()
+            fresh.members.add(node)
+            self._groups[node] = fresh
+        for node in new_logic:
+            for nbr in view.graph.neighbors(node):
+                if nbr in self._logic:
+                    self._union(node, nbr)
+        return list(snapshots.values())
+
+    def _initial_type(self, target_part: int, k: int) -> List[Color]:
+        """A type giving the target's part color 1, others 2..k in order."""
+        pi = [0] * k
+        pi[target_part] = 1
+        next_color = 2
+        for part in range(k):
+            if part != target_part:
+                pi[part] = next_color
+                next_color += 1
+        return pi
+
+    def _rebase(
+        self,
+        old_groups: Sequence[Tuple[int, Set[NodeId], Tuple[Color, ...], Set[NodeId]]],
+        old_parts: Dict[NodeId, int],
+        k: int,
+    ) -> List[Tuple[int, List[Color], Set[NodeId]]]:
+        """Express each old type in the fresh oracle frame.
+
+        For each old group, the permutation σ (old part -> new part) is
+        read off its member nodes; parts absent from the group are mapped
+        in sorted order (they are unconstrained).  The rebased type is
+        ``π'[σ(p)] = π[p]``.
+        """
+        result: List[Tuple[int, List[Color], Set[NodeId]]] = []
+        for size, members, pi, colored in old_groups:
+            sigma: Dict[int, int] = {}
+            for node in members:
+                old_part = old_parts.get(node)
+                new_part = self._part.get(node)
+                if old_part is None or new_part is None:
+                    continue
+                existing = sigma.get(old_part)
+                if existing is None:
+                    sigma[old_part] = new_part
+                elif existing != new_part:
+                    raise OracleError(
+                        "oracle returned incoherent partitions across steps"
+                    )
+            unmapped_old = sorted(set(range(k)) - set(sigma))
+            unmapped_new = sorted(set(range(k)) - set(sigma.values()))
+            sigma.update(zip(unmapped_old, unmapped_new))
+            new_pi = [0] * k
+            for part in range(k):
+                new_pi[sigma[part]] = pi[part]
+            result.append((size, new_pi, colored))
+        return result
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: physical type transformation
+    # ------------------------------------------------------------------
+    def _transform_type(
+        self,
+        view: AlgorithmView,
+        core: Set[NodeId],
+        pi: List[Color],
+        reference: List[Color],
+        assignment: Dict[NodeId, Color],
+    ) -> None:
+        """Turn ``pi`` into ``reference`` by at most k-1 physical swaps."""
+        k = len(pi)
+        core = {node for node in core}
+        for part in range(k):
+            if pi[part] == reference[part]:
+                continue
+            other = pi.index(reference[part])
+            self._swap(view, core, pi, pi[part], pi[other], assignment)
+            self.swap_count += 1
+        if pi != reference:
+            raise AssertionError("type transformation failed to converge")
+
+    def _swap(
+        self,
+        view: AlgorithmView,
+        core: Set[NodeId],
+        pi: List[Color],
+        color_a: Color,
+        color_b: Color,
+        assignment: Dict[NodeId, Color],
+    ) -> None:
+        """Algorithm 1: swap two colors in ``pi`` with three layers."""
+        scratch = self.oracle.num_parts + 1
+        self._change_index(view, core, pi, color_a, scratch, assignment)
+        self._change_index(view, core, pi, color_b, color_a, assignment)
+        self._change_index(view, core, pi, scratch, color_b, assignment)
+
+    def _change_index(
+        self,
+        view: AlgorithmView,
+        core: Set[NodeId],
+        pi: List[Color],
+        old_color: Color,
+        new_color: Color,
+        assignment: Dict[NodeId, Color],
+    ) -> None:
+        """One layer: color B(core, 1) \\ core by the updated type.
+
+        Each uncolored logic neighbor of the core in part ``s`` gets
+        ``new_color`` if ``pi[s] == old_color``, else ``pi[s]``.
+        Neighbors outside the logic region (or without an inferred part)
+        are skipped — impossible under an honest budget, lossy otherwise.
+        """
+        layer: Set[NodeId] = set()
+        for u in core:
+            for v in view.graph.neighbors(u):
+                if (
+                    v not in layer
+                    and v in self._logic
+                    and self._color_of(v, assignment) is None
+                ):
+                    layer.add(v)
+        for v in sorted(layer):
+            part = self._part.get(v)
+            if part is None:
+                continue
+            color = new_color if pi[part] == old_color else pi[part]
+            self._commit(v, color, assignment)
+            core.add(v)
+        for part in range(len(pi)):
+            if pi[part] == old_color:
+                pi[part] = new_color
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _greedy_color(
+        self,
+        view: AlgorithmView,
+        target: NodeId,
+        assignment: Dict[NodeId, Color],
+    ) -> None:
+        used = {
+            self._color_of(v, assignment)
+            for v in view.graph.neighbors(target)
+        }
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                self._commit(target, color, assignment)
+                return
+        self._commit(target, 1, assignment)
+
+    def _color_of(
+        self, node: NodeId, assignment: Dict[NodeId, Color]
+    ) -> Optional[Color]:
+        color = assignment.get(node)
+        if color is not None:
+            return color
+        return self._colors.get(node)
+
+    def _commit(
+        self, node: NodeId, color: Color, assignment: Dict[NodeId, Color]
+    ) -> None:
+        if self._color_of(node, assignment) is not None:
+            return
+        assignment[node] = color
+        self._colors[node] = color

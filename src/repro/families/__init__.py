@@ -1,0 +1,33 @@
+"""Graph families used by the paper.
+
+* :mod:`repro.families.grids` — simple, cylindrical, and toroidal grids
+  (Section 2.1).
+* :mod:`repro.families.triangular` — triangular grids (Section 1,
+  Definition of :math:`\\mathcal{L}_{k,\\ell}` examples).
+* :mod:`repro.families.ktree` — k-trees and their clique trees.
+* :mod:`repro.families.gadgets` — the gadget :math:`A(k)` and the hard
+  instance :math:`G^*` of Section 4.
+* :mod:`repro.families.hierarchy` — the duplicate-node hierarchy
+  :math:`G_k` of Section 5.2.
+* :mod:`repro.families.random_graphs` — seeded random instances for tests
+  and benchmarks.
+"""
+
+from repro.families.grids import CylindricalGrid, SimpleGrid, ToroidalGrid
+from repro.families.triangular import TriangularGrid
+from repro.families.ktree import KTree, deterministic_ktree, random_ktree
+from repro.families.gadgets import Gadget, GadgetChain
+from repro.families.hierarchy import Hierarchy
+
+__all__ = [
+    "SimpleGrid",
+    "CylindricalGrid",
+    "ToroidalGrid",
+    "TriangularGrid",
+    "KTree",
+    "deterministic_ktree",
+    "random_ktree",
+    "Gadget",
+    "GadgetChain",
+    "Hierarchy",
+]

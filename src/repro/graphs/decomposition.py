@@ -1,0 +1,168 @@
+"""Network decompositions (Ghaffari–Kuhn–Maus, paper introduction).
+
+A *(c, d)-network decomposition* partitions the nodes into clusters of
+diameter ≤ d and colors the clusters with c colors so that same-color
+clusters are pairwise non-adjacent.  The paper's introduction recounts
+how GKM used decompositions to simulate any SLOCAL algorithm in LOCAL,
+which (with Rozhoň–Ghaffari's polylog decomposition) makes the
+polylog-locality classes of LOCAL and SLOCAL coincide.
+
+This module provides a *sequential* constructor — ball carving for
+low-diameter clusters, then greedy coloring of the cluster graph — and
+the validity checker.  The construction is centralized (we need the
+decomposition as *data* for the LOCAL simulation in
+:mod:`repro.models.gkm`, not as a distributed algorithm), and the
+measured (c, d) are reported rather than asserted to match any
+particular asymptotic: ball carving guarantees cluster (weak) diameter
+≤ 2·log2(n), while the color count is whatever greedy needs on the
+cluster graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Node = Hashable
+
+
+@dataclass
+class Decomposition:
+    """A clustering plus a proper coloring of the cluster graph.
+
+    Attributes
+    ----------
+    cluster_of:
+        node -> cluster index.
+    color_of_cluster:
+        cluster index -> color (0-based).
+    clusters:
+        cluster index -> node set.
+    """
+
+    cluster_of: Dict[Node, int]
+    color_of_cluster: Dict[int, int]
+    clusters: List[Set[Node]]
+
+    @property
+    def num_colors(self) -> int:
+        """The c of the (c, d) guarantee."""
+        return 1 + max(self.color_of_cluster.values(), default=-1)
+
+    def color_of(self, node: Node) -> int:
+        """The color of the node's cluster."""
+        return self.color_of_cluster[self.cluster_of[node]]
+
+    def max_diameter(self, graph: Graph) -> int:
+        """The d of the (c, d) guarantee: max *weak* diameter (distance
+        measured in the whole graph) over clusters."""
+        worst = 0
+        for cluster in self.clusters:
+            for node in cluster:
+                dist = bfs_distances(graph, node)
+                worst = max(
+                    worst, max(dist.get(other, 0) for other in cluster)
+                )
+        return worst
+
+
+def ball_carving_decomposition(graph: Graph) -> Decomposition:
+    """Carve low-diameter clusters, then greedy-color the cluster graph.
+
+    Ball carving: repeatedly pick the smallest unassigned node and grow a
+    ball around it (within the unassigned part) while each layer at
+    least doubles the ball; the ball can stop growing at radius
+    ≤ log2(n), so every cluster has radius ≤ log2(n) in the *remaining*
+    graph, hence weak diameter ≤ 2·log2(n) in the whole graph.
+    """
+    remaining: Set[Node] = set(graph.nodes())
+    cluster_of: Dict[Node, int] = {}
+    clusters: List[Set[Node]] = []
+    n = max(1, graph.num_nodes)
+
+    while remaining:
+        center = min(remaining, key=repr)
+        ball_nodes: Set[Node] = {center}
+        frontier: Set[Node] = {center}
+        while True:
+            next_layer = {
+                nbr
+                for node in frontier
+                for nbr in graph.neighbors(node)
+                if nbr in remaining and nbr not in ball_nodes
+            }
+            # Stop when the next layer no longer grows the ball by at
+            # least half its size (the standard doubling argument caps
+            # the number of growth steps at log2 n).
+            if not next_layer or len(next_layer) < len(ball_nodes):
+                break
+            ball_nodes |= next_layer
+            frontier = next_layer
+        index = len(clusters)
+        clusters.append(set(ball_nodes))
+        for node in ball_nodes:
+            cluster_of[node] = index
+        remaining -= ball_nodes
+
+    # Greedy-color the cluster graph.
+    cluster_neighbors: Dict[int, Set[int]] = {i: set() for i in range(len(clusters))}
+    for u, v in graph.edges():
+        cu, cv = cluster_of[u], cluster_of[v]
+        if cu != cv:
+            cluster_neighbors[cu].add(cv)
+            cluster_neighbors[cv].add(cu)
+    color_of_cluster: Dict[int, int] = {}
+    for index in range(len(clusters)):
+        used = {
+            color_of_cluster[other]
+            for other in cluster_neighbors[index]
+            if other in color_of_cluster
+        }
+        color = 0
+        while color in used:
+            color += 1
+        color_of_cluster[index] = color
+
+    return Decomposition(
+        cluster_of=cluster_of,
+        color_of_cluster=color_of_cluster,
+        clusters=clusters,
+    )
+
+
+def check_decomposition(graph: Graph, decomposition: Decomposition) -> Tuple[int, int]:
+    """Validate and measure a decomposition; returns (c, d).
+
+    Raises
+    ------
+    ValueError
+        If clusters do not partition the nodes, a cluster is not
+        connected inside the graph, or two adjacent clusters share a
+        color.
+    """
+    assigned = set(decomposition.cluster_of)
+    if assigned != set(graph.nodes()):
+        raise ValueError("clusters do not cover every node exactly")
+    for index, cluster in enumerate(decomposition.clusters):
+        for node in cluster:
+            if decomposition.cluster_of[node] != index:
+                raise ValueError("cluster_of disagrees with clusters")
+    for u, v in graph.edges():
+        cu, cv = decomposition.cluster_of[u], decomposition.cluster_of[v]
+        if cu != cv and (
+            decomposition.color_of_cluster[cu]
+            == decomposition.color_of_cluster[cv]
+        ):
+            raise ValueError(
+                f"adjacent clusters {cu} and {cv} share a color"
+            )
+    return decomposition.num_colors, decomposition.max_diameter(graph)
+
+
+def carving_diameter_bound(n: int) -> int:
+    """The weak-diameter guarantee of ball carving: 2·ceil(log2 n)."""
+    return 2 * math.ceil(math.log2(max(2, n)))

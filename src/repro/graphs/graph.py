@@ -1,0 +1,206 @@
+"""A minimal undirected simple graph with hashable node labels.
+
+The class stores an adjacency map ``node -> set(neighbors)``.  It supports
+exactly the operations the rest of the library needs: incremental
+construction, neighborhood queries, induced subgraphs, and edge iteration.
+Nodes may be any hashable value; the graph families in
+:mod:`repro.families` use structured tuples such as ``(row, col)`` for grid
+nodes or ``(layer, base)`` for hierarchy nodes, which keeps the geometry
+readable in tests and adversary code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected simple graph.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial nodes (may be empty; isolated nodes
+        are preserved).
+    edges:
+        Optional iterable of 2-tuples.  Endpoints are added as nodes
+        automatically.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present (idempotent)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Raises
+        ------
+        ValueError
+            If ``u == v`` (self-loops are not allowed in simple graphs).
+        """
+        if u == v:
+            raise ValueError(f"self-loop on node {u!r} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        KeyError
+            If ``node`` is not in the graph.
+        """
+        for neighbor in self._adj.pop(node):
+            self._adj[neighbor].discard(node)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        if v not in self._adj.get(u, ()):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, the paper's ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def neighbors(self, node: Node) -> FrozenSet[Node]:
+        """The neighbor set of ``node``.
+
+        Raises
+        ------
+        KeyError
+            If ``node`` is not in the graph.
+        """
+        return frozenset(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """The degree of ``node``."""
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        """The maximum degree Δ, or 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        return v in self._adj.get(u, ())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The subgraph induced by ``nodes`` (the paper's ``G[U]``).
+
+        Nodes not present in the graph are ignored silently; this matches
+        the common idiom of inducing on a ball that was computed on the
+        same graph.
+        """
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    sub._adj[u].add(v)
+                    sub._adj[v].add(u)
+        return sub
+
+    def copy(self) -> "Graph":
+        """A deep copy (adjacency sets are duplicated)."""
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    def relabel(self, mapping: Dict[Node, Node]) -> "Graph":
+        """A new graph with every node ``u`` renamed to ``mapping[u]``.
+
+        The mapping must be injective on the node set; nodes missing from
+        the mapping keep their labels.
+
+        Raises
+        ------
+        ValueError
+            If the mapping collapses two nodes onto the same label.
+        """
+        new_labels = {node: mapping.get(node, node) for node in self._adj}
+        if len(set(new_labels.values())) != len(new_labels):
+            raise ValueError("relabel mapping is not injective on the node set")
+        clone = Graph(nodes=new_labels.values())
+        for u, v in self.edges():
+            clone.add_edge(new_labels[u], new_labels[v])
+        return clone
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"

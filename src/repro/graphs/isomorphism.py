@@ -1,0 +1,93 @@
+"""Backtracking graph isomorphism for small graphs.
+
+Used by the test suite and by the adaptive-instance consistency checker
+(:mod:`repro.models.adaptive`) to confirm that the views shown to an
+algorithm embed into the committed host graph.  The implementation is a
+straightforward degree-refined backtracking search — adequate for the
+view-sized graphs (tens to a few thousand nodes with strong degree
+structure) that appear in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def _degree_signature(graph: Graph, node: Node) -> tuple:
+    """A cheap invariant: (degree, sorted multiset of neighbor degrees)."""
+    nbr_degrees = sorted(graph.degree(v) for v in graph.neighbors(node))
+    return (graph.degree(node), tuple(nbr_degrees))
+
+
+def find_isomorphism(g1: Graph, g2: Graph) -> Optional[Dict[Node, Node]]:
+    """An isomorphism ``g1 -> g2`` as a node mapping, or None.
+
+    The search orders ``g1``'s nodes to keep the partial mapping connected
+    when possible, which prunes aggressively on the structured graphs used
+    in this library.
+    """
+    if g1.num_nodes != g2.num_nodes or g1.num_edges != g2.num_edges:
+        return None
+
+    sig1: Dict[Node, tuple] = {v: _degree_signature(g1, v) for v in g1.nodes()}
+    sig2: Dict[Node, tuple] = {v: _degree_signature(g2, v) for v in g2.nodes()}
+    if sorted(sig1.values()) != sorted(sig2.values()):
+        return None
+
+    # Order g1's nodes: rarest signature first, then prefer nodes adjacent
+    # to already-ordered nodes (connectivity heuristic).
+    sig_counts: Dict[tuple, int] = {}
+    for sig in sig1.values():
+        sig_counts[sig] = sig_counts.get(sig, 0) + 1
+    order: List[Node] = []
+    placed = set()
+    remaining = set(g1.nodes())
+    while remaining:
+        adjacent = {u for u in remaining if any(v in placed for v in g1.neighbors(u))}
+        pool = adjacent if adjacent else remaining
+        nxt = min(pool, key=lambda u: (sig_counts[sig1[u]], repr(u)))
+        order.append(nxt)
+        placed.add(nxt)
+        remaining.remove(nxt)
+
+    candidates: Dict[tuple, List[Node]] = {}
+    for v, sig in sig2.items():
+        candidates.setdefault(sig, []).append(v)
+
+    mapping: Dict[Node, Node] = {}
+    used: set = set()
+
+    def consistent(u: Node, w: Node) -> bool:
+        """Mapping u->w must preserve adjacency with all mapped nodes."""
+        for mapped_u, mapped_w in mapping.items():
+            if g1.has_edge(u, mapped_u) != g2.has_edge(w, mapped_w):
+                return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        u = order[index]
+        for w in candidates[sig1[u]]:
+            if w in used or not consistent(u, w):
+                continue
+            mapping[u] = w
+            used.add(w)
+            if backtrack(index + 1):
+                return True
+            del mapping[u]
+            used.remove(w)
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def is_isomorphic(g1: Graph, g2: Graph) -> bool:
+    """Whether the two graphs are isomorphic."""
+    return find_isomorphism(g1, g2) is not None

@@ -1,0 +1,155 @@
+"""Breadth-first traversal utilities: distances, balls, components.
+
+These implement the paper's neighborhood notation: ``ball(G, U, T)`` is
+:math:`\\mathcal{B}(U, T)`, the set of all nodes within distance ``T`` of
+some node of ``U`` (Section 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Union
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+def _as_sources(sources: Union[Node, Iterable[Node]], graph: Graph) -> List[Node]:
+    """Normalize a single node or an iterable of nodes into a list.
+
+    Node labels may themselves be iterable (grid nodes are tuples), so a
+    hashable value that is a node of the graph is always treated as a
+    single source; only non-node values are expanded as collections.
+    """
+    try:
+        if sources in graph:
+            return [sources]
+        is_node_like = True
+    except TypeError:
+        is_node_like = False
+    if is_node_like and not isinstance(sources, Iterable):
+        raise KeyError(f"source node {sources!r} not in graph")
+    candidates = list(sources)
+    for node in candidates:
+        if node not in graph:
+            raise KeyError(f"source node {node!r} not in graph")
+    return candidates
+
+
+def bfs_distances(
+    graph: Graph,
+    sources: Union[Node, Iterable[Node]],
+    max_dist: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Multi-source BFS distances from ``sources``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    sources:
+        A node or iterable of nodes; distances are measured to the nearest
+        source.
+    max_dist:
+        If given, traversal stops at this radius (nodes farther away are
+        absent from the result).
+
+    Returns
+    -------
+    dict
+        ``node -> distance`` for every reached node (sources map to 0).
+    """
+    frontier = deque()
+    dist: Dict[Node, int] = {}
+    for source in _as_sources(sources, graph):
+        if source not in dist:
+            dist[source] = 0
+            frontier.append(source)
+    while frontier:
+        u = frontier.popleft()
+        d = dist[u]
+        if max_dist is not None and d >= max_dist:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = d + 1
+                frontier.append(v)
+    return dist
+
+
+def ball(graph: Graph, sources: Union[Node, Iterable[Node]], radius: int) -> Set[Node]:
+    """The paper's :math:`\\mathcal{B}(U, T)`: all nodes within ``radius``.
+
+    ``radius`` must be non-negative; ``ball(G, U, 0)`` is ``set(U)``.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return set(bfs_distances(graph, sources, max_dist=radius))
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """All connected components, each as a set of nodes."""
+    remaining: Set[Node] = set(graph.nodes())
+    components: List[Set[Node]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = set(bfs_distances(graph, start))
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    start = next(iter(graph.nodes()))
+    return len(bfs_distances(graph, start)) == graph.num_nodes
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+    """A shortest path from ``source`` to ``target`` (inclusive), or None.
+
+    Returns ``[source]`` when ``source == target``.
+    """
+    if source not in graph or target not in graph:
+        raise KeyError("source and target must be nodes of the graph")
+    if source == target:
+        return [source]
+    parent: Dict[Node, Node] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in graph.neighbors(u):
+            if v in parent:
+                continue
+            parent[v] = u
+            if v == target:
+                path = [v]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(v)
+    return None
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Maximum distance from ``node`` to any reachable node."""
+    return max(bfs_distances(graph, node).values())
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter of a connected graph (O(n·m); intended for tests).
+
+    Raises
+    ------
+    ValueError
+        If the graph is empty or disconnected.
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    if not is_connected(graph):
+        raise ValueError("diameter is undefined for a disconnected graph")
+    return max(eccentricity(graph, node) for node in graph.nodes())

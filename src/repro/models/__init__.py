@@ -1,0 +1,55 @@
+"""Computation models: LOCAL, SLOCAL, and Online-LOCAL simulators.
+
+The Online-LOCAL simulator (:mod:`repro.models.online_local`) runs a
+deterministic algorithm against a *fixed* host graph: the adversary picks
+the reveal order, the algorithm sees the abstract induced subgraph
+:math:`G_i` of the union of revealed balls.
+
+The adaptive instances (:mod:`repro.models.adaptive`) implement the
+stronger adversary the lower-bound proofs need: the host graph is
+committed lazily, and disconnected fragments may be reflected, transposed,
+or translated (by family automorphisms) before their relative placement is
+fixed.  Consistency — every view shown must be an induced subgraph of the
+final host — is machine-checked by replay.
+"""
+
+from repro.models.base import (
+    AlgorithmError,
+    AlgorithmView,
+    Color,
+    OnlineAlgorithm,
+    ViewTracker,
+)
+from repro.models.online_local import OnlineLocalSimulator
+from repro.models.local import LocalAlgorithm, LocalSimulator
+from repro.models.slocal import SLocalAlgorithm, SLocalSimulator
+from repro.models.simulation import LocalAsOnline, SLocalAsOnline
+from repro.models.dynamic_local import (
+    DynamicAlgorithm,
+    DynamicLocalSimulator,
+    DynamicViolation,
+)
+from repro.models.message_passing import (
+    MessagePassingAlgorithm,
+    SynchronousNetwork,
+)
+
+__all__ = [
+    "AlgorithmError",
+    "AlgorithmView",
+    "Color",
+    "OnlineAlgorithm",
+    "ViewTracker",
+    "OnlineLocalSimulator",
+    "LocalAlgorithm",
+    "LocalSimulator",
+    "SLocalAlgorithm",
+    "SLocalSimulator",
+    "LocalAsOnline",
+    "SLocalAsOnline",
+    "DynamicAlgorithm",
+    "DynamicLocalSimulator",
+    "DynamicViolation",
+    "MessagePassingAlgorithm",
+    "SynchronousNetwork",
+]

@@ -1,0 +1,112 @@
+"""The classical LOCAL model simulator (Section 2.2).
+
+An algorithm with locality ``T`` maps each node's ``T``-radius
+neighborhood view — the induced subgraph, unique identifiers, and the
+center — to that node's output color, independently for every node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.models.base import Color, NodeId
+
+HostNode = Hashable
+
+
+@dataclass
+class LocalView:
+    """A node's T-radius view in the LOCAL model.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph :math:`G[\\mathcal{B}(v, T)]` over ids.
+    center:
+        The id of the node computing its output.
+    n:
+        Host size (LOCAL algorithms know ``n``).
+    locality:
+        The radius ``T`` of the view.
+    """
+
+    graph: Graph
+    center: NodeId
+    n: int
+    locality: int
+
+
+class LocalAlgorithm(ABC):
+    """A deterministic LOCAL algorithm (stateless across nodes)."""
+
+    name: str = "local-algorithm"
+
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        """Receive the instance parameters before any views are served."""
+        self.n = n
+        self.locality = locality
+        self.num_colors = num_colors
+
+    @abstractmethod
+    def color(self, view: LocalView) -> Color:
+        """The output color of the view's center node."""
+
+
+class LocalSimulator:
+    """Run a LOCAL algorithm on a host graph.
+
+    Identifiers are assigned deterministically (sorted by ``repr`` of the
+    host label) unless an explicit adversarial ``id_map`` is supplied.
+    """
+
+    def __init__(
+        self,
+        host: Graph,
+        algorithm: LocalAlgorithm,
+        locality: int,
+        num_colors: int,
+        id_map: Optional[Dict[HostNode, NodeId]] = None,
+    ) -> None:
+        self.host = host
+        self.algorithm = algorithm
+        self.locality = locality
+        self.num_colors = num_colors
+        if id_map is None:
+            ordered = sorted(host.nodes(), key=repr)
+            id_map = {node: index for index, node in enumerate(ordered)}
+        if len(set(id_map.values())) != host.num_nodes:
+            raise ValueError("id_map must assign distinct ids to all host nodes")
+        self.id_map = id_map
+
+    def view_of(self, node: HostNode) -> LocalView:
+        """The LocalView served to ``node``."""
+        region = ball(self.host, node, self.locality)
+        sub = self.host.induced_subgraph(region).relabel(self.id_map)
+        return LocalView(
+            graph=sub,
+            center=self.id_map[node],
+            n=self.host.num_nodes,
+            locality=self.locality,
+        )
+
+    def run(self) -> Dict[HostNode, Color]:
+        """Compute every node's output; returns the host coloring."""
+        self.algorithm.reset(
+            n=self.host.num_nodes,
+            locality=self.locality,
+            num_colors=self.num_colors,
+        )
+        coloring: Dict[HostNode, Color] = {}
+        for node in self.host.nodes():
+            color = self.algorithm.color(self.view_of(node))
+            if not 1 <= color <= self.num_colors:
+                raise ValueError(
+                    f"{self.algorithm.name}: color {color} outside "
+                    f"1..{self.num_colors}"
+                )
+            coloring[node] = color
+        return coloring

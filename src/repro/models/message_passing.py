@@ -1,0 +1,213 @@
+"""The message-passing formulation of the LOCAL model (Section 2.2).
+
+"There is an alternative way of defining the LOCAL model from the
+perspective of distributed computing: the communication proceeds in
+synchronous rounds; in each round, each node can communicate with its
+neighbors by exchanging messages of unlimited size.  The locality of an
+algorithm is the number of communication rounds."
+
+This module implements that definition literally — nodes are state
+machines, each round every node sends one message per incident edge and
+receives its neighbors' messages — and two algorithms on top:
+
+* :class:`FloodFill` — after T rounds each node has collected exactly its
+  T-ball (tested against the view-based :class:`LocalSimulator`, which
+  proves the two definitions coincide in this codebase);
+* :class:`ColeVishkinMessagePassing` — the classic O(log* n) 3-coloring
+  of directed cycles, driven by real message exchange (the array-based
+  reference implementation lives in :mod:`repro.core.colevishkin`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.colevishkin import _cv_step
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Message = Any
+
+
+class MessagePassingAlgorithm(ABC):
+    """A per-node state machine for the synchronous LOCAL model."""
+
+    name: str = "message-passing-algorithm"
+
+    @abstractmethod
+    def init_state(self, node_id: int, degree: int, n: int) -> Any:
+        """The node's initial state, from its id, degree, and n."""
+
+    @abstractmethod
+    def send(self, state: Any, round_index: int) -> Message:
+        """The message broadcast to every neighbor this round."""
+
+    @abstractmethod
+    def receive(
+        self, state: Any, inbox: List[Message], round_index: int
+    ) -> Any:
+        """The state after receiving this round's messages."""
+
+    @abstractmethod
+    def output(self, state: Any) -> Any:
+        """The node's final output after the last round."""
+
+
+class SynchronousNetwork:
+    """Run a message-passing algorithm for T rounds on a host graph.
+
+    Identifiers are assigned like in :class:`LocalSimulator` (sorted by
+    repr unless supplied), and messages are delivered simultaneously —
+    every node's round-r message is computed from its round-(r-1) state.
+    """
+
+    def __init__(
+        self,
+        host: Graph,
+        id_map: Optional[Dict[Node, int]] = None,
+    ) -> None:
+        self.host = host
+        if id_map is None:
+            ordered = sorted(host.nodes(), key=repr)
+            id_map = {node: index for index, node in enumerate(ordered)}
+        if len(set(id_map.values())) != host.num_nodes:
+            raise ValueError("id_map must assign distinct ids")
+        self.id_map = id_map
+
+    def run(
+        self, algorithm: MessagePassingAlgorithm, rounds: int
+    ) -> Dict[Node, Any]:
+        """Execute ``rounds`` synchronous rounds; returns node outputs."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        states = {
+            node: algorithm.init_state(
+                self.id_map[node], self.host.degree(node), self.host.num_nodes
+            )
+            for node in self.host.nodes()
+        }
+        for round_index in range(rounds):
+            outgoing = {
+                node: algorithm.send(states[node], round_index)
+                for node in self.host.nodes()
+            }
+            states = {
+                node: algorithm.receive(
+                    states[node],
+                    [outgoing[nbr] for nbr in sorted(
+                        self.host.neighbors(node), key=lambda v: self.id_map[v]
+                    )],
+                    round_index,
+                )
+                for node in self.host.nodes()
+            }
+        return {node: algorithm.output(states[node]) for node in self.host.nodes()}
+
+
+class FloodFill(MessagePassingAlgorithm):
+    """Collect the T-ball: each round, forward everything known.
+
+    State: ``(my_id, {id: (id, sorted neighbor ids)})`` — the fragment of
+    the graph learned so far, as an id-labeled adjacency map.  After T
+    rounds this is exactly the T-ball's structure plus the adjacency
+    lists of its interior (the information a view-based LOCAL algorithm
+    gets), which the equivalence test checks.
+    """
+
+    name = "flood-fill"
+
+    def init_state(self, node_id: int, degree: int, n: int):
+        return (node_id, {node_id: None})  # adjacency learned lazily
+
+    def send(self, state, round_index):
+        my_id, known = state
+        return (my_id, dict(known))
+
+    def receive(self, state, inbox, round_index):
+        my_id, known = state
+        merged = dict(known)
+        neighbor_ids = []
+        for sender_id, sender_known in inbox:
+            neighbor_ids.append(sender_id)
+            for node_id, adjacency in sender_known.items():
+                if merged.get(node_id) is None:
+                    merged[node_id] = adjacency
+        merged[my_id] = tuple(sorted(neighbor_ids))
+        return (my_id, merged)
+
+    def output(self, state):
+        my_id, known = state
+        return known
+
+
+def reduction_rounds(id_bound: int) -> int:
+    """Rounds of Cole–Vishkin reduction guaranteeing all colors < 6.
+
+    If the maximum color value is ``C``, one step yields
+    ``2*i + b ≤ 2*(bit_length(C) - 1) + 1 = 2*bit_length(C) - 1``, so the
+    value bound iterates ``C -> 2*bit_length(C) - 1`` and stabilizes at
+    5 (from 7: 2*3-1 = 5).  One cv step on two colors < 6 stays < 6, so
+    overshooting is harmless and every node can use this common schedule
+    knowing only the public identifier bound (poly(n)).
+    """
+    bound = max(5, id_bound)
+    rounds = 0
+    while bound > 5:
+        bound = 2 * bound.bit_length() - 1
+        rounds += 1
+    return rounds + 1  # one stabilizing extra round
+
+
+def cv_total_rounds(id_bound: int) -> int:
+    """Reduction rounds plus the three shift rounds."""
+    return reduction_rounds(id_bound) + 3
+
+
+class ColeVishkinMessagePassing(MessagePassingAlgorithm):
+    """Cole–Vishkin on a directed cycle, by actual message exchange.
+
+    The cycle orientation is supplied as a successor map on ids (an
+    oriented cycle is the input family; LOCAL inputs may carry such port
+    labels).  All nodes share a deterministic schedule computed from the
+    public id bound: ``reduction_rounds(id_bound)`` cv steps, then three
+    shift rounds retiring colors 5, 4, 3.  Run it with
+    ``SynchronousNetwork.run(algorithm, cv_total_rounds(id_bound))``.
+    """
+
+    name = "cole-vishkin-mp"
+
+    def __init__(self, successor_of: Dict[int, int], id_bound: int) -> None:
+        self.successor_of = successor_of
+        self.id_bound = id_bound
+        self.cv_rounds = reduction_rounds(id_bound)
+
+    def init_state(self, node_id: int, degree: int, n: int):
+        if degree != 2:
+            raise ValueError("Cole-Vishkin runs on cycles (degree 2)")
+        return {
+            "id": node_id,
+            "succ": self.successor_of[node_id],
+            "color": node_id,
+        }
+
+    def send(self, state, round_index):
+        return (state["id"], state["color"])
+
+    def receive(self, state, inbox, round_index):
+        new_state = dict(state)
+        neighbors = {sender: color for sender, color in inbox}
+        if round_index < self.cv_rounds:
+            succ_color = neighbors.get(state["succ"])
+            if succ_color is None:
+                raise ValueError("successor id not among neighbors")
+            new_state["color"] = _cv_step(state["color"], succ_color)
+        else:
+            retired = 5 - (round_index - self.cv_rounds)
+            if state["color"] == retired:
+                used = set(neighbors.values())
+                new_state["color"] = min(c for c in (0, 1, 2) if c not in used)
+        return new_state
+
+    def output(self, state):
+        return state["color"] + 1

@@ -1,0 +1,143 @@
+"""The Online-LOCAL simulator over a fixed host graph (Section 2.2).
+
+Nodes are processed in an adversarial sequence σ.  When node ``v_i`` is
+revealed, the algorithm must color it based on the prefix
+``(v_1 .. v_i)`` and the induced subgraph
+:math:`G_i = G[\\bigcup_j \\mathcal{B}(v_j, T)]`.
+
+The simulator anonymizes host nodes: the algorithm sees opaque integer
+ids assigned in first-seen order (deterministic), never host labels such
+as grid coordinates.  This matters — a 3-coloring algorithm that could
+read grid coordinates would trivially evade the paper's adversaries (see
+the coordinate-cheat ablation in ``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
+
+HostNode = Hashable
+
+
+class OnlineLocalSimulator:
+    """Run an Online-LOCAL algorithm against a fixed host graph.
+
+    Parameters
+    ----------
+    host:
+        The true input graph ``G``.
+    algorithm:
+        The algorithm under test.
+    locality:
+        The locality budget ``T``.
+    num_colors:
+        Colors available, ``1 .. num_colors``.
+    """
+
+    def __init__(
+        self,
+        host: Graph,
+        algorithm: OnlineAlgorithm,
+        locality: int,
+        num_colors: int,
+        leak_labels: bool = False,
+    ) -> None:
+        self.host = host
+        self.locality = locality
+        self.leak_labels = leak_labels
+        self._id_of: Dict[HostNode, NodeId] = {}
+        self._node_of: Dict[NodeId, HostNode] = {}
+        self._seen: set = set()
+        self._revealed: set = set()
+        self.tracker = ViewTracker(
+            algorithm,
+            n=host.num_nodes,
+            locality=locality,
+            num_colors=num_colors,
+        )
+
+    # ------------------------------------------------------------------
+    # Id management
+    # ------------------------------------------------------------------
+    def _intern(self, node: HostNode) -> NodeId:
+        """Assign an opaque id to a host node on first sight."""
+        existing = self._id_of.get(node)
+        if existing is not None:
+            return existing
+        # leak_labels is an out-of-model ablation: the "id" is the host
+        # label itself (e.g. grid coordinates), which real adversaries
+        # would never hand an algorithm.
+        new_id = node if self.leak_labels else len(self._id_of)
+        self._id_of[node] = new_id
+        self._node_of[new_id] = node
+        return new_id
+
+    def id_of(self, node: HostNode) -> NodeId:
+        """The view id of a host node (must already be seen)."""
+        return self._id_of[node]
+
+    def host_node(self, node_id: NodeId) -> HostNode:
+        """The host node behind a view id."""
+        return self._node_of[node_id]
+
+    # ------------------------------------------------------------------
+    # The game
+    # ------------------------------------------------------------------
+    def reveal(self, node: HostNode) -> Color:
+        """Reveal a host node; returns the color the algorithm assigns it.
+
+        Revealing extends the seen region by :math:`\\mathcal{B}(v, T)`
+        and runs one algorithm step.  Re-revealing an already revealed
+        node is an error (σ is a permutation).
+        """
+        if node not in self.host:
+            raise KeyError(f"{node!r} is not a node of the host graph")
+        new_ball = ball(self.host, node, self.locality)
+        fresh = new_ball - self._seen
+        self._seen |= new_ball
+        fresh_ids = [self._intern(u) for u in fresh]
+        new_edges: List[Tuple[NodeId, NodeId]] = []
+        for u in fresh:
+            u_id = self._id_of[u]
+            for v in self.host.neighbors(u):
+                if v in self._seen:
+                    new_edges.append((u_id, self._id_of[v]))
+        self.tracker.extend(fresh_ids, new_edges)
+        target = self._id_of[node]
+        if target in self._revealed:
+            raise ValueError(f"node {node!r} was already revealed")
+        self._revealed.add(target)
+        return self.tracker.reveal(target)
+
+    def run(self, order: Iterable[HostNode]) -> Dict[HostNode, Color]:
+        """Reveal every node in ``order``; returns the full host coloring.
+
+        ``order`` must enumerate every host node exactly once.
+        """
+        count = 0
+        for node in order:
+            self.reveal(node)
+            count += 1
+        if count != self.host.num_nodes:
+            raise ValueError(
+                f"reveal order covered {count} of {self.host.num_nodes} nodes"
+            )
+        return self.coloring()
+
+    def coloring(self) -> Dict[HostNode, Color]:
+        """The partial coloring translated back to host nodes."""
+        return {
+            self._node_of[node_id]: color
+            for node_id, color in self.tracker.colors.items()
+        }
+
+    def color_of(self, node: HostNode) -> Optional[Color]:
+        """The committed color of a host node, or None."""
+        node_id = self._id_of.get(node)
+        if node_id is None:
+            return None
+        return self.tracker.colors.get(node_id)

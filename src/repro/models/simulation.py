@@ -1,0 +1,82 @@
+"""Cross-model simulation adapters.
+
+The paper's framing rests on the sandwich
+
+    LOCAL  ⊆  SLOCAL  ⊆  Online-LOCAL
+
+(every algorithm in a weaker model runs unchanged, with the same
+asymptotic locality, in a stronger one).  These adapters implement the
+two inclusions executably: a LOCAL or SLOCAL algorithm becomes an
+:class:`~repro.models.base.OnlineAlgorithm` that colors only the revealed
+node, using only its ``T``-ball inside the Online-LOCAL view.
+
+The adapters also serve the benchmarks: the LOCAL-model baselines (e.g.,
+the full-view canonical colorer) are run against the Online-LOCAL
+adversaries through these wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.graphs.traversal import ball
+from repro.models.base import AlgorithmView, Color, NodeId, OnlineAlgorithm
+from repro.models.local import LocalAlgorithm, LocalView
+from repro.models.slocal import SLocalAlgorithm, SLocalView
+
+
+class LocalAsOnline(OnlineAlgorithm):
+    """Run a LOCAL algorithm in the Online-LOCAL model.
+
+    When ``target`` is revealed, the view graph contains the full host
+    ball :math:`\\mathcal{B}(target, T)` (just added by the simulator),
+    and every host shortest path of length ≤ T from ``target`` lies
+    inside that ball — so a BFS of radius T *within the view* recovers
+    the exact LOCAL view.
+    """
+
+    def __init__(self, inner: LocalAlgorithm) -> None:
+        self.inner = inner
+        self.name = f"local:{inner.name}"
+
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        super().reset(n, locality, num_colors)
+        self.inner.reset(n=n, locality=locality, num_colors=num_colors)
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        region = ball(view.graph, target, view.locality)
+        local_view = LocalView(
+            graph=view.graph.induced_subgraph(region),
+            center=target,
+            n=view.n,
+            locality=view.locality,
+        )
+        return {target: self.inner.color(local_view)}
+
+
+class SLocalAsOnline(OnlineAlgorithm):
+    """Run an SLOCAL algorithm in the Online-LOCAL model.
+
+    Identical to :class:`LocalAsOnline` but the inner algorithm also sees
+    the colors previously committed inside the ball, matching the SLOCAL
+    contract.
+    """
+
+    def __init__(self, inner: SLocalAlgorithm) -> None:
+        self.inner = inner
+        self.name = f"slocal:{inner.name}"
+
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        super().reset(n, locality, num_colors)
+        self.inner.reset(n=n, locality=locality, num_colors=num_colors)
+
+    def step(self, view: AlgorithmView, target: NodeId) -> Mapping[NodeId, Color]:
+        region = ball(view.graph, target, view.locality)
+        slocal_view = SLocalView(
+            graph=view.graph.induced_subgraph(region),
+            center=target,
+            colors={u: view.colors[u] for u in region if u in view.colors},
+            n=view.n,
+            locality=view.locality,
+        )
+        return {target: self.inner.color(slocal_view)}

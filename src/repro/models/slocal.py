@@ -1,0 +1,115 @@
+"""The SLOCAL model simulator (Ghaffari–Kuhn–Maus, Section 2.2).
+
+Nodes are processed in an adversarial sequential order.  The output of a
+node may depend on its ``T``-radius neighborhood view *and* the outputs
+already assigned to nodes inside that view — but, unlike Online-LOCAL,
+there is no global memory carried between steps.
+
+The simulator enforces the no-global-memory restriction structurally: the
+algorithm object is handed only the view (graph + prior outputs inside
+it), and the simulator calls ``reset`` once per run, not per step, so a
+misbehaving stateful algorithm is *possible* to write but the provided
+algorithms and tests treat state as forbidden.  The point of the model
+here is the sandwich demonstration (LOCAL ⊆ SLOCAL ⊆ Online-LOCAL).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.models.base import Color, NodeId
+
+HostNode = Hashable
+
+
+@dataclass
+class SLocalView:
+    """A node's view in the SLOCAL model: the ball plus prior outputs."""
+
+    graph: Graph
+    center: NodeId
+    colors: Dict[NodeId, Color]
+    n: int
+    locality: int
+
+
+class SLocalAlgorithm(ABC):
+    """A deterministic SLOCAL algorithm."""
+
+    name: str = "slocal-algorithm"
+
+    def reset(self, n: int, locality: int, num_colors: int) -> None:
+        self.n = n
+        self.locality = locality
+        self.num_colors = num_colors
+
+    @abstractmethod
+    def color(self, view: SLocalView) -> Color:
+        """The output color of the view's center node."""
+
+
+class SLocalSimulator:
+    """Run an SLOCAL algorithm on a host graph with a given order."""
+
+    def __init__(
+        self,
+        host: Graph,
+        algorithm: SLocalAlgorithm,
+        locality: int,
+        num_colors: int,
+        id_map: Optional[Dict[HostNode, NodeId]] = None,
+    ) -> None:
+        self.host = host
+        self.algorithm = algorithm
+        self.locality = locality
+        self.num_colors = num_colors
+        if id_map is None:
+            ordered = sorted(host.nodes(), key=repr)
+            id_map = {node: index for index, node in enumerate(ordered)}
+        if len(set(id_map.values())) != host.num_nodes:
+            raise ValueError("id_map must assign distinct ids to all host nodes")
+        self.id_map = id_map
+
+    def run(self, order: Iterable[HostNode]) -> Dict[HostNode, Color]:
+        """Process nodes in ``order`` (must cover every node once)."""
+        self.algorithm.reset(
+            n=self.host.num_nodes,
+            locality=self.locality,
+            num_colors=self.num_colors,
+        )
+        coloring: Dict[HostNode, Color] = {}
+        processed = 0
+        for node in order:
+            if node in coloring:
+                raise ValueError(f"node {node!r} appears twice in the order")
+            region = ball(self.host, node, self.locality)
+            sub = self.host.induced_subgraph(region).relabel(self.id_map)
+            visible_colors = {
+                self.id_map[other]: coloring[other]
+                for other in region
+                if other in coloring
+            }
+            view = SLocalView(
+                graph=sub,
+                center=self.id_map[node],
+                colors=visible_colors,
+                n=self.host.num_nodes,
+                locality=self.locality,
+            )
+            color = self.algorithm.color(view)
+            if not 1 <= color <= self.num_colors:
+                raise ValueError(
+                    f"{self.algorithm.name}: color {color} outside "
+                    f"1..{self.num_colors}"
+                )
+            coloring[node] = color
+            processed += 1
+        if processed != self.host.num_nodes:
+            raise ValueError(
+                f"order covered {processed} of {self.host.num_nodes} nodes"
+            )
+        return coloring

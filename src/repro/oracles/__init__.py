@@ -1,0 +1,33 @@
+"""Locally-inferable-unique-coloring oracles (Definition 1.4).
+
+For a graph in :math:`\\mathcal{L}_{k,\\ell}`, the unique k-partition
+restricted to any connected node set ``C`` can be inferred from the
+induced subgraph of the ℓ-radius neighborhood of ``C``.  Each oracle here
+implements that inference *purely from the algorithm's view* — no host
+access — for one graph family:
+
+* :class:`BipartiteOracle` — parity / bipartition, ℓ = 0.
+* :class:`TriangularOracle` — triangle-chain propagation, ℓ = 1
+  (the paper's Figure 1 argument, executable).
+* :class:`KTreeOracle` — clique-chain propagation, ℓ = 1.
+* :class:`BruteForceOracle` — enumerates all proper k-colorings of the
+  neighborhood (exponential; used by tests to validate the fast oracles
+  and to check Definition 1.4 itself).
+"""
+
+from repro.oracles.base import OracleError, PartitionOracle
+from repro.oracles.bipartite import BipartiteOracle
+from repro.oracles.triangular import TriangularOracle
+from repro.oracles.clique_chain import CliqueChainOracle
+from repro.oracles.ktree import KTreeOracle
+from repro.oracles.brute import BruteForceOracle
+
+__all__ = [
+    "OracleError",
+    "PartitionOracle",
+    "BipartiteOracle",
+    "TriangularOracle",
+    "CliqueChainOracle",
+    "KTreeOracle",
+    "BruteForceOracle",
+]

@@ -1,0 +1,58 @@
+"""The oracle interface of Section 5.1.2.
+
+An oracle for :math:`\\mathcal{L}_{k,\\ell}` takes a connected node set
+``C`` inside the algorithm's view graph and returns the unique
+k-partition of ``C`` (parts ``0 .. k-1``, normalized deterministically;
+the *labeling* of parts carries no meaning — types handle that).  The
+oracle may inspect the view up to distance ``radius`` (= ℓ) beyond ``C``,
+which the model prices at ℓ extra locality.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Iterable, Set
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+
+
+class OracleError(Exception):
+    """The partition could not be inferred (wrong family, or the
+    neighborhood genuinely does not determine it)."""
+
+
+class PartitionOracle(ABC):
+    """Infers the unique k-partition of connected view fragments."""
+
+    #: Number of parts (the k of the k-partite family).
+    num_parts: int
+    #: The inference radius ℓ of Definition 1.4.
+    radius: int
+
+    @abstractmethod
+    def infer(self, graph: Graph, component: Set[Node]) -> Dict[Node, int]:
+        """The partition of ``component`` into parts ``0 .. num_parts-1``.
+
+        ``component`` must induce a connected subgraph of ``graph``; the
+        oracle may read ``graph`` up to ``radius`` hops beyond it.  The
+        returned dict covers at least every node of ``component`` (it may
+        include further nodes whose parts were inferred along the way).
+
+        Raises
+        ------
+        OracleError
+            If the inference fails.
+        """
+
+    def _normalize(self, parts: Dict[Node, int]) -> Dict[Node, int]:
+        """Relabel parts so the smallest node gets part 0, the next new
+        part seen (in node order) gets 1, and so on — a deterministic
+        function of the partition itself."""
+        relabel: Dict[int, int] = {}
+        for node in sorted(parts, key=repr):
+            part = parts[node]
+            if part not in relabel:
+                relabel[part] = len(relabel)
+        return {node: relabel[part] for node, part in parts.items()}

@@ -1,0 +1,38 @@
+"""The bipartite oracle: ℓ = 0, parts = BFS parity.
+
+Connected bipartite graphs have a unique bipartition, readable from the
+fragment itself — this is why bipartite graphs are in
+:math:`\\mathcal{L}_{2,0}` and why the Akbari algorithm needs no explicit
+oracle machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.oracles.base import OracleError, PartitionOracle
+
+Node = Hashable
+
+
+class BipartiteOracle(PartitionOracle):
+    """Parity-based bipartition inference."""
+
+    num_parts = 2
+    radius = 0
+
+    def infer(self, graph: Graph, component: Set[Node]) -> Dict[Node, int]:
+        if not component:
+            raise OracleError("cannot partition an empty component")
+        sub = graph.induced_subgraph(component)
+        anchor = min(sub.nodes(), key=repr)
+        distances = bfs_distances(sub, anchor)
+        if len(distances) != len(component):
+            raise OracleError("component is not connected")
+        parts = {node: dist % 2 for node, dist in distances.items()}
+        for u, v in sub.edges():
+            if parts[u] == parts[v]:
+                raise OracleError("component is not bipartite")
+        return self._normalize(parts)

@@ -1,0 +1,111 @@
+"""The brute-force oracle: enumerate all proper k-colorings of
+:math:`G[\\mathcal{B}(C, \\ell)]` and check Definition 1.4 directly.
+
+Exponential in the neighborhood size — strictly a validation tool.  The
+test suite uses it to (a) confirm the fast oracles return the same
+partition, and (b) verify membership in :math:`\\mathcal{L}_{k,\\ell}`
+for small instances (see :mod:`repro.verify.liuc` for the full property
+checker).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.oracles.base import OracleError, PartitionOracle
+
+Node = Hashable
+
+
+def proper_colorings(
+    graph: Graph, num_colors: int, limit: Optional[int] = None
+) -> Iterator[Dict[Node, int]]:
+    """Yield proper colorings of ``graph`` with colors ``0..num_colors-1``.
+
+    Backtracking in sorted node order with symmetry breaking on the first
+    node is *not* applied — callers comparing colorings up to permutation
+    handle symmetry themselves.  ``limit`` caps the number yielded.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    assignment: Dict[Node, int] = {}
+    produced = 0
+
+    def backtrack(index: int) -> Iterator[Dict[Node, int]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if index == len(nodes):
+            produced += 1
+            yield dict(assignment)
+            return
+        node = nodes[index]
+        forbidden = {
+            assignment[v] for v in graph.neighbors(node) if v in assignment
+        }
+        for color in range(num_colors):
+            if color in forbidden:
+                continue
+            assignment[node] = color
+            yield from backtrack(index + 1)
+            del assignment[node]
+
+    yield from backtrack(0)
+
+
+class BruteForceOracle(PartitionOracle):
+    """Definition 1.4 by exhaustive enumeration.
+
+    Enumerates every proper ``num_parts``-coloring of the ℓ-neighborhood
+    of the component, restricts each to the component, and checks that
+    all restrictions agree up to permutation.  Raises
+    :class:`OracleError` if they do not (the graph is then *not* in
+    :math:`\\mathcal{L}_{k,\\ell}` as far as this fragment witnesses).
+    """
+
+    def __init__(self, num_parts: int, radius: int) -> None:
+        if num_parts < 2:
+            raise ValueError(f"need at least 2 parts, got {num_parts}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        self.num_parts = num_parts
+        self.radius = radius
+
+    def infer(self, graph: Graph, component: Set[Node]) -> Dict[Node, int]:
+        if not component:
+            raise OracleError("cannot partition an empty component")
+        neighborhood = ball(graph, component, self.radius)
+        sub = graph.induced_subgraph(neighborhood)
+        ordered = sorted(component, key=repr)
+        reference: Optional[List[int]] = None
+        reference_parts: Optional[Dict[Node, int]] = None
+        for coloring in proper_colorings(sub, self.num_parts):
+            restricted = [coloring[node] for node in ordered]
+            signature = _partition_signature(restricted)
+            if reference is None:
+                reference = signature
+                reference_parts = {
+                    node: color for node, color in zip(ordered, restricted)
+                }
+            elif signature != reference:
+                raise OracleError(
+                    "two neighborhood colorings induce different partitions "
+                    "of the component — Definition 1.4 fails here"
+                )
+        if reference_parts is None:
+            raise OracleError(
+                f"the neighborhood has no proper {self.num_parts}-coloring"
+            )
+        return self._normalize(reference_parts)
+
+
+def _partition_signature(colors: List[int]) -> List[int]:
+    """Canonical form of a color sequence up to color permutation."""
+    relabel: Dict[int, int] = {}
+    signature = []
+    for color in colors:
+        if color not in relabel:
+            relabel[color] = len(relabel)
+        signature.append(relabel[color])
+    return signature

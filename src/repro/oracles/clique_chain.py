@@ -1,0 +1,132 @@
+"""Clique-chain partition inference (the engine behind two oracles).
+
+Whenever a family guarantees that every node of a connected fragment
+``C`` lies in an s-clique within :math:`\\mathcal{B}(C, r)` and that any
+two such cliques are linked by a chain of s-cliques consecutively sharing
+``s - 1`` nodes, fixing the parts of one clique forces the part of every
+node: two cliques sharing ``s - 1`` nodes force their two non-shared
+nodes into the same part.
+
+The paper uses this argument twice:
+
+* k-trees — (k+1)-cliques, radius 1 (Section 1); and
+* the hierarchy :math:`G_k` — k-cliques, radius k-1 ≤ k (Claims 5.3-5.5),
+  which is how :math:`G_k \\in \\mathcal{L}_{k,\\ell}` with ℓ ∈ O(1) is
+  established (Lemma 5.6).
+
+:class:`CliqueChainOracle` implements it generically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, List, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.oracles.base import OracleError, PartitionOracle
+
+Node = Hashable
+
+
+class CliqueChainOracle(PartitionOracle):
+    """Infer the unique ``num_parts``-partition via clique chains.
+
+    Parameters
+    ----------
+    num_parts:
+        Number of parts k; cliques of exactly this size carry one node of
+        each part.
+    radius:
+        The inference radius ℓ of Definition 1.4 for the family.
+    """
+
+    def __init__(self, num_parts: int, radius: int) -> None:
+        if num_parts < 2:
+            raise ValueError(f"need at least 2 parts, got {num_parts}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        self.num_parts = num_parts
+        self.radius = radius
+
+    def infer(self, graph: Graph, component: Set[Node]) -> Dict[Node, int]:
+        if not component:
+            raise OracleError("cannot partition an empty component")
+        allowed = ball(graph, component, self.radius)
+        cliques = self._cliques(graph, allowed)
+        if not cliques:
+            raise OracleError(
+                f"no {self.num_parts}-clique in the neighborhood; wrong family?"
+            )
+        by_face: Dict[FrozenSet[Node], List[FrozenSet[Node]]] = {}
+        for clique in cliques:
+            for dropped in clique:
+                by_face.setdefault(clique - {dropped}, []).append(clique)
+
+        seed = min(cliques, key=lambda c: sorted(map(repr, c)))
+        parts: Dict[Node, int] = {}
+        for index, node in enumerate(sorted(seed, key=repr)):
+            parts[node] = index
+        assigned = {seed}
+        queue = deque([seed])
+        while queue:
+            clique = queue.popleft()
+            for dropped in clique:
+                face = clique - {dropped}
+                for other in by_face.get(face, ()):
+                    if other in assigned:
+                        continue
+                    (newcomer,) = other - face
+                    if newcomer in parts:
+                        if parts[newcomer] != parts[dropped]:
+                            raise OracleError(
+                                f"clique chain forces two parts on "
+                                f"{newcomer!r}; fragment outside the family"
+                            )
+                    else:
+                        parts[newcomer] = parts[dropped]
+                    assigned.add(other)
+                    queue.append(other)
+        missing = component - set(parts)
+        if missing:
+            raise OracleError(
+                f"{len(missing)} component node(s) not reachable by clique "
+                f"chains (e.g. {next(iter(missing))!r})"
+            )
+        return self._normalize(parts)
+
+    def _cliques(self, graph: Graph, allowed: Set[Node]) -> List[FrozenSet[Node]]:
+        """All ``num_parts``-cliques inside ``allowed``."""
+        size = self.num_parts
+        ordered = sorted(allowed, key=repr)
+        rank = {node: index for index, node in enumerate(ordered)}
+        result: List[FrozenSet[Node]] = []
+
+        def extend(members: List[Node], candidates: List[Node]) -> None:
+            if len(members) == size:
+                result.append(frozenset(members))
+                return
+            # Prune: not enough candidates left to finish the clique.
+            if len(members) + len(candidates) < size:
+                return
+            for index, node in enumerate(candidates):
+                members.append(node)
+                deeper = [
+                    other
+                    for other in candidates[index + 1:]
+                    if graph.has_edge(node, other)
+                ]
+                extend(members, deeper)
+                members.pop()
+
+        for node in ordered:
+            higher = sorted(
+                (
+                    other
+                    for other in graph.neighbors(node)
+                    if other in allowed and rank.get(other, -1) > rank[node]
+                ),
+                key=repr,
+            )
+            extend([node], higher)
+        return result

@@ -1,0 +1,32 @@
+"""The k-tree oracle: ℓ = 1, clique-chain propagation.
+
+A k-tree is (k+1)-chromatic with a unique (k+1)-coloring.  For a
+connected fragment ``C``, every node lies in a (k+1)-clique within
+:math:`\\mathcal{B}(C, 1)`, and cliques sharing k nodes force each
+other's part assignments — the paper's argument that k-trees belong to
+:math:`\\mathcal{L}_{k+1, 1}`.
+
+The actual propagation lives in
+:class:`~repro.oracles.clique_chain.CliqueChainOracle`; this class just
+fixes the parameters.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.clique_chain import CliqueChainOracle
+
+
+class KTreeOracle(CliqueChainOracle):
+    """Unique-partition inference for fragments of a k-tree.
+
+    Parameters
+    ----------
+    tree_k:
+        The ``k`` of the k-tree; the oracle infers ``k + 1`` parts.
+    """
+
+    def __init__(self, tree_k: int) -> None:
+        if tree_k < 1:
+            raise ValueError(f"tree_k must be positive, got {tree_k}")
+        self.tree_k = tree_k
+        super().__init__(num_parts=tree_k + 1, radius=1)

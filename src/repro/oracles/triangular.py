@@ -1,0 +1,79 @@
+"""The triangular-grid oracle: ℓ = 1, triangle-chain propagation.
+
+Implements the paper's Figure 1 argument as an algorithm.  Any node of a
+connected fragment ``C`` of a triangular grid lies in a unit triangle
+within :math:`\\mathcal{B}(C, 1)`, and any two such triangles are linked
+by a chain of edge-sharing triangles inside :math:`\\mathcal{B}(C, 1)`.
+Fixing the three parts of one triangle therefore forces the part of every
+node of ``C``: whenever an edge ``{u, v}`` has both parts known, every
+common neighbor ``w`` must take the third part.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.oracles.base import OracleError, PartitionOracle
+
+Node = Hashable
+
+
+class TriangularOracle(PartitionOracle):
+    """Unique-tripartition inference for triangular-grid fragments."""
+
+    num_parts = 3
+    radius = 1
+
+    def infer(self, graph: Graph, component: Set[Node]) -> Dict[Node, int]:
+        if not component:
+            raise OracleError("cannot partition an empty component")
+        allowed = ball(graph, component, self.radius)
+        seed = self._seed_triangle(graph, component, allowed)
+        parts: Dict[Node, int] = {}
+        for index, node in enumerate(sorted(seed, key=repr)):
+            parts[node] = index
+        queue = deque()
+        for u in seed:
+            for v in seed:
+                if u != v and graph.has_edge(u, v):
+                    queue.append((u, v))
+        while queue:
+            u, v = queue.popleft()
+            third = 3 - parts[u] - parts[v]
+            for w in graph.neighbors(u) & graph.neighbors(v):
+                if w not in allowed:
+                    continue
+                if w in parts:
+                    if parts[w] != third:
+                        raise OracleError(
+                            f"inconsistent triangle at {w!r}: fragment is not "
+                            f"a triangular-grid fragment"
+                        )
+                    continue
+                parts[w] = third
+                for x in graph.neighbors(w):
+                    if x in parts:
+                        queue.append((w, x))
+        missing = component - set(parts)
+        if missing:
+            raise OracleError(
+                f"{len(missing)} component node(s) not reachable by triangle "
+                f"chains (e.g. {next(iter(missing))!r})"
+            )
+        return self._normalize({node: parts[node] for node in parts})
+
+    def _seed_triangle(
+        self, graph: Graph, component: Set[Node], allowed: Set[Node]
+    ) -> Tuple[Node, Node, Node]:
+        """The lexicographically first triangle in the allowed region that
+        touches the component."""
+        for u in sorted(component, key=repr):
+            nbrs = sorted((v for v in graph.neighbors(u) if v in allowed), key=repr)
+            for i, v in enumerate(nbrs):
+                for w in nbrs[i + 1:]:
+                    if graph.has_edge(v, w):
+                        return (u, v, w)
+        raise OracleError("no triangle touches the component; wrong family?")

@@ -1,0 +1,53 @@
+"""Plain-text rendering of colorings, for the example scripts.
+
+Colors are printed as digits; uncolored nodes as dots.  Triangular grids
+are drawn with the diagonal sheared right so that unit triangles are
+visually adjacent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.families.grids import _GridBase
+from repro.families.triangular import TriangularGrid
+
+Node = Hashable
+Color = int
+
+
+def _glyph(color: Optional[Color]) -> str:
+    if color is None:
+        return "."
+    if 0 <= color <= 9:
+        return str(color)
+    return chr(ord("a") + color - 10)
+
+
+def render_grid(grid: _GridBase, coloring: Dict[Node, Color]) -> str:
+    """Render any of the grid families row by row (row 0 on top)."""
+    lines = []
+    for i in range(grid.rows):
+        lines.append(
+            " ".join(_glyph(coloring.get((i, j))) for j in range(grid.cols))
+        )
+    return "\n".join(lines)
+
+
+def render_triangular(tri: TriangularGrid, coloring: Dict[Node, Color]) -> str:
+    """Render a triangular grid; row y is printed y half-steps right.
+
+    The grid's node set is ``{(x, y)}`` with edges E/N/NE, so shifting
+    each successive y-row right by one half-cell puts the NE diagonals
+    next to each other visually.
+    """
+    lines = []
+    for y in range(tri.side, -1, -1):
+        cells = []
+        for x in range(tri.side + 1 - y):
+            node = (x, y)
+            if node in tri.graph:
+                cells.append(_glyph(coloring.get(node)))
+        if cells:
+            lines.append(" " * y + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Verification: coloring checkers, structural classifiers, certificates.
+
+Everything an adversary claims is checked here: improper edges are
+located explicitly, b-value contradictions are recomputed from committed
+colors, and the Definition 1.4 membership of the graph families is
+validated by exhaustive enumeration on small instances.
+"""
+
+from repro.verify.coloring import (
+    assert_proper,
+    count_colors,
+    find_monochromatic_edge,
+    is_proper,
+)
+from repro.verify.gadget_props import (
+    colorful_lines,
+    confined_colors,
+    classify_gadget,
+)
+from repro.verify.liuc import has_locally_inferable_unique_coloring
+from repro.verify.certificates import (
+    CycleCertificate,
+    TorusCertificate,
+    verify_cycle_certificate,
+    verify_torus_certificate,
+)
+
+__all__ = [
+    "assert_proper",
+    "count_colors",
+    "find_monochromatic_edge",
+    "is_proper",
+    "colorful_lines",
+    "confined_colors",
+    "classify_gadget",
+    "has_locally_inferable_unique_coloring",
+    "CycleCertificate",
+    "TorusCertificate",
+    "verify_cycle_certificate",
+    "verify_torus_certificate",
+]

@@ -1,0 +1,63 @@
+"""Proper-coloring checks."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+Node = Hashable
+Color = int
+
+
+def find_monochromatic_edge(
+    graph: Graph, coloring: Dict[Node, Color]
+) -> Optional[Tuple[Node, Node]]:
+    """An edge whose two (colored) endpoints share a color, or None.
+
+    Edges with an uncolored endpoint are ignored, so the check applies to
+    partial colorings as well.
+    """
+    for u, v in graph.edges():
+        color_u = coloring.get(u)
+        if color_u is not None and color_u == coloring.get(v):
+            return (u, v)
+    return None
+
+
+def is_proper(
+    graph: Graph, coloring: Dict[Node, Color], require_total: bool = True
+) -> bool:
+    """Whether ``coloring`` is a proper coloring of ``graph``.
+
+    With ``require_total`` (the default) every node must be colored.
+    """
+    if require_total and any(node not in coloring for node in graph.nodes()):
+        return False
+    return find_monochromatic_edge(graph, coloring) is None
+
+
+def assert_proper(
+    graph: Graph, coloring: Dict[Node, Color], max_colors: Optional[int] = None
+) -> None:
+    """Raise AssertionError with a precise witness if the coloring fails."""
+    for node in graph.nodes():
+        if node not in coloring:
+            raise AssertionError(f"node {node!r} is uncolored")
+    edge = find_monochromatic_edge(graph, coloring)
+    if edge is not None:
+        u, v = edge
+        raise AssertionError(
+            f"monochromatic edge {u!r} ~ {v!r} (both color {coloring[u]})"
+        )
+    if max_colors is not None:
+        used = count_colors(coloring)
+        if any(color > max_colors or color < 1 for color in used):
+            raise AssertionError(
+                f"colors {sorted(used)} exceed the budget 1..{max_colors}"
+            )
+
+
+def count_colors(coloring: Dict[Node, Color]) -> Set[Color]:
+    """The set of colors used."""
+    return set(coloring.values())

@@ -1,0 +1,64 @@
+"""Gadget colorfulness classification (Definitions 4.2 and 4.4).
+
+A color is *confined* to a row (column) if at least two nodes of that row
+(column) share it.  A row (column) is *colorful* if its k nodes use k
+distinct colors; a gadget is row-colorful (column-colorful) if some row
+(column) is colorful.  Claim 4.5: under a proper (2k-2)-coloring a gadget
+is exactly one of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+Node = Hashable
+Color = int
+
+
+def confined_colors(
+    lines: Sequence[Sequence[Node]], coloring: Dict[Node, Color]
+) -> List[Set[Color]]:
+    """Per line (row or column), the set of colors confined to it."""
+    result: List[Set[Color]] = []
+    for line in lines:
+        seen: Dict[Color, int] = {}
+        for node in line:
+            color = coloring[node]
+            seen[color] = seen.get(color, 0) + 1
+        result.append({color for color, count in seen.items() if count >= 2})
+    return result
+
+
+def colorful_lines(
+    lines: Sequence[Sequence[Node]], coloring: Dict[Node, Color]
+) -> List[int]:
+    """Indices of lines whose nodes all have distinct colors."""
+    return [
+        index
+        for index, confined in enumerate(confined_colors(lines, coloring))
+        if not confined
+    ]
+
+
+def classify_gadget(
+    rows: Sequence[Sequence[Node]],
+    columns: Sequence[Sequence[Node]],
+    coloring: Dict[Node, Color],
+) -> str:
+    """Classify a properly colored gadget.
+
+    Returns ``"row"`` (row-colorful), ``"column"``, ``"both"``, or
+    ``"neither"``.  Claim 4.5 guarantees ``"row"`` or ``"column"``
+    exclusively when the coloring is proper and uses ≤ 2k-2 colors; the
+    other two values witness a violated precondition and are returned
+    (not raised) so tests can assert the claim itself.
+    """
+    row_colorful = bool(colorful_lines(rows, coloring))
+    column_colorful = bool(colorful_lines(columns, coloring))
+    if row_colorful and column_colorful:
+        return "both"
+    if row_colorful:
+        return "row"
+    if column_colorful:
+        return "column"
+    return "neither"

@@ -1,0 +1,146 @@
+"""Checker for Definition 1.4: locally inferable unique colorings.
+
+``has_locally_inferable_unique_coloring(G, k, ell)`` verifies, by
+exhaustive enumeration, that for every connected subgraph ``G'`` of ``G``
+(or a supplied/sampled family of them) all proper k-colorings of
+:math:`G[\\mathcal{B}(V', \\ell)]` restrict to the same partition of
+``V'`` up to permutation.
+
+Enumerating *all* connected subgraphs is exponential, so the checker
+takes either an explicit list of node sets or samples connected subsets
+of bounded size; tests use small graphs where meaningful coverage is
+feasible.  A negative answer is always a definitive counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.oracles.brute import proper_colorings, _partition_signature
+
+Node = Hashable
+
+
+def partition_of_fragment(
+    graph: Graph, fragment: Set[Node], k: int, ell: int
+) -> Optional[List[int]]:
+    """The common partition signature of the fragment, or None if the
+    neighborhood colorings disagree (Definition 1.4 fails).
+
+    Raises
+    ------
+    ValueError
+        If the neighborhood admits no proper k-coloring at all.
+    """
+    neighborhood = ball(graph, fragment, ell)
+    sub = graph.induced_subgraph(neighborhood)
+    ordered = sorted(fragment, key=repr)
+    reference: Optional[List[int]] = None
+    for coloring in proper_colorings(sub, k):
+        signature = _partition_signature([coloring[node] for node in ordered])
+        if reference is None:
+            reference = signature
+        elif signature != reference:
+            return None
+    if reference is None:
+        raise ValueError("the neighborhood admits no proper k-coloring")
+    return reference
+
+
+def connected_subsets_up_to(graph: Graph, max_size: int) -> Iterable[Set[Node]]:
+    """Every connected node subset of size ≤ ``max_size``, exactly once.
+
+    Standard branch-and-exclude enumeration: each subset is rooted at its
+    minimum-rank node; when extending, choosing the i-th frontier node
+    permanently excludes the earlier frontier nodes in that branch, which
+    makes the enumeration duplicate-free.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    rank = {node: index for index, node in enumerate(nodes)}
+
+    def grow(current: Set[Node], frontier: List[Node], excluded: Set[Node]):
+        yield set(current)
+        if len(current) == max_size:
+            return
+        for index, candidate in enumerate(frontier):
+            branch_excluded = excluded | set(frontier[:index]) | {candidate}
+            branch_frontier = list(frontier[index + 1:])
+            in_frontier = set(branch_frontier)
+            root_rank = min(rank[node] for node in current)
+            for nbr in sorted(graph.neighbors(candidate), key=repr):
+                if (
+                    rank[nbr] > root_rank
+                    and nbr not in current
+                    and nbr not in branch_excluded
+                    and nbr not in in_frontier
+                ):
+                    branch_frontier.append(nbr)
+                    in_frontier.add(nbr)
+            current.add(candidate)
+            yield from grow(current, branch_frontier, branch_excluded)
+            current.remove(candidate)
+
+    for node in nodes:
+        frontier = [
+            nbr
+            for nbr in sorted(graph.neighbors(node), key=repr)
+            if rank[nbr] > rank[node]
+        ]
+        yield from grow({node}, frontier, {node})
+
+
+def sample_connected_subsets(
+    graph: Graph, count: int, max_size: int, seed: int = 0
+) -> List[Set[Node]]:
+    """Seeded random connected subsets (BFS-style growth)."""
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    samples: List[Set[Node]] = []
+    for __ in range(count):
+        start = rng.choice(nodes)
+        size = rng.randint(1, max_size)
+        current = {start}
+        frontier = list(graph.neighbors(start))
+        while frontier and len(current) < size:
+            pick = rng.choice(frontier)
+            frontier.remove(pick)
+            if pick in current:
+                continue
+            current.add(pick)
+            frontier.extend(
+                nbr for nbr in graph.neighbors(pick) if nbr not in current
+            )
+        samples.append(current)
+    return samples
+
+
+def has_locally_inferable_unique_coloring(
+    graph: Graph,
+    k: int,
+    ell: int,
+    fragments: Optional[Sequence[Set[Node]]] = None,
+    exhaustive_max_size: int = 0,
+) -> Tuple[bool, Optional[Set[Node]]]:
+    """Check Definition 1.4 on the given (or enumerated) fragments.
+
+    Returns ``(True, None)`` if every checked fragment's partition is
+    forced, else ``(False, fragment)`` with a counterexample fragment.
+
+    Parameters
+    ----------
+    fragments:
+        Explicit connected node sets to check.  If None,
+        ``exhaustive_max_size`` must be positive and all connected
+        subsets up to that size are enumerated.
+    """
+    if fragments is None:
+        if exhaustive_max_size < 1:
+            raise ValueError("provide fragments or a positive exhaustive_max_size")
+        fragments = list(connected_subsets_up_to(graph, exhaustive_max_size))
+    for fragment in fragments:
+        if partition_of_fragment(graph, set(fragment), k, ell) is None:
+            return False, set(fragment)
+    return True, None

@@ -1,0 +1,94 @@
+"""Tests for the Theorem 3 gadget-chain adversary."""
+
+import pytest
+
+from repro.adversaries.gadget import GadgetAdversary
+from repro.core.baselines import GreedyOnlineColorer
+from repro.models.base import AlgorithmView, OnlineAlgorithm
+
+
+class RowCanonicalColorer(OnlineAlgorithm):
+    """Colors each seen component by a locally consistent k-partition,
+    making every gadget row-colorful in its own frame — the strongest
+    natural strategy, still defeated by the transpose commitment."""
+
+    name = "row-canonical"
+
+    def step(self, view: AlgorithmView, target):
+        # Greedy, but preferring to reuse few colors: this makes the end
+        # gadgets k-colored and hence row- or column-colorful.
+        used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_defeats_greedy(k):
+    result = GadgetAdversary(k=k, locality=1).run(GreedyOnlineColorer())
+    assert result.won
+    assert result.reason in ("monochromatic-edge", "model-violation")
+
+
+def test_defeats_canonical_colorer():
+    result = GadgetAdversary(k=3, locality=2).run(RowCanonicalColorer())
+    assert result.won
+
+
+def test_higher_locality_with_longer_chain():
+    result = GadgetAdversary(k=3, locality=4).run(GreedyOnlineColorer())
+    assert result.won
+    assert result.stats["length"] == 2 * 4 + 3
+
+
+def test_transpose_forced_when_classes_agree():
+    result = GadgetAdversary(k=3, locality=1).run(RowCanonicalColorer())
+    if result.stats.get("head_class") == result.stats.get("tail_class"):
+        assert result.stats.get("tail_committed") == "transpose"
+
+
+def test_classification_recorded():
+    result = GadgetAdversary(k=3, locality=1).run(RowCanonicalColorer())
+    assert result.stats.get("head_class") in ("row", "column", None)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="k >= 3"):
+        GadgetAdversary(k=2, locality=1)
+    with pytest.raises(ValueError, match="too small"):
+        GadgetAdversary(k=3, locality=3, length=5)
+    with pytest.raises(ValueError):
+        GadgetAdversary(k=3, locality=-1)
+
+
+def test_determinism():
+    r1 = GadgetAdversary(k=3, locality=1).run(RowCanonicalColorer())
+    r2 = GadgetAdversary(k=3, locality=1).run(RowCanonicalColorer())
+    assert r1.stats == r2.stats
+
+
+class TestCorollary13:
+    """(k+1)-coloring k-partite graphs needs Ω(n) locality for k >= 3 —
+    the same adversary with the smaller color budget."""
+
+    @pytest.mark.parametrize("k", (3, 4))
+    def test_k_plus_one_coloring_defeated(self, k):
+        result = GadgetAdversary(k=k, locality=2, colors=k + 1).run(
+            GreedyOnlineColorer()
+        )
+        assert result.won
+        assert result.stats["colors"] == k + 1
+
+    def test_every_budget_between_k_and_2k_minus_2(self):
+        for c in (4, 5, 6):
+            result = GadgetAdversary(k=4, locality=1, colors=c).run(
+                GreedyOnlineColorer()
+            )
+            assert result.won, f"survived at c={c}"
+
+    def test_color_budget_validation(self):
+        with pytest.raises(ValueError, match="colors"):
+            GadgetAdversary(k=3, locality=1, colors=5)  # > 2k-2
+        with pytest.raises(ValueError, match="colors"):
+            GadgetAdversary(k=3, locality=1, colors=2)  # < k

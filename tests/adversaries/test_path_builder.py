@@ -1,0 +1,100 @@
+"""Tests for the Lemma 3.6 path builder."""
+
+import pytest
+
+from repro.adversaries.path_builder import BuiltPath, PathBuilder, _direction
+from repro.core.baselines import GreedyOnlineColorer
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.models.adaptive import FloatingGridInstance
+
+
+def make_builder(algorithm, locality):
+    instance = FloatingGridInstance(
+        algorithm, locality=locality, num_colors=3, declared_n=10 ** 9
+    )
+    return instance, PathBuilder(instance)
+
+
+def test_base_case():
+    instance, builder = make_builder(AkbariBipartiteColoring(), locality=2)
+    built = builder.build(0)
+    assert built is not None
+    assert built.b == 0
+    assert built.path == (0, 0)
+
+
+@pytest.mark.parametrize("level", (1, 2, 3, 4, 5))
+def test_forces_b_value_vs_akbari(level):
+    """Against truncated Akbari the builder must reach each level with a
+    proper partial coloring (Akbari with T=2 stays locally consistent on
+    a line for a while)."""
+    instance, builder = make_builder(AkbariBipartiteColoring(), locality=2)
+    built = builder.build(level)
+    if built is None:
+        # Akbari went improper — also a legitimate adversary win.
+        assert builder.improper
+        return
+    assert built.b >= level
+    # The achieved b-value must be recomputable from committed colors.
+    assert builder.path_b(built.fragment, *built.path) == built.b
+
+
+def test_region_growth_is_bounded():
+    """Region length obeys R(k) <= 2^k (2T+1) + 3(2^k - 1) and the
+    paper's looser 5^(k+1) T bound."""
+    level = 4
+    T = 2
+    instance, builder = make_builder(GreedyOnlineColorer(), locality=T)
+    built = builder.build(level)
+    assert built is not None, "greedy stays proper through the build"
+    lo, hi = instance.fragment_row_extent(built.fragment)
+    length = hi - lo + 1
+    ours = 2 ** level * (2 * T + 1) + 3 * (2 ** level - 1)
+    assert length <= ours
+    assert length <= 5 ** (level + 1) * T
+
+
+def test_improper_short_circuit():
+    """Against greedy with 2 usable colors the victim breaks quickly and
+    the builder reports the win instead of looping."""
+
+    class TwoColorGreedy(GreedyOnlineColorer):
+        name = "two-color-greedy"
+
+        def step(self, view, target):
+            used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+            for color in (1, 2):
+                if color not in used:
+                    return {target: color}
+            return {target: 1}
+
+    instance, builder = make_builder(TwoColorGreedy(), locality=1)
+    built = builder.build(8)
+    # A 2-coloring of a row never reaches b >= 2 without going improper
+    # somewhere (parities force it), so the builder must stop early.
+    assert built is None or built.b >= 8
+
+
+def test_parity_gap_choice_is_deterministic():
+    """Two runs against the same deterministic victim are identical."""
+    results = []
+    for __ in range(2):
+        instance, builder = make_builder(AkbariBipartiteColoring(), locality=2)
+        built = builder.build(3)
+        summary = (
+            (built.path, built.b) if built is not None else ("improper",)
+        )
+        results.append((summary, builder.reveals))
+    assert results[0] == results[1]
+
+
+def test_direction_helper():
+    assert _direction((0, 5)) == 1
+    assert _direction((5, 0)) == -1
+    assert _direction((2, 2)) == 1
+
+
+def test_negative_level_rejected():
+    instance, builder = make_builder(GreedyOnlineColorer(), locality=1)
+    with pytest.raises(ValueError):
+        builder.build(-1)

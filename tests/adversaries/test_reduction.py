@@ -1,0 +1,87 @@
+"""Tests for the Lemma 5.7 reduction and the Theorem 5 chain."""
+
+import pytest
+
+from repro.adversaries.grid import GridAdversary
+from repro.adversaries.reduction import HierarchyReduction, reduce_to_grid
+from repro.core.baselines import GreedyOnlineColorer
+from repro.core.unify import UnifyColoring
+from repro.families.hierarchy import Hierarchy
+from repro.families.random_graphs import random_reveal_order
+from repro.models.online_local import OnlineLocalSimulator
+from repro.oracles import CliqueChainOracle
+from repro.verify.coloring import find_monochromatic_edge, is_proper
+
+
+def test_wrapper_uses_at_most_k_plus_one_colors():
+    h2 = Hierarchy(2, 5, 5)
+    wrapper = HierarchyReduction(GreedyOnlineColorer())
+    sim = OnlineLocalSimulator(h2.graph, wrapper, locality=2, num_colors=3)
+    coloring = sim.run(sorted(h2.graph.nodes(), key=repr))
+    assert max(coloring.values()) <= 3
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lemma_5_7_contract(seed):
+    """Whenever the wrapper's output is improper, the inner algorithm's
+    synthetic coloring is improper too — the exact contrapositive used in
+    the proof of Lemma 5.7."""
+    h2 = Hierarchy(2, 6, 6)
+    inner = GreedyOnlineColorer()
+    wrapper = HierarchyReduction(inner)
+    sim = OnlineLocalSimulator(h2.graph, wrapper, locality=2, num_colors=3)
+    order = random_reveal_order(sorted(h2.graph.nodes(), key=repr), seed=seed)
+    coloring = sim.run(order)
+    if not is_proper(h2.graph, coloring):
+        synthetic_edge = find_monochromatic_edge(
+            wrapper._tracker.view_graph, wrapper._tracker.colors
+        )
+        assert synthetic_edge is not None
+
+
+def test_proper_inner_gives_proper_wrapper():
+    """With an inner algorithm that properly (k+2)-colors the synthetic
+    G_3 (unify + clique oracle, generous budget), the wrapper properly
+    3-colors the grid."""
+    h2 = Hierarchy(2, 6, 6)
+    inner = UnifyColoring(CliqueChainOracle(3, 3))
+    wrapper = HierarchyReduction(inner)
+    sim = OnlineLocalSimulator(h2.graph, wrapper, locality=30, num_colors=3)
+    coloring = sim.run(random_reveal_order(sorted(h2.graph.nodes(), key=repr), seed=4))
+    assert is_proper(h2.graph, coloring)
+    assert max(coloring.values()) <= 3
+
+
+def test_synthetic_view_structure():
+    """Duplicates exist, attach to their original's neighborhood, and are
+    pairwise non-adjacent."""
+    h2 = Hierarchy(2, 4, 4)
+    wrapper = HierarchyReduction(GreedyOnlineColorer())
+    sim = OnlineLocalSimulator(h2.graph, wrapper, locality=1, num_colors=3)
+    sim.reveal((2, (1, 1)))
+    synthetic = wrapper._tracker.view_graph
+    base_ids = [n for n in synthetic.nodes() if n[0] == "b"]
+    dup_ids = [n for n in synthetic.nodes() if n[0] == "d"]
+    assert len(base_ids) == len(dup_ids) == 5
+    for b in base_ids:
+        assert synthetic.has_edge(b, ("d", b[1]))
+    for d1 in dup_ids:
+        for d2 in dup_ids:
+            if d1 != d2:
+                assert not synthetic.has_edge(d1, d2)
+
+
+def test_chain_composition_depth():
+    alg = reduce_to_grid(GreedyOnlineColorer(), k=5)
+    assert alg.name == "reduced(reduced(reduced(greedy-online)))"
+    with pytest.raises(ValueError):
+        reduce_to_grid(GreedyOnlineColorer(), k=1)
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_theorem_5_executable(k):
+    """The full Theorem 5 pipeline: a (k+1)-colorer of G_k, reduced to a
+    grid 3-colorer, is defeated by the Theorem 1 adversary."""
+    inner = UnifyColoring(CliqueChainOracle(k, k))
+    result = GridAdversary(locality=1).run(reduce_to_grid(inner, k=k))
+    assert result.won

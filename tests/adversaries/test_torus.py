@@ -1,0 +1,64 @@
+"""Tests for the Theorem 2 toroidal/cylindrical adversary."""
+
+import pytest
+
+from repro.adversaries.torus import TorusAdversary
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.baselines import GreedyOnlineColorer
+
+
+@pytest.mark.parametrize("topology", ["torus", "cylinder"])
+@pytest.mark.parametrize(
+    "victim_factory",
+    [GreedyOnlineColorer, AkbariBipartiteColoring],
+    ids=["greedy", "akbari"],
+)
+def test_defeats_portfolio(topology, victim_factory):
+    result = TorusAdversary(locality=1, topology=topology).run(victim_factory())
+    assert result.won
+    assert result.reason in ("monochromatic-edge", "model-violation")
+
+
+def test_higher_locality_still_defeated():
+    """Theorem 2 holds for any T with side >= 4T+4 — test T = 3."""
+    result = TorusAdversary(locality=3).run(AkbariBipartiteColoring())
+    assert result.won
+
+
+def test_certificate_when_available():
+    result = TorusAdversary(locality=1).run(AkbariBipartiteColoring())
+    if result.certificate is not None:
+        assert result.certificate.b_sum != 0
+        assert result.certificate.b_sum % 2 == 0  # odd + odd
+
+
+def test_b_sum_recorded():
+    result = TorusAdversary(locality=1).run(AkbariBipartiteColoring())
+    if "b_sum" in result.stats:
+        assert result.stats["b_sum"] != 0
+
+
+def test_default_side_is_smallest_valid_odd():
+    adversary = TorusAdversary(locality=2)
+    assert adversary.side % 2 == 1
+    assert adversary.side >= 4 * 2 + 4
+
+
+def test_side_validation():
+    with pytest.raises(ValueError, match="odd"):
+        TorusAdversary(locality=1, side=10)
+    with pytest.raises(ValueError, match="too small"):
+        TorusAdversary(locality=3, side=15)
+    with pytest.raises(ValueError, match="topology"):
+        TorusAdversary(locality=1, topology="klein-bottle")
+
+
+def test_larger_side_works():
+    result = TorusAdversary(locality=1, side=13).run(GreedyOnlineColorer())
+    assert result.won
+
+
+def test_determinism():
+    r1 = TorusAdversary(locality=1).run(AkbariBipartiteColoring())
+    r2 = TorusAdversary(locality=1).run(AkbariBipartiteColoring())
+    assert r1.stats == r2.stats

@@ -1,0 +1,74 @@
+"""Tests for experiment helpers and table rendering."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    survival_battery,
+    threshold_locality,
+)
+from repro.analysis.tables import render_table
+
+
+class TestThreshold:
+    def test_finds_exact_threshold(self):
+        assert threshold_locality(lambda t: t >= 13, low=0, high=64) == 13
+
+    def test_zero_threshold(self):
+        assert threshold_locality(lambda t: True, low=0, high=8) == 0
+
+    def test_none_when_even_high_fails(self):
+        assert threshold_locality(lambda t: False, low=0, high=8) is None
+
+    def test_boundary(self):
+        assert threshold_locality(lambda t: t >= 8, low=0, high=8) == 8
+
+    def test_call_count_is_logarithmic(self):
+        calls = []
+
+        def survives(t):
+            calls.append(t)
+            return t >= 37
+
+        threshold_locality(survives, low=0, high=1024)
+        assert len(calls) <= 13
+
+
+class TestBattery:
+    def test_all_pass(self):
+        assert survival_battery(lambda T, s: True, locality=3, seeds=[1, 2, 3])
+
+    def test_any_failure(self):
+        assert not survival_battery(
+            lambda T, s: s != 2, locality=3, seeds=[1, 2, 3]
+        )
+
+
+class TestRecord:
+    def test_defaults(self):
+        rec = ExperimentRecord(experiment="T1", n=100)
+        assert rec.parameters == {}
+        assert rec.measured == {}
+
+
+class TestTables:
+    def test_render_basic(self):
+        table = render_table(["n", "T"], [[16, 4], [256, 8]])
+        lines = table.splitlines()
+        assert lines[0].startswith("n")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = render_table(["x"], [[3.14159]])
+        assert "3.14" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        table = render_table(["name", "value"], [["long-name-here", 1]])
+        lines = table.splitlines()
+        # The rule row is padded to the widest cell of each column.
+        assert lines[1] == "-" * len("long-name-here") + "  " + "-" * len("value")

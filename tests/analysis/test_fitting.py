@@ -1,0 +1,69 @@
+"""Tests for growth-curve fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import best_growth_model, fit_growth
+
+
+def test_recovers_log_growth():
+    xs = [2 ** i for i in range(4, 14)]
+    ys = [3.0 * math.log2(x) + 1.0 for x in xs]
+    fit = fit_growth(xs, ys, "log")
+    assert fit.slope == pytest.approx(3.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_recovers_sqrt_growth():
+    xs = [100, 400, 900, 1600, 2500]
+    ys = [0.5 * math.sqrt(x) for x in xs]
+    fit = fit_growth(xs, ys, "sqrt")
+    assert fit.slope == pytest.approx(0.5)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_recovers_linear_growth():
+    xs = list(range(10, 100, 10))
+    ys = [2 * x + 7 for x in xs]
+    fit = fit_growth(xs, ys, "linear")
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(7.0)
+
+
+def test_best_model_selection():
+    xs = [2 ** i for i in range(4, 16)]
+    assert best_growth_model(xs, [2 * math.log2(x) for x in xs]).model == "log"
+    assert best_growth_model(xs, [0.1 * math.sqrt(x) for x in xs]).model == "sqrt"
+    assert best_growth_model(xs, [3 * x + 5 for x in xs]).model == "linear"
+    assert best_growth_model(xs, [4.0 for __ in xs]).model == "const"
+
+
+def test_best_model_with_noise():
+    import random
+
+    rng = random.Random(1)
+    xs = [2 ** i for i in range(6, 18)]
+    ys = [5 * math.log2(x) + rng.uniform(-0.5, 0.5) for x in xs]
+    assert best_growth_model(xs, ys).model == "log"
+
+
+def test_predict():
+    fit = fit_growth([1, 2, 4, 8], [0, 1, 2, 3], "log")
+    assert fit.predict(16) == pytest.approx(4.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fit_growth([1, 2], [1, 2], "cubic")
+    with pytest.raises(ValueError):
+        fit_growth([1], [1], "log")
+    with pytest.raises(ValueError):
+        fit_growth([1, 2], [1], "log")
+
+
+def test_constant_data_degenerate():
+    fit = fit_growth([1, 2, 3], [5, 5, 5], "const")
+    assert fit.intercept == pytest.approx(5.0)
+    assert fit.r_squared == pytest.approx(1.0)

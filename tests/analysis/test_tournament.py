@@ -1,0 +1,36 @@
+"""Tests for the tournament harness."""
+
+from repro.analysis.tournament import (
+    TournamentRow,
+    clean_sweep,
+    default_adversaries,
+    default_victims,
+    run_tournament,
+)
+from repro.core.baselines import GreedyOnlineColorer
+
+
+def test_defaults_shape():
+    assert set(default_victims()) == {"greedy", "akbari", "local-canonical"}
+    assert len(default_adversaries(1)) == 6
+
+
+def test_subset_tournament_clean_sweep():
+    """A reduced tournament (fast) must still be a clean sweep."""
+    adversaries = {
+        name: play
+        for name, play in default_adversaries(1).items()
+        if name in ("theorem1-grid", "theorem2-torus")
+    }
+    victims = {"greedy": GreedyOnlineColorer}
+    rows = run_tournament(locality=1, victims=victims, adversaries=adversaries)
+    assert len(rows) == 2
+    assert clean_sweep(rows)
+    assert all(isinstance(row, TournamentRow) for row in rows)
+
+
+def test_clean_sweep_predicate():
+    won = TournamentRow("a", "v", 1, True, "monochromatic-edge")
+    lost = TournamentRow("a", "v", 1, False, "survived")
+    assert clean_sweep([won, won])
+    assert not clean_sweep([won, lost])

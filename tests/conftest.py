@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.families.grids import CylindricalGrid, SimpleGrid, ToroidalGrid
+from repro.families.triangular import TriangularGrid
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def path_graph():
+    """A 6-node path 0-1-2-3-4-5."""
+    return Graph(edges=[(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def cycle_graph():
+    """A 6-cycle."""
+    return Graph(edges=[(i, (i + 1) % 6) for i in range(6)])
+
+
+@pytest.fixture
+def small_grid():
+    """A 5x7 simple grid."""
+    return SimpleGrid(5, 7)
+
+
+@pytest.fixture
+def small_torus():
+    """A 5x5 toroidal grid (odd columns: not bipartite)."""
+    return ToroidalGrid(5, 5)
+
+
+@pytest.fixture
+def small_cylinder():
+    """A 4x5 cylindrical grid."""
+    return CylindricalGrid(4, 5)
+
+
+@pytest.fixture
+def small_triangular():
+    """A side-5 triangular grid (degenerate corners excluded)."""
+    return TriangularGrid(5)

@@ -1,0 +1,131 @@
+"""Tests for the Akbari et al. bipartite 3-coloring algorithm."""
+
+import math
+
+import pytest
+
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.families.grids import CylindricalGrid, SimpleGrid
+from repro.families.random_graphs import (
+    random_connected_bipartite,
+    random_reveal_order,
+    random_tree,
+    scattered_reveal_order,
+)
+from repro.models.online_local import OnlineLocalSimulator
+from repro.verify.coloring import assert_proper, is_proper
+
+
+def budget(n: int) -> int:
+    """The paper's locality budget 3·log2(n), with a small safety pad."""
+    return 3 * math.ceil(math.log2(max(2, n))) + 2
+
+
+def run_on(graph, order, locality=None):
+    locality = locality if locality is not None else budget(graph.num_nodes)
+    algorithm = AkbariBipartiteColoring()
+    sim = OnlineLocalSimulator(graph, algorithm, locality=locality, num_colors=3)
+    coloring = sim.run(order)
+    return coloring, algorithm
+
+
+class TestProperOnBipartiteFamilies:
+    def test_grid_row_major(self):
+        grid = SimpleGrid(10, 10)
+        coloring, __ = run_on(grid.graph, sorted(grid.graph.nodes()))
+        assert_proper(grid.graph, coloring, max_colors=3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grid_random_orders(self, seed):
+        grid = SimpleGrid(9, 11)
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+        coloring, __ = run_on(grid.graph, order)
+        assert_proper(grid.graph, coloring, max_colors=3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_grid_scattered_orders(self, seed):
+        grid = SimpleGrid(12, 12)
+        order = scattered_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+        coloring, __ = run_on(grid.graph, order)
+        assert_proper(grid.graph, coloring, max_colors=3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_trees(self, seed):
+        tree = random_tree(80, seed=seed)
+        order = random_reveal_order(sorted(tree.nodes()), seed=seed + 10)
+        coloring, __ = run_on(tree, order)
+        assert_proper(tree, coloring, max_colors=3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_bipartite(self, seed):
+        g = random_connected_bipartite(15, 20, extra_edges=25, seed=seed)
+        order = random_reveal_order(sorted(g.nodes()), seed=seed)
+        coloring, __ = run_on(g, order)
+        assert_proper(g, coloring, max_colors=3)
+
+
+class TestFlipMechanics:
+    def test_flips_occur_and_stay_proper(self):
+        """Two anchors with clashing parities force exactly one flip.
+
+        The anchors are 21 apart (odd), so both start their groups with
+        color 1 on opposite bipartition classes — incompatible types.
+        Revealing the rest in BFS order from the first anchor grows one
+        front, so the single merge flips the smaller group with plenty of
+        locality to spare (3 layers ≤ T = 5).
+        """
+        from repro.graphs.traversal import bfs_distances
+
+        grid = SimpleGrid(30, 31)
+        anchors = [(15, 5), (15, 26)]
+        distances = bfs_distances(grid.graph, anchors[0])
+        rest = sorted(
+            (v for v in grid.graph.nodes() if v not in set(anchors)),
+            key=lambda v: (distances[v], v),
+        )
+        algorithm = AkbariBipartiteColoring()
+        sim = OnlineLocalSimulator(grid.graph, algorithm, locality=5, num_colors=3)
+        for v in anchors + rest:
+            sim.reveal(v)
+        coloring = sim.coloring()
+        assert_proper(grid.graph, coloring, max_colors=3)
+        assert algorithm.flip_count == 1
+        assert 3 in set(coloring.values())
+
+    def test_two_groups_same_parity_no_flip(self):
+        grid = SimpleGrid(30, 30)
+        algorithm = AkbariBipartiteColoring()
+        sim = OnlineLocalSimulator(grid.graph, algorithm, locality=3, num_colors=3)
+        # Anchors on the same bipartition class, far apart.
+        sim.reveal((5, 5))
+        sim.reveal((5, 15))
+        for v in sorted(grid.graph.nodes()):
+            if v not in {(5, 5), (5, 15)}:
+                sim.reveal(v)
+        assert_proper(grid.graph, sim.coloring(), max_colors=3)
+        assert algorithm.flip_count == 0
+
+    def test_first_node_colored_one(self):
+        grid = SimpleGrid(6, 6)
+        algorithm = AkbariBipartiteColoring()
+        sim = OnlineLocalSimulator(grid.graph, algorithm, locality=3, num_colors=3)
+        assert sim.reveal((3, 3)) == 1
+
+
+class TestNonBipartiteFallback:
+    def test_survives_odd_cylinder_without_crashing(self):
+        """On an odd cylinder the parity machinery detects odd components
+        and falls back to greedy; the run completes (properness is not
+        guaranteed and Theorem 2 says it cannot be)."""
+        cyl = CylindricalGrid(4, 5)
+        algorithm = AkbariBipartiteColoring()
+        sim = OnlineLocalSimulator(cyl.graph, algorithm, locality=6, num_colors=3)
+        coloring = sim.run(sorted(cyl.graph.nodes()))
+        assert set(coloring) == set(cyl.graph.nodes())
+
+
+class TestValidation:
+    def test_needs_three_colors(self):
+        algorithm = AkbariBipartiteColoring()
+        with pytest.raises(ValueError):
+            algorithm.reset(n=10, locality=3, num_colors=2)

@@ -1,0 +1,64 @@
+"""Tests for the baseline colorers."""
+
+from repro.core.baselines import (
+    CanonicalLocalColorer,
+    CheatingCoordinateColorer,
+    GreedyOnlineColorer,
+    GreedySLocalColorer,
+)
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_reveal_order
+from repro.models.local import LocalSimulator
+from repro.models.online_local import OnlineLocalSimulator
+from repro.verify.coloring import is_proper
+
+
+def test_greedy_online_proper_with_enough_colors():
+    grid = SimpleGrid(8, 8)
+    sim = OnlineLocalSimulator(grid.graph, GreedyOnlineColorer(), locality=1, num_colors=5)
+    coloring = sim.run(random_reveal_order(sorted(grid.graph.nodes()), seed=2))
+    assert is_proper(grid.graph, coloring)
+
+
+def test_greedy_online_never_crashes_when_cornered():
+    """With 2 colors on a grid, greedy must eventually go improper but
+    still colors everything."""
+    grid = SimpleGrid(5, 5)
+    sim = OnlineLocalSimulator(grid.graph, GreedyOnlineColorer(), locality=1, num_colors=2)
+    coloring = sim.run(random_reveal_order(sorted(grid.graph.nodes()), seed=0))
+    assert set(coloring) == set(grid.graph.nodes())
+
+
+def test_greedy_slocal_matches_greedy_online_decisions():
+    grid = SimpleGrid(6, 6)
+    order = random_reveal_order(sorted(grid.graph.nodes()), seed=5)
+    sims = [
+        OnlineLocalSimulator(grid.graph, alg, locality=1, num_colors=4)
+        for alg in (GreedyOnlineColorer(), GreedySLocalColorer())
+    ]
+    colorings = [sim.run(list(order)) for sim in sims]
+    assert colorings[0] == colorings[1]
+
+
+def test_canonical_local_full_view():
+    grid = SimpleGrid(5, 6)
+    sim = LocalSimulator(
+        grid.graph, CanonicalLocalColorer(), locality=11, num_colors=3
+    )
+    assert is_proper(grid.graph, sim.run())
+
+
+def test_cheating_colorer_beats_any_order_with_leaked_labels():
+    """The out-of-model control: with coordinates, 2-coloring a grid needs
+    zero locality and no memory."""
+    grid = SimpleGrid(10, 10)
+    sim = OnlineLocalSimulator(
+        grid.graph,
+        CheatingCoordinateColorer(),
+        locality=0,
+        num_colors=3,
+        leak_labels=True,
+    )
+    coloring = sim.run(random_reveal_order(sorted(grid.graph.nodes()), seed=9))
+    assert is_proper(grid.graph, coloring)
+    assert set(coloring.values()) <= {1, 2}

@@ -1,0 +1,155 @@
+"""Tests for the b-value machinery (Section 3.1, Lemmas 3.3-3.5)."""
+
+import itertools
+
+import pytest
+
+from repro.core.bvalue import (
+    a_value,
+    b_value,
+    b_value_parity,
+    cycle_b_value,
+    cycle_b_value_parity,
+    endpoint_indicator,
+    grid_cell_cycles,
+    path_b_value,
+    rectangle_cycle,
+)
+from repro.families.grids import SimpleGrid
+from repro.oracles.brute import proper_colorings
+from repro.verify.coloring import is_proper
+
+
+class TestAValue:
+    def test_definition_table(self):
+        assert a_value(1, 2) == -1
+        assert a_value(2, 1) == 1
+        assert a_value(1, 3) == 0
+        assert a_value(3, 2) == 0
+        assert a_value(3, 3) == 0
+
+    def test_antisymmetry(self):
+        for u, v in itertools.product((1, 2, 3), repeat=2):
+            assert a_value(u, v) + a_value(v, u) == 0
+
+    def test_invalid_color(self):
+        with pytest.raises(ValueError):
+            a_value(0, 1)
+        with pytest.raises(ValueError):
+            a_value(1, 4)
+
+
+class TestPathBValue:
+    def test_empty_and_single(self):
+        assert path_b_value([]) == 0
+        assert path_b_value([2]) == 0
+
+    def test_figure3_zero_path(self):
+        """The paper's Figure 3: 3-2-1-2-1-2-3 has b-value 0."""
+        assert path_b_value([3, 2, 1, 2, 1, 2, 3]) == 0
+
+    def test_figure4_unit_path(self):
+        """The paper's Figure 4 companion: 3-2-1-2-1-3 has b-value 1."""
+        assert path_b_value([3, 2, 1, 2, 1, 3]) == 1
+
+    def test_reversal_negates(self):
+        colors = [3, 1, 2, 1, 3, 2, 1]
+        assert path_b_value(colors) == -path_b_value(list(reversed(colors)))
+
+    def test_concatenation_adds(self):
+        left = [3, 2, 1]
+        right = [1, 2, 3]
+        whole = left + right[1:]
+        assert path_b_value(whole) == path_b_value(left) + path_b_value(right)
+
+    def test_alternating_12_path_is_bounded(self):
+        assert abs(path_b_value([1, 2] * 10)) <= 1
+
+
+class TestParityLemma:
+    def test_lemma_3_5_exhaustive_paths(self):
+        """Parity of b equals i(u)+i(v)+len (mod 2) for ALL proper paths
+        up to length 6."""
+        for length in range(1, 7):
+            for colors in itertools.product((1, 2, 3), repeat=length + 1):
+                if any(a == b for a, b in zip(colors, colors[1:])):
+                    continue  # improper path coloring
+                expected = b_value_parity(length, colors[0], colors[-1])
+                assert path_b_value(colors) % 2 == expected
+
+    def test_lemma_3_5_exhaustive_cycles(self):
+        """Parity of cycle b equals length mod 2 for all proper cycles up
+        to length 6."""
+        for length in range(3, 7):
+            for colors in itertools.product((1, 2, 3), repeat=length):
+                ring = list(colors) + [colors[0]]
+                if any(a == b for a, b in zip(ring, ring[1:])):
+                    continue
+                assert cycle_b_value(colors) % 2 == cycle_b_value_parity(length)
+
+    def test_endpoint_indicator(self):
+        assert endpoint_indicator(3) == 1
+        assert endpoint_indicator(1) == 0
+        assert endpoint_indicator(2) == 0
+
+    def test_parity_validation(self):
+        with pytest.raises(ValueError):
+            b_value_parity(-1, 1, 2)
+        with pytest.raises(ValueError):
+            cycle_b_value_parity(2)
+
+
+class TestLemma33CellCancellation:
+    def test_all_proper_4_cycles_have_b_zero(self):
+        """Lemma 3.3, exhaustively over all proper 3-colorings of C4."""
+        for colors in itertools.product((1, 2, 3), repeat=4):
+            ring = list(colors) + [colors[0]]
+            if any(a == b for a, b in zip(ring, ring[1:])):
+                continue
+            assert cycle_b_value(colors) == 0
+
+
+class TestLemma34GridCycles:
+    def test_all_proper_colorings_of_small_grid(self):
+        """Lemma 3.4 on every proper 3-coloring of a 3x3 grid: the border
+        cycle has b-value 0."""
+        grid = SimpleGrid(3, 3)
+        border = rectangle_cycle(0, 2, 0, 2)
+        count = 0
+        for coloring in proper_colorings(grid.graph, 3):
+            shifted = {node: color + 1 for node, color in coloring.items()}
+            assert b_value(border, shifted, cycle=True) == 0
+            count += 1
+        assert count > 0
+
+    def test_cell_decomposition_matches(self):
+        """Summing cell b-values equals the border b-value (the proof
+        technique of Lemma 3.4), for any coloring — proper or not."""
+        grid = SimpleGrid(4, 5)
+        coloring = {(i, j): (2 * i + j) % 3 + 1 for i, j in grid.graph.nodes()}
+        border = rectangle_cycle(0, 3, 0, 4)
+        total = sum(
+            b_value(cell, coloring, cycle=True)
+            for cell in grid_cell_cycles(4, 5)
+        )
+        assert total == b_value(border, coloring, cycle=True)
+
+    def test_rectangle_cycle_shape(self):
+        cycle = rectangle_cycle(0, 2, 0, 3)
+        assert len(cycle) == 2 * (2 + 3)
+        assert len(set(cycle)) == len(cycle)
+        assert cycle[0] == (0, 0)
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            rectangle_cycle(2, 2, 0, 3)
+
+
+class TestBValueHelper:
+    def test_dict_interface(self):
+        coloring = {"a": 3, "b": 2, "c": 1}
+        assert b_value(["a", "b", "c"], coloring) == path_b_value([3, 2, 1])
+
+    def test_cycle_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            cycle_b_value([1, 2])

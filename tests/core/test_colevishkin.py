@@ -1,0 +1,92 @@
+"""Tests for the Cole–Vishkin O(log* n) path/cycle 3-coloring."""
+
+import random
+
+import pytest
+
+from repro.core.colevishkin import (
+    log_star,
+    round_bound,
+    three_color_directed_path,
+)
+
+
+def assert_proper_path(colors, cyclic):
+    for a, b in zip(colors, colors[1:]):
+        assert a != b
+    if cyclic and len(colors) >= 2:
+        assert colors[0] != colors[-1]
+    assert set(colors) <= {1, 2, 3}
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_star(0)
+
+
+class TestPaths:
+    def test_trivial_sizes(self):
+        assert three_color_directed_path([]) == ([], 0)
+        assert three_color_directed_path([42]) == ([1], 0)
+
+    def test_two_nodes(self):
+        colors, rounds = three_color_directed_path([7, 12])
+        assert_proper_path(colors, cyclic=False)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ids(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 300)
+        ids = rng.sample(range(10 ** 6), n)
+        colors, rounds = three_color_directed_path(ids)
+        assert_proper_path(colors, cyclic=False)
+        assert rounds <= round_bound(max(ids))
+
+    def test_sequential_ids(self):
+        colors, rounds = three_color_directed_path(list(range(1000)))
+        assert_proper_path(colors, cyclic=False)
+
+    def test_adversarial_alternating_ids(self):
+        ids = [i * 2 if i % 2 == 0 else 10 ** 6 - i for i in range(200)]
+        assert len(set(ids)) == 200
+        colors, __ = three_color_directed_path(ids)
+        assert_proper_path(colors, cyclic=False)
+
+    def test_round_count_is_log_star_scale(self):
+        """Doubling the id magnitude barely moves the round count."""
+        small_ids = random.Random(0).sample(range(2 ** 10), 100)
+        huge_ids = random.Random(0).sample(range(2 ** 62), 100)
+        __, rounds_small = three_color_directed_path(small_ids)
+        __, rounds_huge = three_color_directed_path(huge_ids)
+        assert rounds_huge <= rounds_small + 3
+
+
+class TestCycles:
+    @pytest.mark.parametrize("n", (3, 4, 5, 50, 51))
+    def test_cycles_of_both_parities(self, n):
+        ids = random.Random(n).sample(range(10 ** 5), n)
+        colors, rounds = three_color_directed_path(ids, cyclic=True)
+        assert_proper_path(colors, cyclic=True)
+        assert rounds <= round_bound(max(ids))
+
+    def test_short_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            three_color_directed_path([1, 2], cyclic=True)
+
+
+class TestValidation:
+    def test_duplicate_ids(self):
+        with pytest.raises(ValueError, match="unique"):
+            three_color_directed_path([1, 2, 1])
+
+    def test_negative_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            three_color_directed_path([1, -2, 3])

@@ -1,0 +1,87 @@
+"""Tests for Equation (1) of Theorem 2's proof: for any proper 3-coloring
+of a toroidal/cylindrical grid, two oppositely oriented row cycles have
+b-values summing to zero — and with an odd number of columns both values
+are odd.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.bvalue import b_value
+from repro.families.grids import CylindricalGrid, ToroidalGrid
+from repro.oracles.brute import proper_colorings
+from repro.verify.coloring import is_proper
+
+
+def opposite_row_cycles(host, i1, i2, cols):
+    forward = [(i1, j) for j in range(cols)]
+    backward = [(i2, (-j) % cols) for j in range(cols)]
+    return forward, backward
+
+
+def shifted(coloring):
+    return {node: color + 1 for node, color in coloring.items()}
+
+
+class TestOddTorus:
+    def test_diagonal_coloring_exists(self):
+        """Odd tori ARE 3-colorable — the diagonal coloring works."""
+        torus = ToroidalGrid(5, 5)
+        coloring = {(i, j): (i + j) % 3 + 1 for i, j in torus.graph.nodes()}
+        assert is_proper(torus.graph, coloring)
+
+    def test_equation_1_and_oddness_exhaustive_3x3(self):
+        torus = ToroidalGrid(3, 3)
+        count = 0
+        for raw in proper_colorings(torus.graph, 3):
+            coloring = shifted(raw)
+            for i1, i2 in itertools.combinations(range(3), 2):
+                forward, backward = opposite_row_cycles(torus, i1, i2, 3)
+                b1 = b_value(forward, coloring, cycle=True)
+                b2 = b_value(backward, coloring, cycle=True)
+                assert b1 + b2 == 0, (coloring, i1, i2)
+                assert b1 % 2 == 1  # odd columns -> odd b-values
+            count += 1
+        assert count > 0
+
+    def test_equation_1_on_diagonal_colorings_5x5(self):
+        torus = ToroidalGrid(5, 5)
+        for phase in range(3):
+            coloring = {
+                (i, j): (i + j + phase) % 3 + 1 for i, j in torus.graph.nodes()
+            }
+            forward, backward = opposite_row_cycles(torus, 0, 3, 5)
+            b1 = b_value(forward, coloring, cycle=True)
+            b2 = b_value(backward, coloring, cycle=True)
+            assert b1 + b2 == 0
+            assert b1 % 2 == 1
+
+
+class TestCylinder:
+    def test_equation_1_sampled_colorings(self):
+        cyl = CylindricalGrid(3, 5)
+        checked = 0
+        for raw in proper_colorings(cyl.graph, 3, limit=50):
+            coloring = shifted(raw)
+            forward, backward = opposite_row_cycles(cyl, 0, 2, 5)
+            b1 = b_value(forward, coloring, cycle=True)
+            b2 = b_value(backward, coloring, cycle=True)
+            assert b1 + b2 == 0
+            assert b1 % 2 == 1
+            checked += 1
+        assert checked == 50
+
+
+class TestEvenColumnsContrast:
+    def test_even_columns_give_even_b_values(self):
+        """With even columns the parity obstruction evaporates — the
+        ablation behind Theorem 2's odd-column requirement."""
+        torus = ToroidalGrid(4, 4)
+        for raw in proper_colorings(torus.graph, 3, limit=40):
+            coloring = shifted(raw)
+            forward, backward = opposite_row_cycles(torus, 0, 2, 4)
+            b1 = b_value(forward, coloring, cycle=True)
+            b2 = b_value(backward, coloring, cycle=True)
+            assert b1 + b2 == 0
+            assert b1 % 2 == 0

@@ -1,0 +1,87 @@
+"""Tests for the path/cycle LCL solvers (MIS, maximal matching)."""
+
+import random
+
+import pytest
+
+from repro.core.colevishkin import round_bound
+from repro.core.lcl_paths import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    maximal_independent_set,
+    maximal_matching,
+)
+
+
+def random_ids(n, seed):
+    return random.Random(seed).sample(range(10 ** 6), n)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("n", (1, 2, 3, 7, 50, 151))
+    def test_paths(self, n):
+        ids = random_ids(n, seed=n)
+        members, rounds = maximal_independent_set(ids)
+        assert is_maximal_independent_set(members, n, cyclic=False)
+        assert rounds <= round_bound(max(ids)) + 3
+
+    @pytest.mark.parametrize("n", (3, 4, 5, 60, 61))
+    def test_cycles(self, n):
+        ids = random_ids(n, seed=n + 100)
+        members, rounds = maximal_independent_set(ids, cyclic=True)
+        assert is_maximal_independent_set(members, n, cyclic=True)
+
+    def test_empty(self):
+        assert maximal_independent_set([]) == (set(), 0)
+
+    def test_singleton(self):
+        members, __ = maximal_independent_set([42])
+        assert members == {0}
+
+    def test_mis_density(self):
+        """On a path, any MIS has at least ceil(n/3) members."""
+        n = 90
+        members, __ = maximal_independent_set(random_ids(n, 5))
+        assert len(members) >= n // 3
+
+
+class TestMaximalMatching:
+    @pytest.mark.parametrize("n", (2, 3, 8, 51, 120))
+    def test_paths(self, n):
+        ids = random_ids(n, seed=n)
+        matching, rounds = maximal_matching(ids)
+        assert is_maximal_matching(matching, n, cyclic=False)
+        assert rounds <= round_bound(max(ids)) + 4
+
+    @pytest.mark.parametrize("n", (3, 4, 5, 64, 65))
+    def test_cycles(self, n):
+        ids = random_ids(n, seed=n + 7)
+        matching, __ = maximal_matching(ids, cyclic=True)
+        assert is_maximal_matching(matching, n, cyclic=True)
+
+    def test_trivial_sizes(self):
+        assert maximal_matching([]) == (set(), 0)
+        assert maximal_matching([3]) == (set(), 0)
+
+    def test_matching_density(self):
+        """A maximal matching on a path covers at least n/3 edges-worth
+        of nodes... concretely: at least floor(n/3) edges."""
+        n = 99
+        matching, __ = maximal_matching(random_ids(n, 11))
+        assert len(matching) >= n // 3 - 1
+
+
+class TestCheckers:
+    def test_mis_checker_rejects_dependent_set(self):
+        assert not is_maximal_independent_set({0, 1}, 4, cyclic=False)
+
+    def test_mis_checker_rejects_non_maximal(self):
+        # Path of 5: {0} leaves 2,3,4 uncovered (2 has no member nbr).
+        assert not is_maximal_independent_set({0}, 5, cyclic=False)
+
+    def test_matching_checker_rejects_overlap(self):
+        assert not is_maximal_matching({(0, 1), (1, 2)}, 4, cyclic=False)
+
+    def test_matching_checker_rejects_non_maximal(self):
+        assert not is_maximal_matching({(0, 1)}, 5, cyclic=False)
+        assert is_maximal_matching({(0, 1), (2, 3)}, 5, cyclic=False)

@@ -1,0 +1,96 @@
+"""Tests for the parity union-find."""
+
+from repro.core.parity_uf import ParityUnionFind
+
+
+def test_singletons():
+    uf = ParityUnionFind()
+    uf.add("a")
+    root, parity = uf.find("a")
+    assert root == "a"
+    assert parity == 0
+    assert uf.size("a") == 1
+    assert not uf.is_odd("a")
+
+
+def test_add_idempotent():
+    uf = ParityUnionFind()
+    uf.add(1)
+    uf.union_opposite(1, 2) if 2 in uf else uf.add(2)
+    uf.add(1)
+    assert uf.size(1) == 1
+
+
+def test_edge_forces_opposite_parity():
+    uf = ParityUnionFind()
+    for x in (1, 2):
+        uf.add(x)
+    uf.union_opposite(1, 2)
+    __, p1 = uf.find(1)
+    __, p2 = uf.find(2)
+    assert p1 != p2
+
+
+def test_even_cycle_consistent():
+    uf = ParityUnionFind()
+    for x in range(4):
+        uf.add(x)
+    for x in range(4):
+        uf.union_opposite(x, (x + 1) % 4)
+    assert not uf.is_odd(0)
+    parities = [uf.find(x)[1] for x in range(4)]
+    assert parities[0] != parities[1]
+    assert parities[0] == parities[2]
+
+
+def test_odd_cycle_detected():
+    uf = ParityUnionFind()
+    for x in range(5):
+        uf.add(x)
+    for x in range(5):
+        uf.union_opposite(x, (x + 1) % 5)
+    assert uf.is_odd(3)
+
+
+def test_path_parities_match_distance():
+    uf = ParityUnionFind()
+    for x in range(10):
+        uf.add(x)
+    for x in range(9):
+        uf.union_opposite(x, x + 1)
+    base = uf.find(0)[1]
+    for x in range(10):
+        assert uf.find(x)[1] == (base + x) % 2
+
+
+def test_sizes_accumulate():
+    uf = ParityUnionFind()
+    for x in range(6):
+        uf.add(x)
+    uf.union_opposite(0, 1)
+    uf.union_opposite(2, 3)
+    uf.union_opposite(1, 2)
+    assert uf.size(0) == 4
+    assert uf.size(5) == 1
+
+
+def test_oddness_propagates_through_merges():
+    uf = ParityUnionFind()
+    for x in range(6):
+        uf.add(x)
+    # Odd triangle on 0,1,2.
+    uf.union_opposite(0, 1)
+    uf.union_opposite(1, 2)
+    uf.union_opposite(2, 0)
+    # Merge the clean component {3,4}.
+    uf.union_opposite(3, 4)
+    uf.union_opposite(2, 3)
+    assert uf.is_odd(4)
+    assert not uf.is_odd(5)
+
+
+def test_contains():
+    uf = ParityUnionFind()
+    uf.add("x")
+    assert "x" in uf
+    assert "y" not in uf

@@ -1,0 +1,121 @@
+"""Tests for the generalized (k+1)-coloring algorithm (Theorem 4)."""
+
+import pytest
+
+from repro.core.unify import UnifyColoring, recommended_locality
+from repro.families.hierarchy import Hierarchy
+from repro.families.ktree import random_ktree
+from repro.families.random_graphs import random_reveal_order, scattered_reveal_order
+from repro.families.triangular import TriangularGrid
+from repro.models.online_local import OnlineLocalSimulator
+from repro.oracles import BipartiteOracle, CliqueChainOracle, KTreeOracle, TriangularOracle
+from repro.verify.coloring import assert_proper
+
+
+def run_unify(graph, oracle, order, num_colors, locality=None):
+    if locality is None:
+        locality = recommended_locality(
+            oracle.num_parts, oracle.radius, graph.num_nodes
+        )
+    algorithm = UnifyColoring(oracle)
+    sim = OnlineLocalSimulator(graph, algorithm, locality=locality, num_colors=num_colors)
+    coloring = sim.run(order)
+    return coloring, algorithm
+
+
+class TestTriangularGrids:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_four_coloring_random_orders(self, seed):
+        tri = TriangularGrid(12)
+        order = random_reveal_order(sorted(tri.graph.nodes()), seed=seed)
+        coloring, __ = run_unify(tri.graph, TriangularOracle(), order, num_colors=4)
+        assert_proper(tri.graph, coloring, max_colors=4)
+
+    def test_swaps_occur_and_stay_proper(self):
+        tri = TriangularGrid(40)
+        anchors = [(2, 2), (2, 30), (30, 2), (12, 12)]
+        rest = [v for v in sorted(tri.graph.nodes()) if v not in set(anchors)]
+        algorithm = UnifyColoring(TriangularOracle())
+        sim = OnlineLocalSimulator(tri.graph, algorithm, locality=10, num_colors=4)
+        for v in anchors + rest:
+            sim.reveal(v)
+        assert_proper(tri.graph, sim.coloring(), max_colors=4)
+        assert algorithm.swap_count > 0
+
+    def test_first_node_colored_one(self):
+        tri = TriangularGrid(8)
+        algorithm = UnifyColoring(TriangularOracle())
+        sim = OnlineLocalSimulator(tri.graph, algorithm, locality=10, num_colors=4)
+        assert sim.reveal((3, 3)) == 1
+
+
+class TestKTrees:
+    @pytest.mark.parametrize("tree_k", (2, 3))
+    def test_ktree_coloring(self, tree_k):
+        tree = random_ktree(tree_k, 50, seed=tree_k)
+        order = random_reveal_order(sorted(tree.graph.nodes(), key=repr), seed=1)
+        coloring, __ = run_unify(
+            tree.graph,
+            KTreeOracle(tree_k),
+            order,
+            num_colors=tree_k + 2,
+        )
+        assert_proper(tree.graph, coloring, max_colors=tree_k + 2)
+
+
+class TestHierarchy:
+    def test_g3_coloring(self):
+        """(k+1)-coloring G_3 with the clique-chain oracle (Lemma 5.6)."""
+        h = Hierarchy(3, 6, 6)
+        order = scattered_reveal_order(sorted(h.graph.nodes(), key=repr), seed=2)
+        coloring, __ = run_unify(
+            h.graph, CliqueChainOracle(3, 3), order, num_colors=4
+        )
+        assert_proper(h.graph, coloring, max_colors=4)
+
+
+class TestBipartiteSpecialCase:
+    def test_matches_akbari_budget_shape(self):
+        """UnifyColoring with the bipartite oracle 3-colors grids."""
+        from repro.families.grids import SimpleGrid
+
+        grid = SimpleGrid(9, 9)
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=3)
+        coloring, __ = run_unify(grid.graph, BipartiteOracle(), order, num_colors=3)
+        assert_proper(grid.graph, coloring, max_colors=3)
+
+
+class TestBudget:
+    def test_recommended_locality_formula(self):
+        assert recommended_locality(3, 1, 1024) == 3 * 2 * 10 + 1
+        assert recommended_locality(2, 0, 2 ** 8) == 3 * 8
+        assert recommended_locality(4, 1, 1) == 2
+
+    def test_needs_k_plus_one_colors(self):
+        algorithm = UnifyColoring(TriangularOracle())
+        with pytest.raises(ValueError):
+            algorithm.reset(n=10, locality=5, num_colors=3)
+
+
+class TestFrameIsolation:
+    def test_overlapping_seen_regions_with_separate_logic_groups(self):
+        """Two anchors whose seen balls touch but whose logic regions are
+        separate components: oracle propagation from one group's call
+        crosses into the other's nodes through the seen region, and must
+        NOT corrupt the other group's part frame (regression test)."""
+        tri = TriangularGrid(30)
+        T = 4  # logic radius T-1 = 3; anchors at distance 2T = 8
+        anchors = [(2, 2), (10, 2), (18, 2)]
+        algorithm = UnifyColoring(TriangularOracle())
+        sim = OnlineLocalSimulator(tri.graph, algorithm, locality=T, num_colors=4)
+        for anchor in anchors:
+            sim.reveal(anchor)
+        # Merge them through the midpoints, then fill everything.
+        rest = [v for v in sorted(tri.graph.nodes()) if v not in set(anchors)]
+        from repro.graphs.traversal import bfs_distances
+
+        dist = bfs_distances(tri.graph, anchors[0])
+        rest.sort(key=lambda v: (dist[v], v))
+        for node in rest:
+            sim.reveal(node)
+        assert_proper(tri.graph, sim.coloring(), max_colors=4)

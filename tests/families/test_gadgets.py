@@ -1,0 +1,99 @@
+"""Tests for the Section 4 gadgets and hard instance G*."""
+
+import pytest
+
+from repro.families.gadgets import Gadget, GadgetChain
+from repro.graphs.traversal import is_connected
+from repro.verify.coloring import is_proper
+
+
+class TestGadget:
+    def test_node_count(self):
+        assert Gadget(3).graph.num_nodes == 9
+
+    def test_adjacency_rule(self):
+        g = Gadget(3)
+        assert g.graph.has_edge((0, 0), (1, 1))
+        assert not g.graph.has_edge((0, 0), (0, 1))  # same row
+        assert not g.graph.has_edge((0, 0), (1, 0))  # same column
+
+    def test_rows_and_columns_are_independent_sets(self):
+        g = Gadget(4)
+        for i in range(4):
+            row = g.row(i)
+            for a in row:
+                for b in row:
+                    if a != b:
+                        assert not g.graph.has_edge(a, b)
+        for j in range(4):
+            col = g.column(j)
+            for a in col:
+                for b in col:
+                    if a != b:
+                        assert not g.graph.has_edge(a, b)
+
+    def test_edge_count(self):
+        # Each node connects to (k-1)^2 others.
+        k = 3
+        g = Gadget(k)
+        assert g.graph.num_edges == k * k * (k - 1) ** 2 // 2
+
+    def test_minimum_k(self):
+        with pytest.raises(ValueError):
+            Gadget(1)
+
+
+class TestGadgetChain:
+    def test_node_count(self):
+        chain = GadgetChain(3, 5)
+        assert chain.num_nodes == 45
+
+    def test_within_gadget_edges(self):
+        chain = GadgetChain(3, 2)
+        assert chain.graph.has_edge((0, 0, 0), (0, 1, 1))
+        assert not chain.graph.has_edge((0, 0, 0), (0, 0, 1))
+
+    def test_between_gadget_edges(self):
+        chain = GadgetChain(3, 3)
+        assert chain.graph.has_edge((0, 0, 0), (1, 1, 1))
+        assert not chain.graph.has_edge((0, 0, 0), (1, 0, 1))  # same row
+        assert not chain.graph.has_edge((0, 0, 0), (1, 1, 0))  # same column
+        assert not chain.graph.has_edge((0, 0, 0), (2, 1, 1))  # not consecutive
+
+    def test_row_coloring_proper(self):
+        """Proposition 4.1: G* is k-partite via rows."""
+        chain = GadgetChain(4, 4)
+        coloring = {
+            node: chain.canonical_color(node) + 1 for node in chain.graph.nodes()
+        }
+        assert is_proper(chain.graph, coloring)
+        assert len(set(coloring.values())) == 4
+
+    def test_transpose_is_automorphism(self):
+        chain = GadgetChain(3, 4)
+        mapping = chain.transpose()
+        for u, v in chain.graph.edges():
+            assert chain.graph.has_edge(mapping[u], mapping[v])
+        # Involution.
+        assert all(mapping[mapping[u]] == u for u in chain.graph.nodes())
+
+    def test_transpose_fixes_each_gadget(self):
+        chain = GadgetChain(3, 3)
+        mapping = chain.transpose()
+        for idx in range(3):
+            nodes = set(chain.gadget_nodes(idx))
+            assert {mapping[u] for u in nodes} == nodes
+
+    def test_connected(self):
+        assert is_connected(GadgetChain(3, 5).graph)
+
+    def test_gadget_nodes_bounds(self):
+        chain = GadgetChain(3, 2)
+        with pytest.raises(IndexError):
+            chain.gadget_nodes(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GadgetChain(1, 5)
+        with pytest.raises(ValueError):
+            GadgetChain(3, 0)

@@ -1,0 +1,151 @@
+"""Tests for the duplicate-node hierarchy G_k (Section 5.2)."""
+
+import pytest
+
+from repro.families.hierarchy import Hierarchy
+from repro.graphs.traversal import is_connected
+from repro.verify.coloring import is_proper
+
+
+def test_g2_is_the_grid():
+    h = Hierarchy(2, 3, 4)
+    assert h.num_nodes == 12
+    assert h.graph.has_edge((2, (0, 0)), (2, (0, 1)))
+
+
+def test_node_count_doubles_per_layer():
+    """Observation 5.1: |G_k| = 2^(k-2) n."""
+    for k in (2, 3, 4):
+        h = Hierarchy(k, 3, 3)
+        assert h.num_nodes == 2 ** (k - 2) * 9
+
+
+def test_duplicate_adjacency():
+    h = Hierarchy(3, 3, 3)
+    base = (2, (1, 1))
+    dup = (3, base)
+    assert h.graph.has_edge(dup, base)
+    for nbr_inner in h.base.graph.neighbors((1, 1)):
+        assert h.graph.has_edge(dup, (2, nbr_inner))
+    # Duplicates are pairwise non-adjacent (H_3 is independent).
+    other_dup = (3, (2, (0, 0)))
+    assert not h.graph.has_edge(dup, other_dup)
+
+
+def test_layers_partition_nodes():
+    h = Hierarchy(4, 3, 3)
+    total = sum(len(h.layer_nodes(layer)) for layer in range(2, 5))
+    assert total == h.num_nodes
+    assert len(h.layer_nodes(2)) == 9
+    assert len(h.layer_nodes(3)) == 9
+    assert len(h.layer_nodes(4)) == 18
+
+
+def test_higher_layers_are_independent_sets():
+    h = Hierarchy(4, 3, 3)
+    for layer in (3, 4):
+        nodes = h.layer_nodes(layer)
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    assert not h.graph.has_edge(a, b)
+
+
+def test_parent_and_base_ancestor():
+    h = Hierarchy(4, 3, 3)
+    base = (2, (0, 1))
+    dup3 = (3, base)
+    dup4 = (4, dup3)
+    assert h.parent(dup4) == dup3
+    assert h.parent(dup3) == base
+    assert h.base_ancestor(dup4) == base
+    assert h.base_ancestor(base) == base
+    with pytest.raises(ValueError):
+        h.parent(base)
+
+
+def test_canonical_coloring_is_proper():
+    """Observation 5.2: G_k is k-partite."""
+    for k in (2, 3, 4):
+        h = Hierarchy(k, 4, 4)
+        coloring = {u: h.canonical_color(u) + 1 for u in h.graph.nodes()}
+        assert is_proper(h.graph, coloring)
+        assert len(set(coloring.values())) == k
+
+
+def test_witness_clique_claim_5_3():
+    """Every node shares a k-clique with its base ancestor."""
+    for k in (2, 3, 4):
+        h = Hierarchy(k, 3, 3)
+        for node in h.graph.nodes():
+            clique = h.witness_clique(node)
+            assert len(clique) == k
+            assert node in clique
+            assert h.base_ancestor(node) in clique
+            members = sorted(clique, key=repr)
+            for a in members:
+                for b in members:
+                    if a != b:
+                        assert h.graph.has_edge(a, b), (node, a, b)
+
+
+def test_clique_layer_structure():
+    """Every k-clique has exactly two layer-2 nodes and one per higher
+    layer (observation inside the proof of Claim 5.5)."""
+    h = Hierarchy(3, 3, 3)
+    for node in h.graph.nodes():
+        clique = h.witness_clique(node)
+        layers = sorted(h.layer(u) for u in clique)
+        assert layers == [2, 2, 3]
+
+
+def test_edge_maps_to_base_edge_claim_5_4():
+    """pi_diamond maps edges of G_k to edges (or equal nodes) of the grid."""
+    h = Hierarchy(4, 3, 3)
+    for u, v in h.graph.edges():
+        bu, bv = h.base_ancestor(u), h.base_ancestor(v)
+        assert bu == bv or h.graph.has_edge(bu, bv), (u, v, bu, bv)
+
+
+def test_duplicate_accessor_validation():
+    h = Hierarchy(3, 3, 3)
+    base = (2, (0, 0))
+    assert h.duplicate(base, 3) == (3, base)
+    with pytest.raises(ValueError):
+        h.duplicate((3, base), 3)
+
+
+def test_connected():
+    assert is_connected(Hierarchy(4, 3, 3).graph)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Hierarchy(1, 3, 3)
+
+
+def test_lemma_5_6_g3_has_locally_inferable_unique_coloring():
+    """Lemma 5.6 by brute force on a small G_3: every sampled connected
+    fragment's 3-partition is forced by its k-radius neighborhood."""
+    from repro.verify.liuc import (
+        has_locally_inferable_unique_coloring,
+        sample_connected_subsets,
+    )
+
+    h = Hierarchy(3, 3, 3)
+    fragments = sample_connected_subsets(h.graph, count=8, max_size=4, seed=1)
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        h.graph, k=3, ell=3, fragments=fragments
+    )
+    assert ok, counterexample
+
+
+def test_g3_radius_zero_is_not_enough():
+    """Contrast: without the neighborhood, a bare layer-2 path fragment
+    of G_3 is not uniquely 3-partitioned."""
+    from repro.verify.liuc import partition_of_fragment
+
+    h = Hierarchy(3, 3, 3)
+    fragment = {(2, (0, 0)), (2, (0, 1)), (2, (0, 2))}
+    assert partition_of_fragment(h.graph, fragment, k=3, ell=0) is None
+    assert partition_of_fragment(h.graph, fragment, k=3, ell=3) is not None

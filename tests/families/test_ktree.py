@@ -1,0 +1,79 @@
+"""Tests for k-trees."""
+
+import pytest
+
+from repro.families.ktree import KTree, deterministic_ktree, random_ktree
+from repro.graphs.traversal import is_connected
+from repro.verify.coloring import is_proper
+
+
+def test_initial_clique():
+    tree = KTree(2)
+    assert tree.num_nodes == 3
+    assert tree.graph.num_edges == 3
+
+
+def test_attach_grows_by_one():
+    tree = KTree(2)
+    new = tree.attach([0, 1])
+    assert new == 3
+    assert tree.graph.has_edge(3, 0)
+    assert tree.graph.has_edge(3, 1)
+    assert not tree.graph.has_edge(3, 2)
+
+
+def test_attach_requires_clique():
+    tree = KTree(2)
+    tree.attach([0, 1])  # node 3
+    # 2 and 3 are not adjacent: not a clique.
+    with pytest.raises(ValueError):
+        tree.attach([2, 3])
+
+
+def test_attach_requires_k_nodes():
+    tree = KTree(3)
+    with pytest.raises(ValueError):
+        tree.attach([0, 1])
+
+
+def test_canonical_coloring_proper():
+    tree = random_ktree(3, 40, seed=7)
+    coloring = {u: tree.canonical_color(u) + 1 for u in tree.graph.nodes()}
+    assert is_proper(tree.graph, coloring)
+    assert max(coloring.values()) <= 4
+
+
+def test_canonical_coloring_unique_within_cliques():
+    tree = random_ktree(2, 30, seed=3)
+    for clique in tree.cliques:
+        colors = {tree.canonical_color(u) for u in clique}
+        assert len(colors) == len(clique)
+
+
+def test_deterministic_ktree_is_path_like():
+    tree = deterministic_ktree(2, 20)
+    assert tree.num_nodes == 20
+    assert is_connected(tree.graph)
+    # The newest node attaches to the two previous ones.
+    assert tree.graph.has_edge(19, 18)
+    assert tree.graph.has_edge(19, 17)
+
+
+def test_random_ktree_reproducible():
+    t1 = random_ktree(2, 25, seed=11)
+    t2 = random_ktree(2, 25, seed=11)
+    assert t1.graph == t2.graph
+
+
+def test_clique_tree_is_connected_tree():
+    tree = random_ktree(2, 20, seed=5)
+    h = tree.clique_tree()
+    assert is_connected(h)
+    assert h.num_edges >= h.num_nodes - 1
+
+
+def test_minimum_sizes():
+    with pytest.raises(ValueError):
+        deterministic_ktree(3, 3)
+    with pytest.raises(ValueError):
+        KTree(0)

@@ -1,0 +1,59 @@
+"""Tests for the seeded random generators."""
+
+import pytest
+
+from repro.families.random_graphs import (
+    random_connected_bipartite,
+    random_reveal_order,
+    random_tree,
+    scattered_reveal_order,
+)
+from repro.graphs.traversal import bfs_distances, is_connected
+from repro.verify.coloring import is_proper
+
+
+def test_random_tree_is_a_tree():
+    tree = random_tree(50, seed=4)
+    assert tree.num_nodes == 50
+    assert tree.num_edges == 49
+    assert is_connected(tree)
+
+
+def test_random_tree_reproducible():
+    assert random_tree(30, seed=9) == random_tree(30, seed=9)
+
+
+def test_random_tree_validation():
+    with pytest.raises(ValueError):
+        random_tree(0)
+
+
+def test_random_bipartite_is_bipartite_and_connected():
+    g = random_connected_bipartite(8, 12, extra_edges=10, seed=2)
+    assert is_connected(g)
+    parity = {
+        node: dist % 2 for node, dist in bfs_distances(g, "L0").items()
+    }
+    assert is_proper(g, {node: parity[node] + 1 for node in g.nodes()})
+
+
+def test_random_bipartite_validation():
+    with pytest.raises(ValueError):
+        random_connected_bipartite(0, 5, 0)
+
+
+def test_reveal_orders_are_permutations():
+    nodes = list(range(40))
+    for order in (
+        random_reveal_order(nodes, seed=1),
+        scattered_reveal_order(nodes, seed=1),
+    ):
+        assert sorted(order) == nodes
+
+
+def test_reveal_orders_reproducible():
+    nodes = list(range(25))
+    assert random_reveal_order(nodes, seed=5) == random_reveal_order(nodes, seed=5)
+    assert scattered_reveal_order(nodes, seed=5) == scattered_reveal_order(
+        nodes, seed=5
+    )

@@ -1,0 +1,78 @@
+"""Tests for triangular grids."""
+
+import pytest
+
+from repro.families.triangular import TriangularGrid
+from repro.graphs.traversal import is_connected
+from repro.verify.coloring import is_proper
+
+
+def test_node_count_excludes_degenerate_corners():
+    tri = TriangularGrid(4)
+    assert tri.num_nodes == 5 * 6 // 2 - 2
+
+
+def test_literal_node_count_with_corners():
+    tri = TriangularGrid(4, include_degenerate_corners=True)
+    assert tri.num_nodes == 5 * 6 // 2
+
+
+def test_degenerate_corners_have_degree_one():
+    tri = TriangularGrid(4, include_degenerate_corners=True)
+    assert tri.graph.degree((0, 4)) == 1
+    assert tri.graph.degree((4, 0)) == 1
+
+
+def test_edge_rule():
+    tri = TriangularGrid(4)
+    assert tri.graph.has_edge((1, 1), (2, 1))
+    assert tri.graph.has_edge((1, 1), (1, 2))
+    assert tri.graph.has_edge((1, 1), (2, 2))
+    assert tri.graph.has_edge((1, 1), (0, 0))
+    # The anti-diagonal is not an edge direction.
+    assert not tri.graph.has_edge((1, 1), (2, 0))
+    assert not tri.graph.has_edge((1, 1), (0, 2))
+
+
+def test_canonical_coloring_is_proper():
+    tri = TriangularGrid(6)
+    coloring = {node: tri.canonical_color(node) + 1 for node in tri.graph.nodes()}
+    assert is_proper(tri.graph, coloring)
+    assert set(coloring.values()) == {1, 2, 3}
+
+
+def test_every_node_in_a_triangle():
+    tri = TriangularGrid(5)
+    covered = set()
+    for a, b, c in tri.triangles():
+        covered.update((a, b, c))
+    assert covered == set(tri.graph.nodes())
+
+
+def test_triangles_are_cliques():
+    tri = TriangularGrid(4)
+    for a, b, c in tri.triangles():
+        assert tri.graph.has_edge(a, b)
+        assert tri.graph.has_edge(b, c)
+        assert tri.graph.has_edge(a, c)
+
+
+def test_triangle_count():
+    # Side-2 grid without corners: nodes (0,0),(1,0),(0,1),(1,1),(2,0)x,(0,2)x
+    tri = TriangularGrid(2)
+    assert len(tri.triangles()) == 2
+
+
+def test_connected():
+    assert is_connected(TriangularGrid(5).graph)
+
+
+def test_side_validation():
+    with pytest.raises(ValueError):
+        TriangularGrid(1)
+    with pytest.raises(ValueError):
+        TriangularGrid(0, include_degenerate_corners=True)
+
+
+def test_repr():
+    assert "TriangularGrid" in repr(TriangularGrid(3))

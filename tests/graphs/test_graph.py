@@ -1,0 +1,178 @@
+"""Tests for the Graph substrate."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_nodes_only(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+
+    def test_edges_create_endpoints(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_edge_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_tuple_nodes(self):
+        g = Graph(edges=[((0, 0), (0, 1))])
+        assert (0, 0) in g
+        assert g.has_edge((0, 0), (0, 1))
+
+    def test_add_edges_bulk(self):
+        g = Graph()
+        g.add_edges([(1, 2), (2, 3), (3, 1)])
+        assert g.num_edges == 3
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == frozenset({2, 3})
+        assert g.neighbors(2) == frozenset({1})
+
+    def test_neighbors_missing_node(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.neighbors(42)
+
+    def test_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(4) == 1
+
+    def test_max_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_has_edge_absent_nodes(self):
+        g = Graph(edges=[(1, 2)])
+        assert not g.has_edge(1, 99)
+        assert not g.has_edge(98, 99)
+
+    def test_edges_listed_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({1, 3}),
+        }
+
+    def test_len_and_iter(self):
+        g = Graph(nodes=[1, 2], edges=[(2, 3)])
+        assert len(g) == 3
+        assert set(g) == {1, 2, 3}
+
+    def test_contains(self):
+        g = Graph(nodes=["x"])
+        assert "x" in g
+        assert "y" not in g
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.num_nodes == 3
+
+    def test_remove_missing_edge(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 3)
+
+    def test_remove_node(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.num_edges == 0
+
+    def test_remove_missing_node(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.remove_node(5)
+
+
+class TestDerived:
+    def test_induced_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_induced_subgraph_ignores_foreign_nodes(self):
+        g = Graph(edges=[(1, 2)])
+        sub = g.induced_subgraph([1, 2, 99])
+        assert sub.num_nodes == 2
+
+    def test_induced_subgraph_keeps_isolated(self):
+        g = Graph(nodes=[5], edges=[(1, 2)])
+        sub = g.induced_subgraph([1, 5])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 0
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_nodes == 2
+        assert clone.num_nodes == 3
+
+    def test_relabel(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        relabeled = g.relabel({1: "a", 2: "b", 3: "c"})
+        assert relabeled.has_edge("a", "b")
+        assert relabeled.has_edge("b", "c")
+        assert relabeled.num_nodes == 3
+
+    def test_relabel_partial(self):
+        g = Graph(edges=[(1, 2)])
+        relabeled = g.relabel({1: "a"})
+        assert relabeled.has_edge("a", 2)
+
+    def test_relabel_collision_rejected(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            g.relabel({1: "x", 2: "x"})
+
+    def test_equality(self):
+        g1 = Graph(edges=[(1, 2)])
+        g2 = Graph(edges=[(1, 2)])
+        g3 = Graph(edges=[(1, 3)])
+        assert g1 == g2
+        assert g1 != g3
+
+    def test_repr(self):
+        assert repr(Graph(edges=[(1, 2)])) == "Graph(n=2, m=1)"

@@ -1,0 +1,59 @@
+"""Tests for the small-graph isomorphism search."""
+
+from repro.families.grids import SimpleGrid
+from repro.graphs.graph import Graph
+from repro.graphs.isomorphism import find_isomorphism, is_isomorphic
+
+
+def test_identical_graphs():
+    g = Graph(edges=[(1, 2), (2, 3)])
+    assert is_isomorphic(g, g)
+
+
+def test_relabeled_graphs():
+    g1 = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+    g2 = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+    mapping = find_isomorphism(g1, g2)
+    assert mapping is not None
+    for u, v in g1.edges():
+        assert g2.has_edge(mapping[u], mapping[v])
+
+
+def test_different_sizes():
+    assert not is_isomorphic(Graph(edges=[(1, 2)]), Graph(edges=[(1, 2), (2, 3)]))
+
+
+def test_same_counts_different_structure():
+    # Path P4 vs star K1,3: both 4 nodes, 3 edges.
+    path = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+    star = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+    assert not is_isomorphic(path, star)
+
+
+def test_cycle_vs_path_plus_edge():
+    c4 = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    other = Graph(edges=[(0, 1), (1, 2), (2, 3), (1, 3)])
+    assert not is_isomorphic(c4, other)
+
+
+def test_grid_reflection_is_isomorphic():
+    grid = SimpleGrid(3, 4)
+    mirrored = grid.graph.relabel(grid.reflect_horizontal())
+    assert is_isomorphic(grid.graph, mirrored)
+
+
+def test_mapping_preserves_non_edges():
+    g1 = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])  # C5
+    g2 = Graph(edges=[(10, 11), (11, 12), (12, 13), (13, 14), (14, 10)])
+    mapping = find_isomorphism(g1, g2)
+    assert mapping is not None
+    for u in g1.nodes():
+        for v in g1.nodes():
+            if u != v:
+                assert g1.has_edge(u, v) == g2.has_edge(mapping[u], mapping[v])
+
+
+def test_disconnected_isomorphism():
+    g1 = Graph(edges=[(0, 1), (2, 3)])
+    g2 = Graph(edges=[(10, 20), (30, 40)])
+    assert is_isomorphic(g1, g2)

@@ -1,0 +1,124 @@
+"""Tests for BFS, balls, components, diameter."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    ball,
+    bfs_distances,
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+    shortest_path,
+)
+
+
+class TestBfsDistances:
+    def test_single_source(self, path_graph):
+        dist = bfs_distances(path_graph, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_multi_source(self, path_graph):
+        dist = bfs_distances(path_graph, [0, 5])
+        assert dist[2] == 2
+        assert dist[3] == 2
+
+    def test_max_dist(self, path_graph):
+        dist = bfs_distances(path_graph, 0, max_dist=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_missing_source(self, path_graph):
+        with pytest.raises(KeyError):
+            bfs_distances(path_graph, 99)
+
+    def test_tuple_node_treated_as_single_source(self, small_grid):
+        # Grid nodes are tuples; (0, 0) must be one source, not two.
+        dist = bfs_distances(small_grid.graph, (0, 0))
+        assert dist[(0, 0)] == 0
+        assert dist[(2, 3)] == 5
+
+
+class TestBall:
+    def test_radius_zero(self, path_graph):
+        assert ball(path_graph, 2, 0) == {2}
+
+    def test_radius_two(self, path_graph):
+        assert ball(path_graph, 2, 2) == {0, 1, 2, 3, 4}
+
+    def test_negative_radius(self, path_graph):
+        with pytest.raises(ValueError):
+            ball(path_graph, 0, -1)
+
+    def test_grid_ball_is_diamond(self, small_grid):
+        region = ball(small_grid.graph, (2, 3), 1)
+        assert region == {(2, 3), (1, 3), (3, 3), (2, 2), (2, 4)}
+
+    def test_multi_source_ball(self, path_graph):
+        assert ball(path_graph, [0, 5], 1) == {0, 1, 4, 5}
+
+
+class TestComponents:
+    def test_connected(self, path_graph):
+        assert is_connected(path_graph)
+        assert len(connected_components(path_graph)) == 1
+
+    def test_disconnected(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert {frozenset(c) for c in comps} == {
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+        }
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+    def test_isolated_nodes(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert len(connected_components(g)) == 3
+
+
+class TestShortestPath:
+    def test_trivial(self, path_graph):
+        assert shortest_path(path_graph, 3, 3) == [3]
+
+    def test_path(self, path_graph):
+        assert shortest_path(path_graph, 0, 3) == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert shortest_path(g, 1, 4) is None
+
+    def test_missing_endpoint(self, path_graph):
+        with pytest.raises(KeyError):
+            shortest_path(path_graph, 0, 77)
+
+    def test_grid_path_length(self, small_grid):
+        path = shortest_path(small_grid.graph, (0, 0), (4, 6))
+        assert path is not None
+        assert len(path) == 11  # manhattan distance 10 + 1
+
+
+class TestDiameter:
+    def test_path_diameter(self, path_graph):
+        assert diameter(path_graph) == 5
+
+    def test_cycle_diameter(self, cycle_graph):
+        assert diameter(cycle_graph) == 3
+
+    def test_eccentricity(self, path_graph):
+        assert eccentricity(path_graph, 0) == 5
+        assert eccentricity(path_graph, 2) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            diameter(Graph())
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(edges=[(1, 2), (3, 4)]))
+
+    def test_grid_diameter(self, small_grid):
+        assert diameter(small_grid.graph) == 4 + 6

@@ -1,0 +1,149 @@
+"""Tests for LateAutomorphismInstance (fixed host, lazy labelings)."""
+
+import pytest
+
+from repro.families.gadgets import GadgetChain
+from repro.families.grids import ToroidalGrid
+from repro.models.adaptive import ConsistencyError, LateAutomorphismInstance
+from repro.models.base import OnlineAlgorithm
+
+
+class Greedy(OnlineAlgorithm):
+    name = "greedy"
+
+    def step(self, view, target):
+        used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+def torus_instance(side=9, locality=1):
+    torus = ToroidalGrid(side, side)
+    inst = LateAutomorphismInstance(
+        torus.graph, Greedy(), locality=locality, num_colors=3
+    )
+    mirror = {
+        (i, j): (i, (-j) % side)
+        for i in range(side)
+        for j in range(side)
+    }
+    return torus, inst, mirror
+
+
+class TestDeclaration:
+    def test_fragment_with_valid_automorphism(self):
+        torus, inst, mirror = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        frag = inst.add_fragment(band, {"mirror": mirror})
+        assert frag == 0
+
+    def test_non_automorphism_rejected(self):
+        torus, inst, __ = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        bad = {node: node for node in torus.graph.nodes()}
+        bad[(0, 0)], bad[(4, 4)] = (4, 4), (0, 0)  # swaps across rows
+        with pytest.raises(ValueError):
+            inst.add_fragment(band, {"bad": bad})
+
+    def test_mapping_must_fix_region(self):
+        torus, inst, __ = torus_instance()
+        band = {(0, j) for j in range(9)}
+        shift_rows = {
+            (i, j): ((i + 1) % 9, j) for i in range(9) for j in range(9)
+        }  # a genuine automorphism, but it moves the band
+        with pytest.raises(ValueError, match="setwise"):
+            inst.add_fragment(band, {"shift": shift_rows})
+
+    def test_overlapping_regions_rejected(self):
+        torus, inst, mirror = torus_instance()
+        band = {(i, j) for i in (0, 1) for j in range(9)}
+        inst.add_fragment(band, {})
+        with pytest.raises(ValueError, match="disjoint"):
+            inst.add_fragment({(1, 0)}, {})
+
+    def test_adjacent_regions_rejected(self):
+        torus, inst, __ = torus_instance()
+        inst.add_fragment({(0, j) for j in range(9)}, {})
+        with pytest.raises(ValueError, match="non-adjacent"):
+            inst.add_fragment({(1, j) for j in range(9)}, {})
+
+
+class TestPlay:
+    def test_ball_must_stay_inside_region(self):
+        torus, inst, __ = torus_instance(locality=2)
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        frag = inst.add_fragment(band, {})
+        with pytest.raises(ConsistencyError, match="leaves the fragment"):
+            inst.reveal_in_fragment(frag, (1, 0))  # ball radius 2 exits rows 0-2
+
+    def test_free_reveal_requires_commits(self):
+        torus, inst, __ = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        inst.add_fragment(band, {})
+        with pytest.raises(ConsistencyError, match="commit every fragment"):
+            inst.reveal((5, 5))
+
+    def test_identity_commit_roundtrip(self):
+        torus, inst, mirror = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        frag = inst.add_fragment(band, {"mirror": mirror})
+        for j in range(9):
+            inst.reveal_in_fragment(frag, (1, j))
+        pre = {j: inst.fragment_color(frag, (1, j)) for j in range(9)}
+        inst.commit_fragment(frag, "identity")
+        coloring = inst.coloring()
+        assert all(coloring[(1, j)] == pre[j] for j in range(9))
+        inst.audit()
+
+    def test_mirror_commit_relocates_colors(self):
+        torus, inst, mirror = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        frag = inst.add_fragment(band, {"mirror": mirror})
+        for j in range(9):
+            inst.reveal_in_fragment(frag, (1, j))
+        pre = {j: inst.fragment_color(frag, (1, j)) for j in range(9)}
+        inst.commit_fragment(frag, "mirror")
+        coloring = inst.coloring()
+        assert all(coloring[(1, (-j) % 9)] == pre[j] for j in range(9))
+        inst.audit()
+
+    def test_full_game_with_free_phase(self):
+        torus, inst, mirror = torus_instance()
+        band = {(i, j) for i in (0, 1, 2) for j in range(9)}
+        frag = inst.add_fragment(band, {"mirror": mirror})
+        for j in range(9):
+            inst.reveal_in_fragment(frag, (1, j))
+        inst.commit_fragment(frag, "mirror")
+        for node in sorted(torus.graph.nodes()):
+            node_id = inst._id_of_host.get(node)
+            if node_id is None or node_id not in inst.tracker.colors:
+                inst.reveal(node)
+        coloring = inst.coloring()
+        assert set(coloring) == set(torus.graph.nodes())
+        inst.audit()
+
+    def test_double_commit_rejected(self):
+        torus, inst, __ = torus_instance()
+        frag = inst.add_fragment({(0, j) for j in range(9)}, {})
+        inst.commit_fragment(frag, "identity")
+        with pytest.raises(ConsistencyError):
+            inst.commit_fragment(frag, "identity")
+
+    def test_gadget_transpose_views_identical(self):
+        """The core soundness property: both commit choices are consistent
+        with everything the algorithm saw (the audit passes either way)."""
+        for choice in ("identity", "transpose"):
+            chain = GadgetChain(3, 7)
+            inst = LateAutomorphismInstance(
+                chain.graph, Greedy(), locality=1, num_colors=4
+            )
+            region = {
+                (g, i, j) for g in (5, 6) for i in range(3) for j in range(3)
+            }
+            frag = inst.add_fragment(region, {"transpose": chain.transpose()})
+            for node in chain.gadget_nodes(6):
+                inst.reveal_in_fragment(frag, node)
+            inst.commit_fragment(frag, choice)
+            inst.audit()

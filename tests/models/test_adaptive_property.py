@@ -1,0 +1,120 @@
+"""Property-based tests for the adaptive instances: random games always
+audit clean, and illegal merges are always rejected."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.adaptive import ConsistencyError, FloatingGridInstance
+from repro.models.base import OnlineAlgorithm
+
+
+class Greedy3(OnlineAlgorithm):
+    name = "greedy3"
+
+    def step(self, view, target):
+        used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+        for color in (1, 2, 3):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+@st.composite
+def random_games(draw):
+    """A random sequence of fragment reveals and merge attempts."""
+    locality = draw(st.integers(min_value=0, max_value=2))
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["reveal", "merge"]),
+                st.integers(min_value=-12, max_value=12),  # x offset / dx
+                st.booleans(),  # reflect for merges
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return locality, moves
+
+
+@given(random_games())
+@settings(max_examples=60, deadline=None)
+def test_random_games_audit_clean(game):
+    """Whatever legal moves the adversary plays, the final committed host
+    must replay every view identically."""
+    locality, moves = game
+    instance = FloatingGridInstance(
+        Greedy3(), locality=locality, num_colors=3, declared_n=10 ** 6
+    )
+    fragments = [instance.new_fragment()]
+    instance.reveal(fragments[0], (0, 0))
+    for kind, offset, reflect in moves:
+        if kind == "reveal":
+            instance.reveal(fragments[-1], (offset, 0))
+        else:
+            fresh = instance.new_fragment()
+            instance.reveal(fresh, (0, 0))
+            try:
+                instance.merge(fragments[-1], fresh, dx=offset, dy=0,
+                               reflect=reflect)
+            except ConsistencyError:
+                # Illegal placement rejected: the fresh fragment stays
+                # separate; keep revealing into the old one.
+                fragments.append(fresh)
+                fragments.reverse()  # vary which fragment gets reveals
+    instance.commit()
+    instance.audit()
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=-3, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_too_close_merges_always_rejected(locality, jitter):
+    """Any merge placing the second singleton ball within distance 1 of
+    the first must raise; any placement at distance >= 2 must succeed."""
+    instance = FloatingGridInstance(
+        Greedy3(), locality=locality, num_colors=3, declared_n=10 ** 6
+    )
+    a = instance.new_fragment()
+    b = instance.new_fragment()
+    instance.reveal(a, (0, 0))
+    instance.reveal(b, (0, 0))
+    # Seen extents are [-T, T]; placing b's center at dx puts its extent
+    # at [dx-T, dx+T]; the regions are at distance |dx| - 2T.
+    dx = 2 * locality + jitter
+    if abs(dx) - 2 * locality >= 2:
+        instance.merge(a, b, dx=dx, dy=0)
+        instance.commit()
+        instance.audit()
+    else:
+        try:
+            instance.merge(a, b, dx=dx, dy=0)
+            raised = False
+        except ConsistencyError:
+            raised = True
+        assert raised
+
+
+@given(st.integers(min_value=2, max_value=8), st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_reflection_preserves_committed_colors(span, reflect):
+    """Colors travel with the nodes under reflected merges."""
+    instance = FloatingGridInstance(
+        Greedy3(), locality=1, num_colors=3, declared_n=10 ** 6
+    )
+    a = instance.new_fragment()
+    b = instance.new_fragment()
+    instance.reveal(a, (0, 0))
+    expected = {}
+    for x in range(span):
+        instance.reveal(b, (x, 0))
+        expected[x] = instance.fragment_color(b, (x, 0))
+    dx = 20 + (span if reflect else 0)
+    instance.merge(a, b, dx=dx, dy=0, reflect=reflect)
+    for x, color in expected.items():
+        landed = (dx - x) if reflect else (dx + x)
+        assert instance.fragment_color(a, (landed, 0)) == color
+    instance.commit()
+    instance.audit()

@@ -1,0 +1,120 @@
+"""Tests for the ViewTracker contract enforcement."""
+
+import pytest
+
+from repro.models.base import AlgorithmError, AlgorithmView, OnlineAlgorithm, ViewTracker
+
+
+class Scripted(OnlineAlgorithm):
+    """Returns pre-programmed assignments, one per step."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def step(self, view, target):
+        return self.script.pop(0)
+
+
+def make_tracker(script, num_colors=3):
+    tracker = ViewTracker(Scripted(script), n=10, locality=1, num_colors=num_colors)
+    tracker.extend([0, 1, 2], [(0, 1), (1, 2)])
+    return tracker
+
+
+def test_basic_reveal():
+    tracker = make_tracker([{0: 1}])
+    assert tracker.reveal(0) == 1
+    assert tracker.colors == {0: 1}
+    assert tracker.reveal_sequence == [0]
+
+
+def test_multi_node_assignment():
+    tracker = make_tracker([{0: 1, 1: 2, 2: 1}])
+    tracker.reveal(0)
+    assert tracker.colors == {0: 1, 1: 2, 2: 1}
+
+
+def test_target_must_be_colored():
+    tracker = make_tracker([{1: 2}])
+    with pytest.raises(AlgorithmError, match="was not colored"):
+        tracker.reveal(0)
+
+
+def test_already_colored_target_is_fine():
+    tracker = make_tracker([{0: 1, 1: 2}, {}])
+    tracker.reveal(0)
+    assert tracker.reveal(1) == 2  # colored earlier; empty step is legal
+
+
+def test_unseen_node_rejected():
+    tracker = make_tracker([{0: 1, 99: 2}])
+    with pytest.raises(AlgorithmError, match="unseen"):
+        tracker.reveal(0)
+
+
+def test_recoloring_rejected():
+    tracker = make_tracker([{0: 1}, {1: 2, 0: 3}])
+    tracker.reveal(0)
+    with pytest.raises(AlgorithmError, match="recolored"):
+        tracker.reveal(1)
+
+
+def test_same_color_recommit_tolerated():
+    tracker = make_tracker([{0: 1}, {1: 2, 0: 1}])
+    tracker.reveal(0)
+    tracker.reveal(1)
+    assert tracker.colors[0] == 1
+
+
+def test_color_range_enforced():
+    tracker = make_tracker([{0: 4}])
+    with pytest.raises(AlgorithmError, match="outside"):
+        tracker.reveal(0)
+    tracker2 = make_tracker([{0: 0}])
+    with pytest.raises(AlgorithmError, match="outside"):
+        tracker2.reveal(0)
+
+
+def test_reveal_requires_prior_extend():
+    tracker = make_tracker([{5: 1}])
+    with pytest.raises(ValueError, match="not added to view"):
+        tracker.reveal(5)
+
+
+def test_monochromatic_detection():
+    tracker = make_tracker([{0: 1}, {1: 1}])
+    tracker.reveal(0)
+    assert not tracker.monochromatic_in_last_step()
+    tracker.reveal(1)
+    assert tracker.monochromatic_in_last_step()
+
+
+def test_view_contents():
+    captured = {}
+
+    class Inspecting(OnlineAlgorithm):
+        name = "inspecting"
+
+        def step(self, view: AlgorithmView, target):
+            captured["n"] = view.n
+            captured["locality"] = view.locality
+            captured["uncolored"] = sorted(view.uncolored())
+            captured["sequence"] = list(view.reveal_sequence)
+            return {target: 1}
+
+    tracker = ViewTracker(Inspecting(), n=42, locality=7, num_colors=3)
+    tracker.extend([0, 1], [(0, 1)])
+    tracker.reveal(0)
+    assert captured["n"] == 42
+    assert captured["locality"] == 7
+    assert captured["uncolored"] == [0, 1]
+    assert captured["sequence"] == [0]
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ViewTracker(Scripted([]), n=5, locality=-1, num_colors=3)
+    with pytest.raises(ValueError):
+        ViewTracker(Scripted([]), n=5, locality=1, num_colors=0)

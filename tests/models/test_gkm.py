@@ -1,0 +1,114 @@
+"""Tests for network decompositions and the GKM SLOCAL-in-LOCAL simulation."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_tree
+from repro.graphs.decomposition import (
+    ball_carving_decomposition,
+    carving_diameter_bound,
+    check_decomposition,
+)
+from repro.graphs.graph import Graph
+from repro.models.gkm import GkmSimulation
+from repro.models.slocal import SLocalAlgorithm, SLocalView
+from repro.verify.coloring import is_proper
+
+
+class GreedySLocal(SLocalAlgorithm):
+    name = "greedy"
+
+    def color(self, view: SLocalView) -> int:
+        used = {view.colors.get(v) for v in view.graph.neighbors(view.center)}
+        return min(c for c in range(1, self.num_colors + 1) if c not in used)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: SimpleGrid(6, 7).graph,
+            lambda: random_tree(50, seed=3),
+            lambda: Graph(edges=[(i, (i + 1) % 20) for i in range(20)]),
+        ],
+        ids=["grid", "tree", "cycle"],
+    )
+    def test_valid_and_within_diameter_bound(self, graph_factory):
+        graph = graph_factory()
+        decomposition = ball_carving_decomposition(graph)
+        c, d = check_decomposition(graph, decomposition)
+        assert c >= 1
+        assert d <= carving_diameter_bound(graph.num_nodes)
+
+    def test_single_node(self):
+        graph = Graph(nodes=[0])
+        decomposition = ball_carving_decomposition(graph)
+        c, d = check_decomposition(graph, decomposition)
+        assert (c, d) == (1, 0)
+
+    def test_checker_rejects_bad_coloring(self):
+        # A 5-path carves into adjacent clusters {0,1}, {2,3}, {4}.
+        graph = Graph(edges=[(i, i + 1) for i in range(4)])
+        decomposition = ball_carving_decomposition(graph)
+        assert len(decomposition.clusters) >= 2
+        for index in decomposition.color_of_cluster:
+            decomposition.color_of_cluster[index] = 0
+        with pytest.raises(ValueError, match="share a color"):
+            check_decomposition(graph, decomposition)
+
+    def test_checker_rejects_partial_cover(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        decomposition = ball_carving_decomposition(graph)
+        del decomposition.cluster_of[0]
+        with pytest.raises(ValueError, match="cover"):
+            check_decomposition(graph, decomposition)
+
+
+class TestGkmSimulation:
+    def test_emulation_is_proper(self):
+        grid = SimpleGrid(5, 6)
+        decomposition = ball_carving_decomposition(grid.graph)
+        sim = GkmSimulation(
+            grid.graph, decomposition, GreedySLocal(), locality=1, num_colors=5
+        )
+        labels = sim.run()
+        assert is_proper(grid.graph, labels)
+
+    def test_emulation_matches_slocal_simulator(self):
+        """The emulation equals the plain SLOCAL simulator run on the
+        decomposition order — same model, same order, same labels."""
+        from repro.models.slocal import SLocalSimulator
+
+        grid = SimpleGrid(4, 5)
+        decomposition = ball_carving_decomposition(grid.graph)
+        sim = GkmSimulation(
+            grid.graph, decomposition, GreedySLocal(), locality=1, num_colors=5
+        )
+        direct = SLocalSimulator(
+            grid.graph, GreedySLocal(), locality=1, num_colors=5,
+            id_map=sim._id_map,
+        ).run(sim.processing_order())
+        assert sim.run() == direct
+
+    def test_dependency_radius_within_budget(self):
+        """The GKM theorem, measured: every node's label is pinned by a
+        ball of radius ≤ c(d+T)+T."""
+        grid = SimpleGrid(5, 5)
+        decomposition = ball_carving_decomposition(grid.graph)
+        sim = GkmSimulation(
+            grid.graph, decomposition, GreedySLocal(), locality=1, num_colors=5
+        )
+        budget = sim.radius_budget()
+        for node in [(0, 0), (2, 2), (4, 4), (1, 3)]:
+            assert sim.dependency_radius(node) <= budget
+
+    def test_label_from_full_ball_is_ground_truth(self):
+        tree = random_tree(25, seed=8)
+        decomposition = ball_carving_decomposition(tree)
+        sim = GkmSimulation(
+            tree, decomposition, GreedySLocal(), locality=1, num_colors=4
+        )
+        truth = sim.run()
+        diameter_radius = tree.num_nodes  # certainly covers everything
+        for node in list(tree.nodes())[:5]:
+            assert sim.label_from_ball(node, diameter_radius) == truth[node]

@@ -1,0 +1,90 @@
+"""Tests for the LOCAL model simulator."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.graphs.graph import Graph
+from repro.models.local import LocalAlgorithm, LocalSimulator, LocalView
+from repro.verify.coloring import is_proper
+
+
+class DegreeColorer(LocalAlgorithm):
+    """Colors by the center's degree — a function of the 1-ball only."""
+
+    name = "degree-colorer"
+
+    def color(self, view: LocalView) -> int:
+        return view.graph.degree(view.center) + 1
+
+
+class ViewSizeProbe(LocalAlgorithm):
+    name = "view-size-probe"
+
+    def reset(self, n, locality, num_colors):
+        super().reset(n, locality, num_colors)
+        self.sizes = []
+
+    def color(self, view: LocalView) -> int:
+        self.sizes.append(view.graph.num_nodes)
+        return 1
+
+
+def test_views_have_correct_radius():
+    grid = SimpleGrid(5, 5)
+    probe = ViewSizeProbe()
+    sim = LocalSimulator(grid.graph, probe, locality=1, num_colors=9)
+    sim.run()
+    # Interior nodes see 5 nodes, corners 3, edges 4.
+    assert max(probe.sizes) == 5
+    assert min(probe.sizes) == 3
+
+
+def test_output_depends_only_on_view():
+    g = Graph(edges=[(0, 1), (1, 2)])
+    sim = LocalSimulator(g, DegreeColorer(), locality=1, num_colors=9)
+    coloring = sim.run()
+    assert coloring[1] == 3
+    assert coloring[0] == 2
+
+
+def test_full_view_enables_proper_coloring():
+    """With T >= diameter the canonical LOCAL colorer 2-colors the grid."""
+    from repro.core.baselines import CanonicalLocalColorer
+
+    grid = SimpleGrid(4, 4)
+    sim = LocalSimulator(grid.graph, CanonicalLocalColorer(), locality=8, num_colors=3)
+    coloring = sim.run()
+    assert is_proper(grid.graph, coloring)
+
+
+def test_insufficient_view_fails_somewhere():
+    """With a small radius the canonical colorer disagrees across nodes."""
+    from repro.core.baselines import CanonicalLocalColorer
+
+    grid = SimpleGrid(8, 8)
+    sim = LocalSimulator(grid.graph, CanonicalLocalColorer(), locality=1, num_colors=3)
+    coloring = sim.run()
+    assert not is_proper(grid.graph, coloring)
+
+
+def test_color_range_enforced():
+    grid = SimpleGrid(3, 3)
+    sim = LocalSimulator(grid.graph, DegreeColorer(), locality=1, num_colors=2)
+    with pytest.raises(ValueError, match="outside"):
+        sim.run()
+
+
+def test_custom_id_map():
+    g = Graph(edges=[(0, 1)])
+    sim = LocalSimulator(
+        g, DegreeColorer(), locality=1, num_colors=9, id_map={0: 100, 1: 200}
+    )
+    view = sim.view_of(0)
+    assert view.center == 100
+    assert view.graph.has_edge(100, 200)
+
+
+def test_id_map_must_be_injective():
+    g = Graph(edges=[(0, 1)])
+    with pytest.raises(ValueError):
+        LocalSimulator(g, DegreeColorer(), locality=1, num_colors=9, id_map={0: 7, 1: 7})

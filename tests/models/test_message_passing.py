@@ -1,0 +1,112 @@
+"""Tests for the message-passing LOCAL formulation and its equivalence
+with the view-based definition (the paper's Section 2.2 claim)."""
+
+import random
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.graphs.graph import Graph
+from repro.models.local import LocalSimulator, LocalAlgorithm, LocalView
+from repro.models.message_passing import (
+    ColeVishkinMessagePassing,
+    FloodFill,
+    SynchronousNetwork,
+    cv_total_rounds,
+    reduction_rounds,
+)
+
+
+class TestSynchronousNetwork:
+    def test_zero_rounds_gives_initial_outputs(self):
+        grid = SimpleGrid(3, 3)
+        net = SynchronousNetwork(grid.graph)
+        outputs = net.run(FloodFill(), rounds=0)
+        for node, known in outputs.items():
+            assert len(known) == 1  # only itself
+
+    def test_negative_rounds_rejected(self):
+        net = SynchronousNetwork(Graph(edges=[(0, 1)]))
+        with pytest.raises(ValueError):
+            net.run(FloodFill(), rounds=-1)
+
+    def test_id_map_validation(self):
+        with pytest.raises(ValueError):
+            SynchronousNetwork(Graph(edges=[(0, 1)]), id_map={0: 1, 1: 1})
+
+
+class TestFloodFillEquivalence:
+    """After T rounds, flood-fill has learned exactly the T-ball — the
+    equivalence of the two LOCAL definitions."""
+
+    @pytest.mark.parametrize("rounds", (1, 2, 3))
+    def test_ball_node_sets_match_view_based_local(self, rounds):
+        grid = SimpleGrid(5, 6)
+        net = SynchronousNetwork(grid.graph)
+        outputs = net.run(FloodFill(), rounds=rounds)
+
+        class BallCollector(LocalAlgorithm):
+            name = "ball-collector"
+            views = {}
+
+            def color(self, view: LocalView):
+                BallCollector.views[view.center] = set(view.graph.nodes())
+                return 1
+
+        BallCollector.views = {}
+        LocalSimulator(grid.graph, BallCollector(), locality=rounds,
+                       num_colors=1).run()
+        id_map = net.id_map
+        for node, known in outputs.items():
+            assert set(known) == BallCollector.views[id_map[node]]
+
+    def test_interior_adjacency_is_learned(self):
+        grid = SimpleGrid(4, 4)
+        net = SynchronousNetwork(grid.graph)
+        outputs = net.run(FloodFill(), rounds=2)
+        center = (1, 1)
+        known = outputs[center]
+        # Nodes at distance <= 1 have had a round to report their
+        # adjacency lists; check one.
+        nbr_id = net.id_map[(1, 2)]
+        assert known[nbr_id] is not None
+        assert net.id_map[(1, 1)] in known[nbr_id]
+
+
+def make_cycle(n, seed):
+    """An oriented cycle with random ids; returns (graph, successor map,
+    ids in cycle order)."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(10 ** 6), n)
+    graph = Graph()
+    for index in range(n):
+        graph.add_edge(ids[index], ids[(index + 1) % n])
+    successor = {ids[index]: ids[(index + 1) % n] for index in range(n)}
+    return graph, successor, ids
+
+
+class TestColeVishkinMessagePassing:
+    @pytest.mark.parametrize("n", (3, 5, 8, 60))
+    def test_three_colors_cycle(self, n):
+        graph, successor, ids = make_cycle(n, seed=n)
+        id_map = {node: node for node in graph.nodes()}
+        net = SynchronousNetwork(graph, id_map=id_map)
+        algorithm = ColeVishkinMessagePassing(successor, id_bound=10 ** 6)
+        outputs = net.run(algorithm, rounds=cv_total_rounds(10 ** 6))
+        assert set(outputs.values()) <= {1, 2, 3}
+        for index in range(n):
+            u, v = ids[index], ids[(index + 1) % n]
+            assert outputs[u] != outputs[v]
+
+    def test_round_count_is_log_star_scale(self):
+        assert cv_total_rounds(10 ** 6) <= 12
+        assert cv_total_rounds(2 ** 64) <= 13
+        assert reduction_rounds(5) == 1
+        assert reduction_rounds(6) == 2
+
+    def test_degree_validation(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (0, 3)])
+        net = SynchronousNetwork(graph, id_map={i: i for i in range(4)})
+        algorithm = ColeVishkinMessagePassing({0: 1, 1: 2, 2: 0, 3: 0}, 10)
+        with pytest.raises(ValueError, match="degree 2"):
+            net.run(algorithm, rounds=1)

@@ -1,0 +1,116 @@
+"""Tests for the fixed-host Online-LOCAL simulator."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.graphs.graph import Graph
+from repro.models.base import AlgorithmView, OnlineAlgorithm
+from repro.models.online_local import OnlineLocalSimulator
+
+
+class Recorder(OnlineAlgorithm):
+    """Colors everything 1..num_colors greedily and records its views."""
+
+    name = "recorder"
+
+    def reset(self, n, locality, num_colors):
+        super().reset(n, locality, num_colors)
+        self.view_sizes = []
+        self.targets = []
+
+    def step(self, view: AlgorithmView, target):
+        self.view_sizes.append(view.graph.num_nodes)
+        self.targets.append(target)
+        used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+def test_view_grows_by_balls():
+    grid = SimpleGrid(5, 5)
+    alg = Recorder()
+    sim = OnlineLocalSimulator(grid.graph, alg, locality=1, num_colors=3)
+    sim.reveal((2, 2))
+    assert alg.view_sizes[-1] == 5  # center + 4 neighbors
+    sim.reveal((2, 3))
+    assert alg.view_sizes[-1] == 8  # ball overlaps by 2 nodes
+
+
+def test_ids_are_opaque_and_stable():
+    grid = SimpleGrid(4, 4)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=0, num_colors=3)
+    sim.reveal((1, 1))
+    sim.reveal((1, 2))
+    assert sim.id_of((1, 1)) == 0
+    assert sim.id_of((1, 2)) == 1
+    assert sim.host_node(0) == (1, 1)
+
+
+def test_leak_labels_mode():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(
+        grid.graph, Recorder(), locality=0, num_colors=3, leak_labels=True
+    )
+    sim.reveal((1, 1))
+    assert sim.id_of((1, 1)) == (1, 1)
+
+
+def test_locality_zero_sees_only_target():
+    grid = SimpleGrid(3, 3)
+    alg = Recorder()
+    sim = OnlineLocalSimulator(grid.graph, alg, locality=0, num_colors=3)
+    sim.reveal((0, 0))
+    assert alg.view_sizes == [1]
+
+
+def test_run_covers_all_nodes():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=4)
+    coloring = sim.run(sorted(grid.graph.nodes()))
+    assert set(coloring) == set(grid.graph.nodes())
+
+
+def test_run_rejects_partial_order():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=4)
+    with pytest.raises(ValueError, match="covered"):
+        sim.run([(0, 0), (0, 1)])
+
+
+def test_double_reveal_rejected():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=3)
+    sim.reveal((0, 0))
+    with pytest.raises(ValueError, match="already revealed"):
+        sim.reveal((0, 0))
+
+
+def test_unknown_node_rejected():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=3)
+    with pytest.raises(KeyError):
+        sim.reveal((9, 9))
+
+
+def test_color_of_partial():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=3)
+    assert sim.color_of((0, 0)) is None
+    sim.reveal((0, 0))
+    assert sim.color_of((0, 0)) == 1
+    assert sim.color_of((0, 1)) is None  # seen but uncolored
+
+
+def test_view_is_induced_subgraph():
+    """The view's edge set must match the host's induced subgraph."""
+    grid = SimpleGrid(4, 4)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=2, num_colors=4)
+    sim.reveal((1, 1))
+    sim.reveal((2, 3))
+    seen_hosts = [sim.host_node(i) for i in sim.tracker.view_graph.nodes()]
+    expected = grid.graph.induced_subgraph(seen_hosts).relabel(
+        {node: sim.id_of(node) for node in seen_hosts}
+    )
+    assert expected == sim.tracker.view_graph

@@ -1,0 +1,82 @@
+"""Tests for the model-sandwich adapters (LOCAL/SLOCAL inside Online-LOCAL)."""
+
+from repro.core.baselines import CanonicalLocalColorer
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_reveal_order
+from repro.models.local import LocalAlgorithm, LocalSimulator, LocalView
+from repro.models.online_local import OnlineLocalSimulator
+from repro.models.simulation import LocalAsOnline, SLocalAsOnline
+from repro.models.slocal import SLocalAlgorithm, SLocalView
+from repro.verify.coloring import is_proper
+
+
+class BallFingerprint(LocalAlgorithm):
+    """Colors by a fingerprint of the ball's structure (not ids)."""
+
+    name = "fingerprint"
+
+    def color(self, view: LocalView) -> int:
+        return 1 + (view.graph.num_nodes + view.graph.num_edges) % 3
+
+
+def test_local_as_online_matches_local_simulator():
+    """Simulating a LOCAL algorithm in Online-LOCAL yields the exact same
+    coloring, for every reveal order — the sandwich inclusion."""
+    grid = SimpleGrid(5, 5)
+    direct = LocalSimulator(
+        grid.graph, BallFingerprint(), locality=2, num_colors=3
+    ).run()
+    for seed in range(3):
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+        sim = OnlineLocalSimulator(
+            grid.graph, LocalAsOnline(BallFingerprint()), locality=2, num_colors=3
+        )
+        online = sim.run(order)
+        assert online == direct
+
+
+def test_canonical_local_through_online():
+    """The trivial LOCAL 2-coloring upper bound, run through Online-LOCAL."""
+    grid = SimpleGrid(4, 5)
+    sim = OnlineLocalSimulator(
+        grid.graph,
+        LocalAsOnline(CanonicalLocalColorer()),
+        locality=9,  # >= diameter 7
+        num_colors=3,
+    )
+    coloring = sim.run(sorted(grid.graph.nodes()))
+    assert is_proper(grid.graph, coloring)
+
+
+class GreedySLocal(SLocalAlgorithm):
+    name = "greedy"
+
+    def color(self, view: SLocalView) -> int:
+        used = {view.colors.get(v) for v in view.graph.neighbors(view.center)}
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return color
+        return 1
+
+
+def test_slocal_as_online_is_proper():
+    grid = SimpleGrid(6, 6)
+    sim = OnlineLocalSimulator(
+        grid.graph, SLocalAsOnline(GreedySLocal()), locality=1, num_colors=5
+    )
+    coloring = sim.run(random_reveal_order(sorted(grid.graph.nodes()), seed=3))
+    assert is_proper(grid.graph, coloring)
+
+
+def test_adapters_only_color_the_target():
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(
+        grid.graph, SLocalAsOnline(GreedySLocal()), locality=1, num_colors=5
+    )
+    sim.reveal((1, 1))
+    assert len(sim.tracker.colors) == 1
+
+
+def test_adapter_names():
+    assert LocalAsOnline(BallFingerprint()).name == "local:fingerprint"
+    assert SLocalAsOnline(GreedySLocal()).name == "slocal:greedy"

@@ -1,0 +1,88 @@
+"""Tests for the SLOCAL model simulator."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.families.random_graphs import random_reveal_order, random_tree
+from repro.graphs.graph import Graph
+from repro.models.slocal import SLocalAlgorithm, SLocalSimulator, SLocalView
+from repro.verify.coloring import is_proper
+
+
+class GreedySLocal(SLocalAlgorithm):
+    """The classical locality-1 greedy (degree+1)-coloring."""
+
+    name = "greedy"
+
+    def color(self, view: SLocalView) -> int:
+        used = {
+            view.colors.get(v)
+            for v in view.graph.neighbors(view.center)
+        }
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return color
+        raise AssertionError("greedy needs degree+1 colors")
+
+
+def test_greedy_degree_plus_one_on_grid():
+    """The Section 1 example: greedy solves (Δ+1)-coloring at locality 1."""
+    grid = SimpleGrid(6, 6)
+    sim = SLocalSimulator(grid.graph, GreedySLocal(), locality=1, num_colors=5)
+    for seed in range(3):
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+        coloring = sim.run(order)
+        assert is_proper(grid.graph, coloring)
+
+
+def test_greedy_on_random_tree():
+    tree = random_tree(60, seed=8)
+    max_deg = tree.max_degree()
+    sim = SLocalSimulator(tree, GreedySLocal(), locality=1, num_colors=max_deg + 1)
+    coloring = sim.run(random_reveal_order(sorted(tree.nodes()), seed=1))
+    assert is_proper(tree, coloring)
+
+
+def test_order_must_cover_every_node():
+    g = Graph(edges=[(0, 1), (1, 2)])
+    sim = SLocalSimulator(g, GreedySLocal(), locality=1, num_colors=3)
+    with pytest.raises(ValueError, match="covered"):
+        sim.run([0, 1])
+
+
+def test_duplicate_order_rejected():
+    g = Graph(edges=[(0, 1)])
+    sim = SLocalSimulator(g, GreedySLocal(), locality=1, num_colors=3)
+    with pytest.raises(ValueError, match="twice"):
+        sim.run([0, 0])
+
+
+def test_prior_outputs_visible():
+    """The second processed node must see the first's color."""
+    seen_colors = []
+
+    class Probe(SLocalAlgorithm):
+        name = "probe"
+
+        def color(self, view: SLocalView) -> int:
+            seen_colors.append(dict(view.colors))
+            return 1 + len(view.colors)
+
+    g = Graph(edges=[(0, 1)])
+    sim = SLocalSimulator(g, Probe(), locality=1, num_colors=5)
+    sim.run([0, 1])
+    assert seen_colors[0] == {}
+    assert len(seen_colors[1]) == 1
+
+
+def test_color_range_enforced():
+    class Bad(SLocalAlgorithm):
+        name = "bad"
+
+        def color(self, view):
+            return 99
+
+    g = Graph(edges=[(0, 1)])
+    sim = SLocalSimulator(g, Bad(), locality=1, num_colors=3)
+    with pytest.raises(ValueError, match="outside"):
+        sim.run([0, 1])

@@ -1,0 +1,65 @@
+"""Property-based oracle tests: on random fragments of the right family,
+the fast oracles agree with the brute-force Definition 1.4 enumeration
+and with the family's canonical coloring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.families.ktree import random_ktree
+from repro.families.triangular import TriangularGrid
+from repro.graphs.traversal import ball
+from repro.oracles import BruteForceOracle, KTreeOracle, TriangularOracle
+from repro.verify.liuc import sample_connected_subsets
+
+TRI = TriangularGrid(7)
+KTREE = random_ktree(2, 25, seed=9)
+
+
+def same_partition(parts_a, parts_b, nodes):
+    mapping = {}
+    for node in nodes:
+        pa, pb = parts_a[node], parts_b[node]
+        if mapping.setdefault(pa, pb) != pb:
+            return False
+    return len(set(mapping.values())) == len(mapping)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_triangular_oracle_matches_canonical_on_random_fragments(seed):
+    fragment = sample_connected_subsets(TRI.graph, count=1, max_size=8, seed=seed)[0]
+    parts = TriangularOracle().infer(TRI.graph, fragment)
+    canonical = {v: TRI.canonical_color(v) for v in fragment}
+    assert same_partition(parts, canonical, fragment)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=10, deadline=None)
+def test_triangular_oracle_matches_brute_force(seed):
+    fragment = sample_connected_subsets(TRI.graph, count=1, max_size=5, seed=seed)[0]
+    fast = TriangularOracle().infer(TRI.graph, fragment)
+    brute = BruteForceOracle(num_parts=3, radius=1).infer(TRI.graph, fragment)
+    assert same_partition(fast, brute, fragment)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_ktree_oracle_matches_canonical_on_random_fragments(seed):
+    fragment = sample_connected_subsets(KTREE.graph, count=1, max_size=6, seed=seed)[0]
+    parts = KTreeOracle(2).infer(KTREE.graph, fragment)
+    canonical = {v: KTREE.canonical_color(v) for v in fragment}
+    assert same_partition(parts, canonical, fragment)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_oracles_are_stable_under_component_growth(seed, radius):
+    """Growing a fragment never changes the inferred partition of the
+    original nodes (up to permutation) — the coherence the rebasing
+    logic of UnifyColoring depends on."""
+    fragment = sample_connected_subsets(TRI.graph, count=1, max_size=6, seed=seed)[0]
+    grown = ball(TRI.graph, fragment, radius)
+    oracle = TriangularOracle()
+    small = oracle.infer(TRI.graph, fragment)
+    large = oracle.infer(TRI.graph, grown)
+    assert same_partition(small, large, fragment)

@@ -1,0 +1,195 @@
+"""Tests for the partition oracles (Definition 1.4 implementations)."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.families.ktree import random_ktree
+from repro.families.triangular import TriangularGrid
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+from repro.oracles import (
+    BipartiteOracle,
+    BruteForceOracle,
+    CliqueChainOracle,
+    KTreeOracle,
+    OracleError,
+    TriangularOracle,
+)
+
+
+def partitions_equal_up_to_permutation(parts_a, parts_b, nodes):
+    """Whether two part assignments induce the same partition of nodes."""
+    mapping = {}
+    for node in nodes:
+        pa, pb = parts_a[node], parts_b[node]
+        if pa in mapping:
+            if mapping[pa] != pb:
+                return False
+        else:
+            mapping[pa] = pb
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestBipartiteOracle:
+    def test_matches_grid_bipartition(self):
+        grid = SimpleGrid(4, 5)
+        oracle = BipartiteOracle()
+        component = set(grid.graph.nodes())
+        parts = oracle.infer(grid.graph, component)
+        canonical = {v: grid.bipartition_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_fragment_of_grid(self):
+        grid = SimpleGrid(5, 5)
+        oracle = BipartiteOracle()
+        component = ball(grid.graph, (2, 2), 2)
+        parts = oracle.infer(grid.graph, component)
+        canonical = {v: grid.bipartition_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_rejects_odd_cycle(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(OracleError, match="not bipartite"):
+            BipartiteOracle().infer(g, {0, 1, 2})
+
+    def test_rejects_disconnected_component(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        with pytest.raises(OracleError, match="not connected"):
+            BipartiteOracle().infer(g, {0, 1, 2, 3})
+
+    def test_rejects_empty(self):
+        with pytest.raises(OracleError):
+            BipartiteOracle().infer(Graph(), set())
+
+
+class TestTriangularOracle:
+    def test_matches_canonical_tripartition(self):
+        tri = TriangularGrid(8)
+        oracle = TriangularOracle()
+        component = set(tri.graph.nodes())
+        parts = oracle.infer(tri.graph, component)
+        canonical = {v: tri.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_ball_fragment(self):
+        tri = TriangularGrid(10)
+        oracle = TriangularOracle()
+        component = ball(tri.graph, (3, 3), 2)
+        parts = oracle.infer(tri.graph, component)
+        canonical = {v: tri.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_bridge_fragment_inferred_through_radius_one(self):
+        """Two balls joined by a bare edge: the triangles around the
+        bridging edge live in B(C, 1) and carry the inference across —
+        the executable Figure 1 argument."""
+        tri = TriangularGrid(14)
+        oracle = TriangularOracle()
+        left = ball(tri.graph, (2, 2), 1)
+        right = ball(tri.graph, (2 + 5, 2), 1)
+        bridge = {(2 + 3, 2)}  # midpoint connecting the two balls via edges
+        component = left | right | bridge | {(2 + 2, 2), (2 + 4, 2)}
+        sub = tri.graph.induced_subgraph(component)
+        from repro.graphs.traversal import is_connected
+
+        assert is_connected(sub)
+        parts = oracle.infer(tri.graph, component)
+        canonical = {v: tri.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_agrees_with_brute_force(self):
+        tri = TriangularGrid(5)
+        component = ball(tri.graph, (1, 1), 1)
+        fast = TriangularOracle().infer(tri.graph, component)
+        brute = BruteForceOracle(num_parts=3, radius=1).infer(tri.graph, component)
+        assert partitions_equal_up_to_permutation(fast, brute, component)
+
+    def test_rejects_triangle_free_fragment(self):
+        grid = SimpleGrid(4, 4)  # no triangles at all
+        with pytest.raises(OracleError, match="no triangle"):
+            TriangularOracle().infer(grid.graph, {(1, 1), (1, 2)})
+
+
+class TestCliqueChainOracle:
+    def test_ktree_full_graph(self):
+        tree = random_ktree(2, 30, seed=4)
+        oracle = KTreeOracle(2)
+        component = set(tree.graph.nodes())
+        parts = oracle.infer(tree.graph, component)
+        canonical = {v: tree.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_ktree_fragment(self):
+        tree = random_ktree(3, 30, seed=6)
+        oracle = KTreeOracle(3)
+        component = ball(tree.graph, 10, 2)
+        parts = oracle.infer(tree.graph, component)
+        canonical = {v: tree.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_agrees_with_brute_force_on_small_ktree(self):
+        tree = random_ktree(2, 10, seed=1)
+        component = ball(tree.graph, 5, 1)
+        fast = KTreeOracle(2).infer(tree.graph, component)
+        brute = BruteForceOracle(num_parts=3, radius=1).infer(tree.graph, component)
+        assert partitions_equal_up_to_permutation(fast, brute, component)
+
+    def test_hierarchy_fragment(self):
+        from repro.families.hierarchy import Hierarchy
+
+        h = Hierarchy(3, 4, 4)
+        oracle = CliqueChainOracle(3, 3)
+        component = ball(h.graph, (2, (1, 1)), 2)
+        parts = oracle.infer(h.graph, component)
+        canonical = {v: h.canonical_color(v) for v in component}
+        assert partitions_equal_up_to_permutation(parts, canonical, component)
+
+    def test_rejects_clique_free_region(self):
+        grid = SimpleGrid(3, 3)
+        with pytest.raises(OracleError, match="no 3-clique"):
+            CliqueChainOracle(3, 1).infer(grid.graph, {(0, 0), (0, 1)})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CliqueChainOracle(1, 1)
+        with pytest.raises(ValueError):
+            CliqueChainOracle(3, -1)
+        with pytest.raises(ValueError):
+            KTreeOracle(0)
+
+
+class TestBruteForceOracle:
+    def test_detects_non_unique_partition(self):
+        """A path is 3-colorable in many partition-inequivalent ways."""
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(OracleError, match="different partitions"):
+            BruteForceOracle(num_parts=3, radius=0).infer(g, {0, 1, 2, 3})
+
+    def test_unique_partition_bipartite(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        parts = BruteForceOracle(num_parts=2, radius=0).infer(g, {0, 1, 2, 3})
+        assert parts[0] == parts[2]
+        assert parts[1] == parts[3]
+        assert parts[0] != parts[1]
+
+    def test_uncolorable_neighborhood(self):
+        triangle = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(OracleError, match="no proper"):
+            BruteForceOracle(num_parts=2, radius=0).infer(triangle, {0, 1, 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BruteForceOracle(num_parts=1, radius=0)
+        with pytest.raises(ValueError):
+            BruteForceOracle(num_parts=3, radius=-1)
+
+
+class TestNormalization:
+    def test_parts_are_zero_based_and_deterministic(self):
+        tri = TriangularGrid(6)
+        oracle = TriangularOracle()
+        component = ball(tri.graph, (1, 1), 1)
+        parts_one = oracle.infer(tri.graph, component)
+        parts_two = oracle.infer(tri.graph, component)
+        assert parts_one == parts_two
+        assert min(parts_one.values()) == 0

@@ -1,0 +1,117 @@
+"""Property-based tests of the upper-bound algorithms at budget.
+
+The strongest correctness statement we can check mechanically: for
+random instances of the right family and *random adversarial reveal
+orders*, the algorithms at the paper's locality budget always produce
+proper colorings within their color budget.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.akbari import AkbariBipartiteColoring
+from repro.core.unify import UnifyColoring, recommended_locality
+from repro.families.grids import SimpleGrid
+from repro.families.ktree import random_ktree
+from repro.families.random_graphs import (
+    random_connected_bipartite,
+    random_reveal_order,
+    random_tree,
+)
+from repro.families.triangular import TriangularGrid
+from repro.models.online_local import OnlineLocalSimulator
+from repro.oracles import KTreeOracle, TriangularOracle
+from repro.verify.coloring import is_proper
+
+
+def akbari_budget(n):
+    return 3 * math.ceil(math.log2(max(2, n))) + 2
+
+
+@given(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=15, deadline=None)
+def test_akbari_on_random_grids_and_orders(rows, cols, seed):
+    grid = SimpleGrid(rows, cols)
+    order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+    sim = OnlineLocalSimulator(
+        grid.graph,
+        AkbariBipartiteColoring(),
+        locality=akbari_budget(grid.num_nodes),
+        num_colors=3,
+    )
+    coloring = sim.run(order)
+    assert is_proper(grid.graph, coloring)
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=15, deadline=None)
+def test_akbari_on_random_trees(size, seed):
+    tree = random_tree(size, seed=seed)
+    order = random_reveal_order(sorted(tree.nodes()), seed=seed + 1)
+    sim = OnlineLocalSimulator(
+        tree, AkbariBipartiteColoring(), locality=akbari_budget(size), num_colors=3
+    )
+    assert is_proper(tree, sim.run(order))
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=10, deadline=None)
+def test_akbari_on_random_bipartite(left, right, extra, seed):
+    graph = random_connected_bipartite(left, right, extra, seed=seed)
+    order = random_reveal_order(sorted(graph.nodes()), seed=seed)
+    sim = OnlineLocalSimulator(
+        graph,
+        AkbariBipartiteColoring(),
+        locality=akbari_budget(graph.num_nodes),
+        num_colors=3,
+    )
+    assert is_proper(graph, sim.run(order))
+
+
+@given(
+    st.integers(min_value=3, max_value=9),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=8, deadline=None)
+def test_unify_on_random_triangular_orders(side, seed):
+    tri = TriangularGrid(side)
+    order = random_reveal_order(sorted(tri.graph.nodes()), seed=seed)
+    budget = recommended_locality(3, 1, tri.num_nodes)
+    sim = OnlineLocalSimulator(
+        tri.graph, UnifyColoring(TriangularOracle()), locality=budget, num_colors=4
+    )
+    assert is_proper(tri.graph, sim.run(order))
+
+
+@given(
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=5, max_value=25),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=8, deadline=None)
+def test_unify_on_random_ktrees(tree_k, size, seed):
+    size = max(size, tree_k + 1)
+    tree = random_ktree(tree_k, size, seed=seed)
+    order = random_reveal_order(sorted(tree.graph.nodes(), key=repr), seed=seed)
+    budget = recommended_locality(tree_k + 1, 1, size)
+    sim = OnlineLocalSimulator(
+        tree.graph,
+        UnifyColoring(KTreeOracle(tree_k)),
+        locality=budget,
+        num_colors=tree_k + 2,
+    )
+    assert is_proper(tree.graph, sim.run(order))

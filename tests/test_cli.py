@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_adversary_theorem1(capsys):
+    code = main(["adversary", "theorem1", "--victim", "greedy", "--locality", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DEFEATED" in out
+    assert "witness edge" in out
+
+
+def test_adversary_theorem2(capsys):
+    code = main(
+        ["adversary", "theorem2", "--victim", "akbari", "--locality", "1",
+         "--topology", "cylinder"]
+    )
+    assert code == 0
+    assert "DEFEATED" in capsys.readouterr().out
+
+
+def test_adversary_theorem3(capsys):
+    code = main(["adversary", "theorem3", "--victim", "greedy", "--k", "3"])
+    assert code == 0
+    assert "DEFEATED" in capsys.readouterr().out
+
+
+def test_adversary_theorem5(capsys):
+    code = main(["adversary", "theorem5", "--k", "3", "--locality", "1"])
+    assert code == 0
+    assert "DEFEATED" in capsys.readouterr().out
+
+
+def test_upper_bound_akbari(capsys):
+    code = main(["upper-bound", "akbari", "--side", "10"])
+    assert code == 0
+    assert "proper 3-coloring" in capsys.readouterr().out
+
+
+def test_upper_bound_unify(capsys):
+    code = main(["upper-bound", "unify-triangular", "--side", "8"])
+    assert code == 0
+    assert "proper 4-coloring" in capsys.readouterr().out
+
+
+def test_unknown_victim_rejected():
+    with pytest.raises(SystemExit):
+        main(["adversary", "theorem1", "--victim", "quantum"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tournament_subcommand(capsys):
+    code = main(["tournament", "--locality", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "clean sweep: True" in out
+
+
+def test_fast_examples_run(capsys):
+    """Smoke: the fast example scripts execute end to end."""
+    import runpy
+    import sys
+
+    for script in ("examples/bvalue_tour.py", "examples/quickstart.py"):
+        saved_argv = sys.argv
+        sys.argv = [script]
+        try:
+            runpy.run_path(script, run_name="__main__")
+        finally:
+            sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert "Lemma 3.3" in out
+    assert "Proper 3-coloring" in out
+
+
+def test_top_level_api_exports():
+    """The package-level convenience API resolves and works."""
+    import repro
+
+    grid = repro.SimpleGrid(6, 6)
+    sim = repro.OnlineLocalSimulator(
+        grid.graph, repro.AkbariBipartiteColoring(), locality=12, num_colors=3
+    )
+    coloring = sim.run(sorted(grid.graph.nodes()))
+    repro.assert_proper(grid.graph, coloring, max_colors=3)
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,105 @@
+"""End-to-end integration tests crossing all subsystems.
+
+Each test is a miniature of one of the paper's headline statements, run
+through the full stack: family construction, model simulation, algorithm,
+adversary, and verification.
+"""
+
+import math
+
+import pytest
+
+from repro.adversaries import (
+    GadgetAdversary,
+    GridAdversary,
+    TorusAdversary,
+    reduce_to_grid,
+)
+from repro.analysis.experiments import threshold_locality
+from repro.core import AkbariBipartiteColoring, GreedyOnlineColorer, UnifyColoring
+from repro.core.unify import recommended_locality
+from repro.families import SimpleGrid, TriangularGrid
+from repro.families.random_graphs import random_reveal_order
+from repro.models import OnlineLocalSimulator
+from repro.oracles import CliqueChainOracle, TriangularOracle
+from repro.verify import assert_proper, is_proper
+
+
+class TestCorollary11TightBound:
+    """Θ(log n) for 3-coloring bipartite graphs: upper and lower sides."""
+
+    def test_upper_side(self):
+        """Akbari at the paper's budget survives adversarial orders."""
+        grid = SimpleGrid(16, 16)
+        budget = 3 * math.ceil(math.log2(256)) + 2
+        for seed in range(2):
+            sim = OnlineLocalSimulator(
+                grid.graph, AkbariBipartiteColoring(), locality=budget, num_colors=3
+            )
+            order = random_reveal_order(sorted(grid.graph.nodes()), seed=seed)
+            assert_proper(grid.graph, sim.run(order), max_colors=3)
+
+    def test_lower_side(self):
+        """The same algorithm run at T = 1, 2 is defeated by the
+        Theorem 1 adversary."""
+        for T in (1, 2):
+            result = GridAdversary(locality=T).run(AkbariBipartiteColoring())
+            assert result.won
+
+
+class TestTheorem2Separation:
+    """Grids vs tori: the SAME algorithm family that wins on grids at
+    O(log n) locality loses on tori at any locality below √n/4."""
+
+    def test_torus_defeat_scales_with_side(self):
+        for T in (1, 2):
+            result = TorusAdversary(locality=T).run(AkbariBipartiteColoring())
+            assert result.won
+            assert result.stats["side"] >= 4 * T + 4
+
+
+class TestTheorem3:
+    def test_gadget_defeat_with_generous_colors(self):
+        """(2k-2)-coloring fails even though 2k-2 > k: the budget is not
+        the obstacle, the global row/column commitment is."""
+        result = GadgetAdversary(k=4, locality=2).run(GreedyOnlineColorer())
+        assert result.won
+        # 2k-2 = 6 colors available for a 4-partite graph.
+
+
+class TestTheorem4And5:
+    def test_triangular_grid_both_sides(self):
+        tri = TriangularGrid(10)
+        budget = recommended_locality(3, 1, tri.num_nodes)
+        alg = UnifyColoring(TriangularOracle())
+        sim = OnlineLocalSimulator(tri.graph, alg, locality=budget, num_colors=4)
+        order = random_reveal_order(sorted(tri.graph.nodes()), seed=0)
+        assert_proper(tri.graph, sim.run(order), max_colors=4)
+
+    def test_hierarchy_reduction_defeat(self):
+        inner = UnifyColoring(CliqueChainOracle(3, 3))
+        result = GridAdversary(locality=1).run(reduce_to_grid(inner, k=3))
+        assert result.won
+
+
+class TestThresholdMeasurement:
+    """The benchmark machinery end-to-end: find the smallest locality at
+    which Akbari survives a fixed adversarial order on a small grid."""
+
+    def test_threshold_exists_and_is_positive(self):
+        grid = SimpleGrid(12, 12)
+        order = random_reveal_order(sorted(grid.graph.nodes()), seed=5)
+
+        def survives(T: int) -> bool:
+            sim = OnlineLocalSimulator(
+                grid.graph, AkbariBipartiteColoring(), locality=T, num_colors=3
+            )
+            try:
+                coloring = sim.run(list(order))
+            except Exception:
+                return False
+            return is_proper(grid.graph, coloring)
+
+        threshold = threshold_locality(survives, low=0, high=40)
+        assert threshold is not None
+        assert 1 <= threshold <= 40

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bvalue import (
+    b_value_parity,
+    cycle_b_value,
+    cycle_b_value_parity,
+    path_b_value,
+)
+from repro.core.parity_uf import ParityUnionFind
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball, bfs_distances, connected_components
+from repro.verify.gadget_props import classify_gadget
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw):
+    """Random simple graphs on up to 10 nodes."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    nodes = list(range(n))
+    possible = list(itertools.combinations(nodes, 2))
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+        if possible
+        else st.just([])
+    )
+    return Graph(nodes=nodes, edges=edges)
+
+
+def proper_path_colorings(min_len=1, max_len=10):
+    """Random proper {1,2,3} colorings of a path."""
+
+    @st.composite
+    def strategy(draw):
+        length = draw(st.integers(min_value=min_len, max_value=max_len))
+        colors = [draw(st.integers(min_value=1, max_value=3))]
+        for __ in range(length):
+            options = [c for c in (1, 2, 3) if c != colors[-1]]
+            colors.append(draw(st.sampled_from(options)))
+        return colors
+
+    return strategy()
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(graph):
+    assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.num_edges
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_components_partition_nodes(graph):
+    components = connected_components(graph)
+    union = set().union(*components) if components else set()
+    assert union == set(graph.nodes())
+    assert sum(len(c) for c in components) == graph.num_nodes
+
+
+@given(small_graphs(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_balls_are_monotone(graph, radius):
+    node = min(graph.nodes())
+    inner = ball(graph, node, radius)
+    outer = ball(graph, node, radius + 1)
+    assert inner <= outer
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_bfs_distances_satisfy_triangle_step(graph):
+    node = min(graph.nodes())
+    dist = bfs_distances(graph, node)
+    for u in dist:
+        for v in graph.neighbors(u):
+            if v in dist:
+                assert abs(dist[u] - dist[v]) <= 1
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_induced_subgraph_idempotent(graph):
+    nodes = set(graph.nodes())
+    once = graph.induced_subgraph(nodes)
+    twice = once.induced_subgraph(nodes)
+    assert once == twice
+
+
+# ----------------------------------------------------------------------
+# b-value invariants (Lemma 3.5, Definition 3.2)
+# ----------------------------------------------------------------------
+@given(proper_path_colorings())
+@settings(max_examples=200, deadline=None)
+def test_parity_lemma_on_random_proper_paths(colors):
+    length = len(colors) - 1
+    assert path_b_value(colors) % 2 == b_value_parity(
+        length, colors[0], colors[-1]
+    )
+
+
+@given(proper_path_colorings())
+@settings(max_examples=200, deadline=None)
+def test_b_value_reversal_antisymmetry(colors):
+    assert path_b_value(colors) == -path_b_value(list(reversed(colors)))
+
+
+@given(proper_path_colorings(min_len=2), proper_path_colorings(min_len=2))
+@settings(max_examples=100, deadline=None)
+def test_b_value_concatenation(left, right):
+    glued = left + right
+    bridge = path_b_value([left[-1], right[0]])
+    assert path_b_value(glued) == path_b_value(left) + bridge + path_b_value(right)
+
+
+@given(proper_path_colorings(min_len=2, max_len=8))
+@settings(max_examples=150, deadline=None)
+def test_cycle_parity_lemma(colors):
+    if colors[0] == colors[-1]:
+        colors = colors[:-1]
+    if len(colors) < 3 or colors[0] == colors[-1]:
+        return
+    assert cycle_b_value(colors) % 2 == cycle_b_value_parity(len(colors))
+
+
+@given(proper_path_colorings())
+@settings(max_examples=100, deadline=None)
+def test_b_value_bounded_by_length(colors):
+    assert abs(path_b_value(colors)) <= len(colors) - 1
+
+
+# ----------------------------------------------------------------------
+# Parity union-find vs. direct BFS bipartition
+# ----------------------------------------------------------------------
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_parity_uf_matches_bfs_parity(graph):
+    uf = ParityUnionFind()
+    for node in graph.nodes():
+        uf.add(node)
+    for u, v in graph.edges():
+        uf.union_opposite(u, v)
+    for component in connected_components(graph):
+        anchor = min(component)
+        dist = bfs_distances(graph, anchor)
+        # Detect odd cycles directly.
+        odd = any(
+            dist[u] % 2 == dist[v] % 2
+            for u in component
+            for v in graph.neighbors(u)
+        )
+        assert uf.is_odd(anchor) == odd
+        if not odd:
+            __, anchor_parity = uf.find(anchor)
+            for node in component:
+                __, parity = uf.find(node)
+                assert (parity ^ anchor_parity) == dist[node] % 2
+    # Sizes match component sizes.
+    for component in connected_components(graph):
+        assert uf.size(min(component)) == len(component)
+
+
+# ----------------------------------------------------------------------
+# Gadget classification invariance
+# ----------------------------------------------------------------------
+@given(st.permutations(list(range(4))))
+@settings(max_examples=30, deadline=None)
+def test_gadget_classification_invariant_under_color_permutation(perm):
+    """Recoloring by a bijection never changes row/column classification."""
+    from repro.families.gadgets import Gadget
+    from repro.oracles.brute import proper_colorings
+
+    g = Gadget(3)
+    rows = [g.row(i) for i in range(3)]
+    cols = [g.column(j) for j in range(3)]
+    coloring = next(proper_colorings(g.graph, 4))
+    shifted = {node: color + 1 for node, color in coloring.items()}
+    renamed = {node: perm[color - 1] + 1 for node, color in shifted.items()}
+    assert classify_gadget(rows, cols, shifted) == classify_gadget(
+        rows, cols, renamed
+    )

@@ -1,0 +1,49 @@
+"""Tests for the ASCII renderers."""
+
+from repro.families.grids import SimpleGrid
+from repro.families.triangular import TriangularGrid
+from repro.render import render_grid, render_triangular
+
+
+def test_render_grid_shape():
+    grid = SimpleGrid(3, 4)
+    coloring = {(i, j): (i + j) % 2 + 1 for i, j in grid.graph.nodes()}
+    text = render_grid(grid, coloring)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[0] == "1 2 1 2"
+    assert lines[1] == "2 1 2 1"
+
+
+def test_render_grid_partial_coloring():
+    grid = SimpleGrid(2, 2)
+    text = render_grid(grid, {(0, 0): 3})
+    assert text.splitlines()[0] == "3 ."
+    assert text.splitlines()[1] == ". ."
+
+
+def test_render_grid_wide_colors():
+    grid = SimpleGrid(1, 3)
+    text = render_grid(grid, {(0, 0): 10, (0, 1): 11, (0, 2): 9})
+    assert text == "a b 9"
+
+
+def test_render_triangular_rows():
+    tri = TriangularGrid(3)
+    coloring = {node: tri.canonical_color(node) + 1 for node in tri.graph.nodes()}
+    text = render_triangular(tri, coloring)
+    lines = text.splitlines()
+    # The y = 3 row held only the excluded corner (0,3), so rows y = 2..0
+    # remain: three lines.
+    assert len(lines) == 3
+    assert lines[0].strip() == "3 1"
+    # Bottom row is y = 0 with x = 0..2 (corner (3,0) excluded).
+    assert lines[-1].strip() == "1 2 3"
+
+
+def test_render_triangular_indentation():
+    tri = TriangularGrid(4)
+    coloring = {node: 1 for node in tri.graph.nodes()}
+    lines = render_triangular(tri, coloring).splitlines()
+    indents = [len(line) - len(line.lstrip()) for line in lines]
+    assert indents == sorted(indents, reverse=True)

@@ -1,0 +1,86 @@
+"""Tests for the adversary win certificates."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid, ToroidalGrid
+from repro.verify.certificates import (
+    CycleCertificate,
+    TorusCertificate,
+    verify_cycle_certificate,
+    verify_torus_certificate,
+)
+
+
+def test_cycle_certificate_roundtrip():
+    grid = SimpleGrid(2, 3)
+    cycle = [(0, 0), (0, 1), (1, 1), (1, 0)]
+    # Colors engineered so b != 0: 3,2,1,3 around the cell:
+    #   a(3,2)=0, a(2,1)=1, a(1,3)=0, a(3,3)=0 -> b=1.
+    coloring = {(0, 0): 3, (0, 1): 2, (1, 1): 1, (1, 0): 3, (0, 2): 1, (1, 2): 2}
+    cert = CycleCertificate(cycle=cycle, b_value=1)
+    assert verify_cycle_certificate(grid.graph, coloring, cert)
+
+
+def test_cycle_certificate_rejects_wrong_b():
+    grid = SimpleGrid(2, 3)
+    cycle = [(0, 0), (0, 1), (1, 1), (1, 0)]
+    coloring = {(0, 0): 3, (0, 1): 2, (1, 1): 1, (1, 0): 3}
+    cert = CycleCertificate(cycle=cycle, b_value=2)
+    assert not verify_cycle_certificate(grid.graph, coloring, cert)
+
+
+def test_cycle_certificate_rejects_zero_b():
+    grid = SimpleGrid(2, 3)
+    cycle = [(0, 0), (0, 1), (1, 1), (1, 0)]
+    coloring = {(0, 0): 1, (0, 1): 2, (1, 1): 1, (1, 0): 2}
+    cert = CycleCertificate(cycle=cycle, b_value=0)
+    assert not verify_cycle_certificate(grid.graph, coloring, cert)
+
+
+def test_cycle_certificate_rejects_non_cycle():
+    grid = SimpleGrid(2, 3)
+    cert = CycleCertificate(cycle=[(0, 0), (1, 1), (0, 1), (1, 0)], b_value=1)
+    with pytest.raises(ValueError, match="non-edge"):
+        verify_cycle_certificate(grid.graph, {}, cert)
+
+
+def test_cycle_certificate_rejects_repeats():
+    grid = SimpleGrid(3, 3)
+    cycle = [(0, 0), (0, 1), (0, 0), (1, 0)]
+    cert = CycleCertificate(cycle=cycle, b_value=1)
+    with pytest.raises(ValueError):
+        verify_cycle_certificate(grid.graph, {}, cert)
+
+
+def test_torus_certificate():
+    torus = ToroidalGrid(5, 5)
+    # Row 0 colored 1,2,1,2,3 (b = ±1 depending on direction);
+    # row 2 colored likewise; orient both "rightward" so the sum is ±2.
+    coloring = {}
+    pattern = [1, 2, 1, 2, 3]
+    for j in range(5):
+        coloring[(0, j)] = pattern[j]
+        coloring[(2, j)] = pattern[j]
+    cycle_one = [(0, j) for j in range(5)]
+    cycle_two = [(2, j) for j in range(5)]
+    from repro.core.bvalue import b_value
+
+    total = b_value(cycle_one, coloring, cycle=True) + b_value(
+        cycle_two, coloring, cycle=True
+    )
+    cert = TorusCertificate(cycle_one=cycle_one, cycle_two=cycle_two, b_sum=total)
+    assert total != 0
+    assert verify_torus_certificate(torus.graph, coloring, cert)
+
+
+def test_torus_certificate_rejects_zero_sum():
+    torus = ToroidalGrid(5, 5)
+    pattern = [1, 2, 1, 2, 3]
+    coloring = {}
+    for j in range(5):
+        coloring[(0, j)] = pattern[j]
+        coloring[(2, j)] = pattern[j]
+    cycle_one = [(0, j) for j in range(5)]
+    cycle_two = [(2, (-j) % 5) for j in range(5)]  # reversed: sum = 0
+    cert = TorusCertificate(cycle_one=cycle_one, cycle_two=cycle_two, b_sum=0)
+    assert not verify_torus_certificate(torus.graph, coloring, cert)

@@ -1,0 +1,50 @@
+"""Tests for the proper-coloring checkers."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.verify.coloring import (
+    assert_proper,
+    count_colors,
+    find_monochromatic_edge,
+    is_proper,
+)
+
+
+@pytest.fixture
+def triangle():
+    return Graph(edges=[(0, 1), (1, 2), (2, 0)])
+
+
+def test_proper_coloring(triangle):
+    assert is_proper(triangle, {0: 1, 1: 2, 2: 3})
+    assert find_monochromatic_edge(triangle, {0: 1, 1: 2, 2: 3}) is None
+
+
+def test_improper_coloring(triangle):
+    coloring = {0: 1, 1: 1, 2: 2}
+    assert not is_proper(triangle, coloring)
+    edge = find_monochromatic_edge(triangle, coloring)
+    assert set(edge) == {0, 1}
+
+
+def test_partial_coloring(triangle):
+    partial = {0: 1, 1: 2}
+    assert find_monochromatic_edge(triangle, partial) is None
+    assert not is_proper(triangle, partial)  # total required by default
+    assert is_proper(triangle, partial, require_total=False)
+
+
+def test_assert_proper_messages(triangle):
+    with pytest.raises(AssertionError, match="uncolored"):
+        assert_proper(triangle, {0: 1})
+    with pytest.raises(AssertionError, match="monochromatic"):
+        assert_proper(triangle, {0: 1, 1: 1, 2: 2})
+    with pytest.raises(AssertionError, match="budget"):
+        assert_proper(triangle, {0: 1, 1: 2, 2: 5}, max_colors=3)
+    assert_proper(triangle, {0: 1, 1: 2, 2: 3}, max_colors=3)
+
+
+def test_count_colors():
+    assert count_colors({0: 1, 1: 2, 2: 1}) == {1, 2}
+    assert count_colors({}) == set()

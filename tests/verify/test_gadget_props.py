@@ -1,0 +1,70 @@
+"""Tests for gadget colorfulness properties (Claims 4.3 and 4.5)."""
+
+import itertools
+
+from repro.families.gadgets import Gadget
+from repro.oracles.brute import proper_colorings
+from repro.verify.gadget_props import classify_gadget, colorful_lines, confined_colors
+
+
+def gadget_lines(k):
+    g = Gadget(k)
+    rows = [g.row(i) for i in range(k)]
+    cols = [g.column(j) for j in range(k)]
+    return g, rows, cols
+
+
+def test_confined_colors_basic():
+    g, rows, cols = gadget_lines(2)
+    coloring = {(0, 0): 1, (0, 1): 1, (1, 0): 2, (1, 1): 2}
+    confined = confined_colors(rows, coloring)
+    assert confined == [{1}, {2}]
+    assert colorful_lines(rows, coloring) == []
+    assert colorful_lines(cols, coloring) == [0, 1]
+
+
+def test_classify_row_colorful():
+    g, rows, cols = gadget_lines(2)
+    coloring = {(0, 0): 1, (0, 1): 2, (1, 0): 2, (1, 1): 1}
+    assert classify_gadget(rows, cols, coloring) == "both"
+
+
+def test_claim_4_5_exhaustive_k3():
+    """Every proper (2k-2)-coloring of A(3) is exactly one of row- and
+    column-colorful (Claim 4.5), checked over ALL 4-colorings."""
+    g, rows, cols = gadget_lines(3)
+    count = 0
+    seen_classes = set()
+    for coloring in proper_colorings(g.graph, 4):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        verdict = classify_gadget(rows, cols, shifted)
+        assert verdict in ("row", "column"), shifted
+        seen_classes.add(verdict)
+        count += 1
+    assert count > 0
+    assert seen_classes == {"row", "column"}
+
+
+def test_claim_4_3_no_color_confined_twice():
+    """A color cannot be confined to two rows, nor to a row and a column,
+    under any proper 4-coloring of A(3)."""
+    g, rows, cols = gadget_lines(3)
+    for coloring in proper_colorings(g.graph, 4, limit=2000):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        row_confined = confined_colors(rows, shifted)
+        col_confined = confined_colors(cols, shifted)
+        all_row = list(itertools.chain.from_iterable(row_confined))
+        all_col = list(itertools.chain.from_iterable(col_confined))
+        assert len(all_row) == len(set(all_row))  # once per color in rows
+        assert len(all_col) == len(set(all_col))
+        assert not (set(all_row) & set(all_col))
+
+
+def test_k_coloring_is_row_and_column_constrained():
+    """With only k colors a gadget coloring colors each row
+    monochromatically or each column monochromatically."""
+    g, rows, cols = gadget_lines(3)
+    for coloring in proper_colorings(g.graph, 3, limit=500):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        verdict = classify_gadget(rows, cols, shifted)
+        assert verdict in ("row", "column")

@@ -1,0 +1,84 @@
+"""Tightness of the Section 4 machinery — the paper's open problem.
+
+The paper notes (end of Section 1.1.2) that the hard-instance technique
+cannot extend to all (c, k): if it worked for c > 2k-2 it would
+contradict Corollary 1.1.  The mechanism that breaks is Claim 4.5: with
+2k-1 colors a gadget need not be exactly one of row-/column-colorful.
+These tests *exhibit* the breakage, certifying that the construction is
+used at exactly its limit.
+"""
+
+from repro.families.gadgets import Gadget, GadgetChain
+from repro.oracles.brute import proper_colorings
+from repro.verify.gadget_props import classify_gadget
+
+
+def gadget_lines(k):
+    g = Gadget(k)
+    return g, [g.row(i) for i in range(k)], [g.column(j) for j in range(k)]
+
+
+def test_claim_4_5_breaks_with_2k_minus_1_colors():
+    """With 2k-1 = 5 colors, some proper coloring of A(3) is neither
+    row-colorful nor column-colorful — or both.  (With 2k-2 = 4 colors
+    the dichotomy is exact; see test_gadget_props.)"""
+    g, rows, cols = gadget_lines(3)
+    verdicts = set()
+    for coloring in proper_colorings(g.graph, 5, limit=20000):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        verdicts.add(classify_gadget(rows, cols, shifted))
+        if "both" in verdicts:
+            break
+    assert "both" in verdicts, (
+        "expected the dichotomy to fail at 2k-1 colors"
+    )
+
+
+def test_lemma_4_6_breaks_with_2k_minus_1_colors():
+    """With 2k-1 colors, consecutive gadgets CAN disagree (one
+    row-colorful, the next column-colorful) — the chain argument
+    collapses, so no Ω(n) bound follows for (2k-1)-coloring this way."""
+    chain = GadgetChain(3, 2)
+    rows0 = [chain.row(0, i) for i in range(3)]
+    cols0 = [chain.column(0, j) for j in range(3)]
+    rows1 = [chain.row(1, i) for i in range(3)]
+    cols1 = [chain.column(1, j) for j in range(3)]
+    seen_pairs = set()
+    for coloring in proper_colorings(chain.graph, 5, limit=200000):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        pair = (
+            classify_gadget(rows0, cols0, shifted),
+            classify_gadget(rows1, cols1, shifted),
+        )
+        seen_pairs.add(pair)
+        first, second = pair
+        if (
+            first in ("row", "column")
+            and second in ("row", "column")
+            and first != second
+        ):
+            return  # disagreement exhibited
+        if "both" in pair:
+            return  # dichotomy itself already broken
+    raise AssertionError(
+        f"no disagreement found among sampled colorings; saw {seen_pairs}"
+    )
+
+
+def test_dichotomy_exact_at_2k_minus_2_on_chain():
+    """Control: at 2k-2 colors every sampled chain coloring has both
+    gadgets agreeing (Lemma 4.6)."""
+    chain = GadgetChain(3, 2)
+    rows0 = [chain.row(0, i) for i in range(3)]
+    cols0 = [chain.column(0, j) for j in range(3)]
+    rows1 = [chain.row(1, i) for i in range(3)]
+    cols1 = [chain.column(1, j) for j in range(3)]
+    count = 0
+    for coloring in proper_colorings(chain.graph, 4, limit=5000):
+        shifted = {node: color + 1 for node, color in coloring.items()}
+        first = classify_gadget(rows0, cols0, shifted)
+        second = classify_gadget(rows1, cols1, shifted)
+        assert first == second
+        assert first in ("row", "column")
+        count += 1
+    assert count > 0

@@ -1,0 +1,111 @@
+"""Tests for the Definition 1.4 checker."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.families.ktree import random_ktree
+from repro.families.triangular import TriangularGrid
+from repro.graphs.graph import Graph
+from repro.verify.liuc import (
+    connected_subsets_up_to,
+    has_locally_inferable_unique_coloring,
+    partition_of_fragment,
+    sample_connected_subsets,
+)
+
+
+def test_grids_are_in_L_2_0():
+    """Bipartite graphs have locally inferable unique 2-colorings with
+    radius 0 — exhaustively on a 3x3 grid."""
+    grid = SimpleGrid(3, 3)
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        grid.graph, k=2, ell=0, exhaustive_max_size=4
+    )
+    assert ok, counterexample
+
+
+def test_triangular_grid_in_L_3_1():
+    """Triangular grids (degenerate corners removed) are in L_{3,1} —
+    sampled fragments of a side-4 grid."""
+    tri = TriangularGrid(4)
+    fragments = sample_connected_subsets(tri.graph, count=25, max_size=5, seed=3)
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        tri.graph, k=3, ell=1, fragments=fragments
+    )
+    assert ok, counterexample
+
+
+def test_triangular_grid_not_in_L_3_0():
+    """Radius 0 is NOT enough for triangular grids: an induced 3-node
+    path has partition-inequivalent 3-colorings (the endpoints may or may
+    not share a part), while radius 1 pins it via the triangles."""
+    tri = TriangularGrid(4)
+    path = {(0, 0), (1, 0), (2, 0)}
+    assert partition_of_fragment(tri.graph, path, k=3, ell=0) is None
+    assert partition_of_fragment(tri.graph, path, k=3, ell=1) is not None
+
+
+def test_degenerate_corner_breaks_the_property():
+    """With the literal paper node set, the pendant corner witnesses a
+    Definition 1.4 failure for every finite radius short of the graph."""
+    tri = TriangularGrid(3, include_degenerate_corners=True)
+    corner_fragment = {(0, 3), (0, 2), (0, 1)}
+    assert partition_of_fragment(tri.graph, corner_fragment, k=3, ell=1) is None
+
+
+def test_ktree_in_L_3_1():
+    tree = random_ktree(2, 10, seed=2)
+    fragments = sample_connected_subsets(tree.graph, count=15, max_size=4, seed=1)
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        tree.graph, k=3, ell=1, fragments=fragments
+    )
+    assert ok, counterexample
+
+
+def test_path_not_uniquely_3_colorable():
+    path = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+    ok, counterexample = has_locally_inferable_unique_coloring(
+        path, k=3, ell=1, fragments=[{1, 2, 3}]
+    )
+    assert not ok
+    assert counterexample == {1, 2, 3}
+
+
+def test_connected_subsets_enumeration():
+    path = Graph(edges=[(0, 1), (1, 2)])
+    subsets = [frozenset(s) for s in connected_subsets_up_to(path, 2)]
+    assert len(subsets) == len(set(subsets))  # no duplicates
+    assert set(subsets) == {
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({0, 1}),
+        frozenset({1, 2}),
+    }
+
+
+def test_connected_subsets_on_cycle():
+    cycle = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+    subsets = [frozenset(s) for s in connected_subsets_up_to(cycle, 3)]
+    assert len(subsets) == len(set(subsets))
+    assert frozenset({0, 1, 2}) in subsets
+    assert len(subsets) == 3 + 3 + 1
+
+
+def test_uncolorable_neighborhood_raises():
+    triangle = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(ValueError):
+        partition_of_fragment(triangle, {0}, k=2, ell=1)
+
+
+def test_checker_argument_validation():
+    grid = SimpleGrid(2, 2)
+    with pytest.raises(ValueError):
+        has_locally_inferable_unique_coloring(grid.graph, k=2, ell=0)
+
+
+def test_sampling_reproducible():
+    grid = SimpleGrid(4, 4)
+    a = sample_connected_subsets(grid.graph, count=5, max_size=4, seed=7)
+    b = sample_connected_subsets(grid.graph, count=5, max_size=4, seed=7)
+    assert a == b
