@@ -15,7 +15,6 @@
 
 import math
 
-import pytest
 
 from repro.adversaries.path_builder import PathBuilder
 from repro.analysis.tables import render_table

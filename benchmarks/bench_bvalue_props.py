@@ -11,7 +11,6 @@ bulk and timed.
 import itertools
 import random
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.bvalue import (

@@ -18,7 +18,6 @@ regime is not separable from 5 data points; the budget bound and the
 are asserted.  The best-fit model is printed for the record.
 """
 
-import pytest
 
 from conftest import akbari_survives, akbari_threshold, paper_akbari_budget
 from repro.analysis.experiments import threshold_locality

@@ -6,7 +6,6 @@ budget — the executable content of the Ghaffari–Kuhn–Maus connection the
 paper's introduction builds on.
 """
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.families.grids import SimpleGrid

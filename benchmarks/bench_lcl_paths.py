@@ -6,7 +6,6 @@ stay flat (log*) while n and the id magnitude grow.
 
 import random
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.colevishkin import round_bound

@@ -7,7 +7,6 @@ families, checked by exhaustive enumeration on small instances.
 * and the negative control: a path is NOT in L_{3,1}.
 """
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.families.grids import SimpleGrid

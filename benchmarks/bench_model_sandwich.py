@@ -9,7 +9,6 @@ LOCAL algorithm, at its O(log* n) round count.
 import math
 import random
 
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.akbari import AkbariBipartiteColoring
@@ -20,7 +19,7 @@ from repro.families.random_graphs import random_reveal_order
 from repro.models.dynamic_local import DynamicGreedy, DynamicLocalSimulator
 from repro.models.local import LocalSimulator
 from repro.models.online_local import OnlineLocalSimulator
-from repro.models.simulation import LocalAsOnline, SLocalAsOnline
+from repro.models.simulation import LocalAsOnline
 from repro.models.slocal import SLocalAlgorithm, SLocalSimulator, SLocalView
 from repro.verify.coloring import is_proper
 

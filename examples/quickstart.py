@@ -16,7 +16,6 @@ import math
 
 from repro.core import AkbariBipartiteColoring
 from repro.families import SimpleGrid
-from repro.families.random_graphs import scattered_reveal_order
 from repro.models import OnlineLocalSimulator
 from repro.render import render_grid
 from repro.verify import assert_proper

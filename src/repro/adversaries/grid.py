@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.adversaries.path_builder import PathBuilder
 from repro.adversaries.result import AdversaryError, AdversaryResult
-from repro.core.bvalue import b_value, path_b_value
+from repro.core.bvalue import b_value
 from repro.models.adaptive import FloatingGridInstance
 from repro.models.base import AlgorithmError, OnlineAlgorithm
 from repro.verify.certificates import CycleCertificate

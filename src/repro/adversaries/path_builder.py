@@ -145,20 +145,15 @@ class PathBuilder:
             """The merge dx and the second path's merged (start, end)."""
             if direction > 0:
                 # Attach the second region to the right of the first.
-                if reflect:
-                    dx = a_hi + gap + b_hi
-                    transform = lambda x: dx - x
-                else:
-                    dx = a_hi + gap - b_lo
-                    transform = lambda x: dx + x
+                dx = a_hi + gap + (b_hi if reflect else -b_lo)
             else:
                 # Attach to the left.
-                if reflect:
-                    dx = a_lo - gap + b_lo
-                    transform = lambda x: dx - x
-                else:
-                    dx = a_lo - gap - b_hi
-                    transform = lambda x: dx + x
+                dx = a_lo - gap + (b_lo if reflect else -b_hi)
+            sign = -1 if reflect else 1
+
+            def transform(x: int) -> int:
+                return dx + sign * x
+
             return dx, (transform(second.path[0]), transform(second.path[1]))
 
         # Choose ℓ by Lemma 3.5: the middle segment P_{v,s} runs from the

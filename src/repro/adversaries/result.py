@@ -1,15 +1,18 @@
-"""Common result record for adversary runs."""
+"""Common result record for adversary runs, including forfeit outcomes."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-
 class AdversaryError(Exception):
     """The adversary reached a state the paper proves unreachable —
     indicates a bug in the adversary or a dishonest simulator, never a
-    legitimate algorithm win."""
+    legitimate algorithm win.
+
+    Deliberately *not* a :class:`~repro.robustness.errors.ReproError`:
+    the supervisor converts structured failures into forfeits, but an
+    adversary bug must propagate loudly rather than fake a win."""
 
 
 @dataclass
@@ -36,6 +39,11 @@ class AdversaryResult:
     stats:
         Adversary-specific measurements (region length, reveals used,
         achieved b-value, ...), consumed by the benchmarks.
+    forfeit:
+        True when the win was awarded by the supervisor because the
+        algorithm crashed, timed out, or broke the model contract —
+        rather than earned by the adversary's strategy on the board.
+        Forfeit reasons are prefixed ``"forfeit:"``.
     """
 
     won: bool
@@ -43,3 +51,22 @@ class AdversaryResult:
     improper_edge: Optional[Tuple[Any, Any]] = None
     certificate: Optional[Any] = None
     stats: Dict[str, Any] = field(default_factory=dict)
+    forfeit: bool = False
+
+
+def forfeit_result(reason: str, error: BaseException) -> AdversaryResult:
+    """A structured forfeit: the adversary wins because the victim failed.
+
+    ``reason`` is the machine-readable class of failure
+    (``"forfeit:victim-crash"``, ``"forfeit:timeout"``, ...); the
+    triggering error is recorded in ``stats`` for post-mortems.
+    """
+    return AdversaryResult(
+        won=True,
+        reason=reason,
+        forfeit=True,
+        stats={
+            "error_type": type(error).__name__,
+            "error": str(error),
+        },
+    )

@@ -6,7 +6,7 @@ regenerates the document's numbers verbatim.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

@@ -5,22 +5,33 @@
 * adversaries — Theorem 1 (grids), Theorem 2 (torus + cylinder),
   Theorem 3 (gadgets, both the 2k−2 and the k+1 color budgets), and
   Theorem 5 (the reduction chain), and
-* victims — greedy, the truncated Akbari algorithm, and the sandwiched
-  LOCAL baseline,
+* victims — greedy, the truncated Akbari algorithm, the sandwiched
+  LOCAL baseline, and (optionally) the fault-injection family,
 
 returning structured rows for reporting.  Used by
 ``examples/tournament.py`` and ``benchmarks/bench_tournament.py``; the
-paper's prediction is a clean sweep, which callers assert.
+paper's prediction is a clean sweep over the honest victims, which
+callers assert.
+
+Robustness
+----------
+Every game runs inside a :class:`~repro.robustness.supervisor.SupervisedGame`
+boundary: a victim that raises, loops forever, or breaks the model
+contract yields a *forfeit* row (``row.forfeit`` true, reason prefixed
+``"forfeit:"``) instead of aborting the sweep.  Long sweeps can journal
+completed rows to disk (``journal_path=``) and resume after a kill
+(``resume=True``), replaying only the games that never finished.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.adversaries.gadget import GadgetAdversary
 from repro.adversaries.grid import GridAdversary
 from repro.adversaries.reduction import reduce_to_grid
+from repro.adversaries.result import AdversaryResult
 from repro.adversaries.torus import TorusAdversary
 from repro.core.akbari import AkbariBipartiteColoring
 from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
@@ -28,21 +39,58 @@ from repro.core.unify import UnifyColoring
 from repro.models.base import OnlineAlgorithm
 from repro.models.simulation import LocalAsOnline
 from repro.oracles import CliqueChainOracle
+from repro.robustness.faults import faulty_victims
+from repro.robustness.journal import SweepJournal
+from repro.robustness.supervisor import GamePolicy, SupervisedGame
+
+#: Victim column used for fixed-victim games (their victim is determined
+#: by construction, not by the sweep).
+FIXED_VICTIM = "(fixed)"
+
+#: Journal fields identifying a game for resume purposes.
+JOURNAL_KEY_FIELDS = ("adversary", "victim", "locality")
 
 
 @dataclass
 class TournamentRow:
-    """One adversary-vs-victim game outcome."""
+    """One adversary-vs-victim game outcome.
+
+    ``forfeit`` marks wins awarded by the supervisor (victim crash,
+    timeout, protocol violation) rather than earned on the board;
+    ``detail`` carries the machine-readable failure description for
+    forfeit rows.
+    """
 
     adversary: str
     victim: str
     locality: int
     won: bool
     reason: str
+    forfeit: bool = False
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FixedVictimGame:
+    """A tournament entry whose victim is fixed by construction.
+
+    The Theorem 5 reduction chain builds its own victim (the reduced
+    hierarchy colorer); sweeping it against the victim portfolio would
+    replay the identical game once per victim.  Wrapping the play in
+    this marker makes ``run_tournament`` play it exactly once, recorded
+    under the :data:`FIXED_VICTIM` column.
+    """
+
+    play: Callable[[], AdversaryResult]
+
+
+AdversaryEntry = Union[
+    Callable[[OnlineAlgorithm], AdversaryResult], FixedVictimGame
+]
 
 
 def default_victims() -> Dict[str, Callable[[], OnlineAlgorithm]]:
-    """The standard victim portfolio."""
+    """The standard (honest) victim portfolio."""
     return {
         "greedy": GreedyOnlineColorer,
         "akbari": AkbariBipartiteColoring,
@@ -50,7 +98,7 @@ def default_victims() -> Dict[str, Callable[[], OnlineAlgorithm]]:
     }
 
 
-def default_adversaries(locality: int) -> Dict[str, Callable[[OnlineAlgorithm], object]]:
+def default_adversaries(locality: int) -> Dict[str, AdversaryEntry]:
     """The standard adversary lineup at the given victim locality."""
     return {
         "theorem1-grid": lambda victim: GridAdversary(locality=locality).run(
@@ -68,45 +116,127 @@ def default_adversaries(locality: int) -> Dict[str, Callable[[OnlineAlgorithm], 
         "corollary13-gadget(k+1)": lambda victim: GadgetAdversary(
             k=3, locality=locality, colors=4
         ).run(victim),
-        "theorem5-reduction": lambda victim: GridAdversary(
-            locality=locality
-        ).run(
-            reduce_to_grid(UnifyColoring(CliqueChainOracle(3, 3)), k=3)
+        "theorem5-reduction": FixedVictimGame(
+            lambda: GridAdversary(locality=locality).run(
+                reduce_to_grid(UnifyColoring(CliqueChainOracle(3, 3)), k=3)
+            )
         ),
     }
+
+
+def _row_from_result(
+    adversary: str, victim: str, locality: int, result: AdversaryResult
+) -> TournamentRow:
+    detail = ""
+    if result.forfeit:
+        detail = str(
+            result.stats.get("error") or result.stats.get("violation") or ""
+        )
+    return TournamentRow(
+        adversary=adversary,
+        victim=victim,
+        locality=locality,
+        won=result.won,
+        reason=result.reason,
+        forfeit=result.forfeit,
+        detail=detail,
+    )
+
+
+def _row_from_journal(entry: dict) -> TournamentRow:
+    return TournamentRow(
+        adversary=entry["adversary"],
+        victim=entry["victim"],
+        locality=int(entry["locality"]),
+        won=bool(entry["won"]),
+        reason=entry["reason"],
+        forfeit=bool(entry.get("forfeit", False)),
+        detail=entry.get("detail", ""),
+    )
 
 
 def run_tournament(
     locality: int = 1,
     victims: Optional[Dict[str, Callable[[], OnlineAlgorithm]]] = None,
-    adversaries: Optional[Dict[str, Callable]] = None,
+    adversaries: Optional[Dict[str, AdversaryEntry]] = None,
+    *,
+    include_faulty: bool = False,
+    policy: Optional[GamePolicy] = None,
+    journal_path=None,
+    resume: bool = False,
 ) -> List[TournamentRow]:
     """Play every pairing; returns one row per game.
 
-    Note the Theorem 5 entry ignores the supplied victim (its victim is
-    the reduced hierarchy colorer by construction); it is played once
-    per victim anyway so the sweep stays rectangular.
+    Parameters
+    ----------
+    locality:
+        The victims' locality budget ``T``.
+    victims, adversaries:
+        Override the default portfolios.  Adversary entries are either
+        victim→result callables or :class:`FixedVictimGame` wrappers
+        (played once, under the :data:`FIXED_VICTIM` column).
+    include_faulty:
+        Append the fault-injection victim family
+        (:func:`repro.robustness.faults.faulty_victims`) to the sweep.
+    policy:
+        Per-game step/time budgets.  Defaults to a 30s wall-clock
+        timeout per game; pass an explicit :class:`GamePolicy` to
+        tighten or lift it.
+    journal_path:
+        When given, append each completed row to this JSON-lines journal
+        (flushed per game, kill-safe).
+    resume:
+        With ``journal_path``: skip every game already journaled,
+        reusing the recorded rows, so a killed sweep completes only the
+        remainder on the next invocation.
     """
-    victims = victims if victims is not None else default_victims()
+    victims = dict(victims) if victims is not None else default_victims()
+    if include_faulty:
+        victims.update(faulty_victims())
     adversaries = (
         adversaries if adversaries is not None else default_adversaries(locality)
     )
+    policy = policy if policy is not None else GamePolicy(timeout=30.0)
+    journal = (
+        SweepJournal(journal_path, JOURNAL_KEY_FIELDS)
+        if journal_path is not None
+        else None
+    )
+    done = journal.completed() if (journal is not None and resume) else {}
+
     rows: List[TournamentRow] = []
-    for adversary_name, play in adversaries.items():
-        for victim_name, factory in victims.items():
-            result = play(factory())
-            rows.append(
-                TournamentRow(
-                    adversary=adversary_name,
-                    victim=victim_name,
-                    locality=locality,
-                    won=result.won,
-                    reason=result.reason,
-                )
-            )
+    for adversary_name, entry in adversaries.items():
+        if isinstance(entry, FixedVictimGame):
+            pairings = [(FIXED_VICTIM, None)]
+        else:
+            pairings = list(victims.items())
+        for victim_name, factory in pairings:
+            key = (adversary_name, victim_name, locality)
+            if key in done:
+                rows.append(_row_from_journal(done[key]))
+                continue
+            if isinstance(entry, FixedVictimGame):
+                game = SupervisedGame(lambda _victim, e=entry: e.play(), policy)
+                result = game.run(None)
+            else:
+                result = SupervisedGame(entry, policy).run(factory())
+            row = _row_from_result(adversary_name, victim_name, locality, result)
+            rows.append(row)
+            if journal is not None:
+                journal.append(asdict(row))
     return rows
 
 
 def clean_sweep(rows: List[TournamentRow]) -> bool:
     """Whether the adversaries won every game — the paper's prediction."""
     return all(row.won for row in rows)
+
+
+def honest_rows(rows: List[TournamentRow]) -> List[TournamentRow]:
+    """The rows whose victim is honest (no injected fault)."""
+    return [row for row in rows if not row.victim.startswith("faulty-")]
+
+
+def forfeit_rows(rows: List[TournamentRow]) -> List[TournamentRow]:
+    """The rows won by supervisor forfeit rather than on the board."""
+    return [row for row in rows if row.forfeit]

@@ -42,6 +42,9 @@ from repro.families.triangular import TriangularGrid
 from repro.models.online_local import OnlineLocalSimulator
 from repro.models.simulation import LocalAsOnline
 from repro.oracles import CliqueChainOracle, TriangularOracle
+from repro.robustness.errors import ReproError
+from repro.robustness.retry import retry_with_reseed
+from repro.robustness.supervisor import call_with_timeout
 from repro.verify.coloring import assert_proper
 
 
@@ -91,24 +94,41 @@ def cmd_upper_bound(args: argparse.Namespace) -> int:
         graph = grid.graph
         n = graph.num_nodes
         budget = args.locality or 3 * math.ceil(math.log2(n))
-        algorithm = AkbariBipartiteColoring()
+        make_algorithm = AkbariBipartiteColoring
         colors = 3
     elif args.algorithm == "unify-triangular":
         tri = TriangularGrid(args.side)
         graph = tri.graph
         n = graph.num_nodes
         budget = args.locality or recommended_locality(3, 1, n)
-        algorithm = UnifyColoring(TriangularOracle())
+        make_algorithm = lambda: UnifyColoring(TriangularOracle())  # noqa: E731
         colors = 4
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
-    sim = OnlineLocalSimulator(graph, algorithm, locality=budget, num_colors=colors)
-    order = scattered_reveal_order(sorted(graph.nodes()), seed=args.seed)
-    coloring = sim.run(order)
-    assert_proper(graph, coloring, max_colors=colors)
+
+    # Randomized reveal orders can fail for seed-specific reasons (an
+    # order that strands the oracle); retry with fresh seeds rather than
+    # aborting the run.
+    def attempt(seed: int):
+        sim = OnlineLocalSimulator(
+            graph, make_algorithm(), locality=budget, num_colors=colors
+        )
+        order = scattered_reveal_order(sorted(graph.nodes()), seed=seed)
+        coloring = call_with_timeout(lambda: sim.run(order), args.timeout)
+        assert_proper(graph, coloring, max_colors=colors)
+        return seed
+
+    used_seed = retry_with_reseed(
+        attempt,
+        seed=args.seed,
+        attempts=args.retries,
+        on_retry=lambda seed, exc: print(
+            f"seed {seed} failed ({type(exc).__name__}: {exc}); reseeding"
+        ),
+    )
     print(
         f"{args.algorithm}: proper {colors}-coloring of {n} nodes at "
-        f"T={budget} under an adversarial order (seed {args.seed})"
+        f"T={budget} under an adversarial order (seed {used_seed})"
     )
     return 0
 
@@ -122,17 +142,52 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_tournament(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
-    from repro.analysis.tournament import clean_sweep, run_tournament
+    from repro.analysis.tournament import (
+        clean_sweep,
+        forfeit_rows,
+        honest_rows,
+        run_tournament,
+    )
+    from repro.robustness.supervisor import GamePolicy
 
-    rows = run_tournament(locality=args.locality)
+    rows = run_tournament(
+        locality=args.locality,
+        include_faulty=args.include_faulty,
+        policy=GamePolicy(step_budget=args.step_budget, timeout=args.timeout),
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+
+    def verdict(row) -> str:
+        if row.forfeit:
+            return "FORFEIT"
+        return "DEFEATED" if row.won else "survived"
+
     print(render_table(
-        ["adversary", "victim", "T", "verdict"],
-        [[r.adversary, r.victim, r.locality,
-          "DEFEATED" if r.won else "survived"] for r in rows],
+        ["adversary", "victim", "T", "verdict", "how"],
+        [[r.adversary, r.victim, r.locality, verdict(r), r.reason]
+         for r in rows],
     ))
-    swept = clean_sweep(rows)
-    print(f"\nclean sweep: {swept} ({sum(r.won for r in rows)}/{len(rows)})")
-    return 0 if swept else 1
+    honest = honest_rows(rows)
+    swept = clean_sweep(honest)
+    forfeits = forfeit_rows(rows)
+    print(
+        f"\nclean sweep over honest victims: {swept} "
+        f"({sum(r.won for r in honest)}/{len(honest)})"
+    )
+    if forfeits:
+        print(f"forfeits: {len(forfeits)}")
+        for row in forfeits:
+            print(f"  {row.adversary} vs {row.victim}: {row.reason}"
+                  + (f" ({row.detail})" if row.detail else ""))
+    return 0 if swept and all(r.won for r in rows) else 1
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
     upper.add_argument("--side", type=int, default=16)
     upper.add_argument("--locality", type=int, default=None)
     upper.add_argument("--seed", type=int, default=0)
+    upper.add_argument(
+        "--retries", type=_positive_int, default=3,
+        help="reseeded attempts before giving up (default 3)",
+    )
+    upper.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget per attempt in seconds",
+    )
     upper.set_defaults(func=cmd_upper_bound)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md on stdout")
@@ -169,6 +232,26 @@ def build_parser() -> argparse.ArgumentParser:
         "tournament", help="run every adversary against every victim"
     )
     tournament.add_argument("--locality", type=int, default=1)
+    tournament.add_argument(
+        "--include-faulty", action="store_true",
+        help="add the fault-injection victim family to the sweep",
+    )
+    tournament.add_argument(
+        "--step-budget", type=int, default=None,
+        help="max algorithm steps per game",
+    )
+    tournament.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="wall-clock budget per game in seconds (default 30)",
+    )
+    tournament.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append completed games to a JSON-lines journal",
+    )
+    tournament.add_argument(
+        "--resume", action="store_true",
+        help="skip games already recorded in --journal",
+    )
     tournament.set_defaults(func=cmd_tournament)
 
     return parser
@@ -177,7 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

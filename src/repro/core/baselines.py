@@ -18,7 +18,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping
 
 from repro.graphs.traversal import bfs_distances
 from repro.models.base import AlgorithmView, Color, NodeId, OnlineAlgorithm

@@ -23,7 +23,7 @@ somewhere (Section 3.2).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Sequence
+from typing import Hashable, Mapping, Sequence
 
 Node = Hashable
 Color = int

@@ -15,7 +15,7 @@ clique), and the clique tree ``H`` whose nodes are the (k+1)-cliques.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Sequence
 
 from repro.graphs.graph import Graph
 

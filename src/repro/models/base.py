@@ -27,22 +27,28 @@ it, so every algorithm runs under identical legality checks.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Mapping as _MappingABC
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.graphs.graph import Graph
+from repro.robustness.errors import (
+    InvalidColorError,
+    LocalityViolation,
+    ProtocolViolation,
+    RecoloringError,
+)
 
 Color = int
 NodeId = int
 
-
-class AlgorithmError(Exception):
-    """Raised when an algorithm violates the model contract.
-
-    Examples: coloring an unseen node (exceeding its locality), recoloring
-    a node, using a color outside ``1..num_colors``, or failing to color
-    the revealed node.
-    """
+#: Raised when an algorithm violates the model contract — coloring an
+#: unseen node (exceeding its locality), recoloring a node, using a color
+#: outside ``1..num_colors``, or failing to color the revealed node.
+#: An alias of :class:`~repro.robustness.errors.ProtocolViolation`, so
+#: ``except AlgorithmError`` catches every specific violation subclass
+#: (:class:`InvalidColorError`, :class:`LocalityViolation`, ...).
+AlgorithmError = ProtocolViolation
 
 
 @dataclass
@@ -165,7 +171,13 @@ class ViewTracker:
             n=self.n,
             locality=self.locality,
         )
-        assignment = dict(self.algorithm.step(view, target))
+        raw = self.algorithm.step(view, target)
+        if not isinstance(raw, _MappingABC):
+            raise ProtocolViolation(
+                f"{self.algorithm.name}: step returned "
+                f"{type(raw).__name__}, expected a node->color mapping"
+            )
+        assignment = dict(raw)
         self._apply(assignment, target)
         self.last_assignment = assignment
         return self.colors[target]
@@ -180,25 +192,25 @@ class ViewTracker:
 
     def _apply(self, assignment: Dict[NodeId, Color], target: NodeId) -> None:
         if target not in assignment and target not in self.colors:
-            raise AlgorithmError(
+            raise ProtocolViolation(
                 f"{self.algorithm.name}: revealed node {target} was not colored"
             )
         for node, color in assignment.items():
             if node not in self.view_graph:
-                raise AlgorithmError(
+                raise LocalityViolation(
                     f"{self.algorithm.name}: colored unseen node {node} "
                     f"(locality violation)"
                 )
             if node in self.colors:
                 if self.colors[node] != color:
-                    raise AlgorithmError(
+                    raise RecoloringError(
                         f"{self.algorithm.name}: recolored node {node} "
                         f"({self.colors[node]} -> {color})"
                     )
                 continue
-            if not 1 <= color <= self.num_colors:
-                raise AlgorithmError(
-                    f"{self.algorithm.name}: color {color} outside "
+            if not isinstance(color, int) or not 1 <= color <= self.num_colors:
+                raise InvalidColorError(
+                    f"{self.algorithm.name}: color {color!r} outside "
                     f"1..{self.num_colors}"
                 )
             self.colors[node] = color

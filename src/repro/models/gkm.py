@@ -29,7 +29,7 @@ budget in the tests and benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro.graphs.decomposition import Decomposition
 from repro.graphs.graph import Graph

@@ -21,7 +21,7 @@ receives its neighbors' messages — and two algorithms on top:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional
 
 from repro.core.colevishkin import _cv_step
 from repro.graphs.graph import Graph

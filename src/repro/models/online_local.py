@@ -19,6 +19,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import ball
 from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
+from repro.robustness.errors import RevealOrderError, UnknownHostNodeError
 
 HostNode = Hashable
 
@@ -95,7 +96,14 @@ class OnlineLocalSimulator:
         node is an error (σ is a permutation).
         """
         if node not in self.host:
-            raise KeyError(f"{node!r} is not a node of the host graph")
+            raise UnknownHostNodeError(
+                f"{node!r} is not a node of the host graph"
+            )
+        # Validate σ *before* any side effects: a double reveal must not
+        # leave extended view state behind.
+        existing = self._id_of.get(node)
+        if existing is not None and existing in self._revealed:
+            raise RevealOrderError(f"node {node!r} was already revealed")
         new_ball = ball(self.host, node, self.locality)
         fresh = new_ball - self._seen
         self._seen |= new_ball
@@ -108,8 +116,6 @@ class OnlineLocalSimulator:
                     new_edges.append((u_id, self._id_of[v]))
         self.tracker.extend(fresh_ids, new_edges)
         target = self._id_of[node]
-        if target in self._revealed:
-            raise ValueError(f"node {node!r} was already revealed")
         self._revealed.add(target)
         return self.tracker.reveal(target)
 
@@ -123,7 +129,7 @@ class OnlineLocalSimulator:
             self.reveal(node)
             count += 1
         if count != self.host.num_nodes:
-            raise ValueError(
+            raise RevealOrderError(
                 f"reveal order covered {count} of {self.host.num_nodes} nodes"
             )
         return self.coloring()

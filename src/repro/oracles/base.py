@@ -11,16 +11,21 @@ which the model prices at ℓ extra locality.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Iterable, Set
+from typing import Dict, Hashable, Set
 
 from repro.graphs.graph import Graph
+from repro.robustness.errors import ReproError
 
 Node = Hashable
 
 
-class OracleError(Exception):
+class OracleError(ReproError):
     """The partition could not be inferred (wrong family, or the
-    neighborhood genuinely does not determine it)."""
+    neighborhood genuinely does not determine it).
+
+    A :class:`~repro.robustness.errors.ReproError`, so supervised sweeps
+    and :func:`~repro.robustness.retry.retry_with_reseed` classify oracle
+    failures as structured (retryable) rather than fatal."""
 
 
 class PartitionOracle(ABC):

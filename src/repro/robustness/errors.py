@@ -1,0 +1,91 @@
+"""The structured exception hierarchy for the whole reproduction.
+
+Every failure the harness can classify derives from :class:`ReproError`,
+so supervisors and sweeps can distinguish *our* structured failures from
+genuinely unexpected bugs with a single ``except ReproError``.
+
+Layout::
+
+    ReproError
+    ├── ProtocolViolation          (the algorithm broke the model contract)
+    │   ├── InvalidColorError      (color outside 1..num_colors, or not an int)
+    │   ├── LocalityViolation      (colored a node outside the seen region)
+    │   ├── RecoloringError        (changed an already-committed color)
+    │   ├── RevealOrderError       (σ is not a permutation: double reveal /
+    │   │                           incomplete cover — also a ValueError)
+    │   └── UnknownHostNodeError   (reveal of a non-host node — also a KeyError)
+    ├── GameTimeout                (wall-clock budget exhausted)
+    │   └── StepBudgetExceeded     (per-game step budget exhausted)
+    └── VictimCrash                (the algorithm under test raised)
+
+``RevealOrderError`` and ``UnknownHostNodeError`` additionally subclass
+the builtin exceptions the pre-robustness simulators raised
+(``ValueError`` / ``KeyError``) so callers written against the old
+contract keep working.
+
+``repro.models.base.AlgorithmError`` is an alias of
+:class:`ProtocolViolation`: adversaries that catch ``AlgorithmError`` to
+convert contract breaches into model-violation wins automatically catch
+every specific violation below it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured failure raised by this package."""
+
+
+class ProtocolViolation(ReproError):
+    """The algorithm under test broke the Online-LOCAL model contract.
+
+    Examples: coloring an unseen node (exceeding its locality), recoloring
+    a node, using a color outside ``1..num_colors``, failing to color the
+    revealed node, or returning something that is not a node→color mapping.
+    """
+
+
+class InvalidColorError(ProtocolViolation):
+    """A committed color lies outside ``1..num_colors`` (or is not an int)."""
+
+
+class LocalityViolation(ProtocolViolation):
+    """The algorithm colored a node outside its seen region."""
+
+
+class RecoloringError(ProtocolViolation):
+    """The algorithm tried to change an already-committed color."""
+
+
+class RevealOrderError(ProtocolViolation, ValueError):
+    """The reveal sequence σ is not a permutation of the host nodes.
+
+    Raised on double reveals and on ``run`` orders that do not cover the
+    host.  Subclasses ``ValueError`` for backward compatibility with the
+    pre-robustness simulator contract.
+    """
+
+
+class UnknownHostNodeError(ProtocolViolation, KeyError):
+    """A reveal referenced a node that is not part of the host graph.
+
+    Subclasses ``KeyError`` for backward compatibility.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return Exception.__str__(self)
+
+
+class GameTimeout(ReproError):
+    """A supervised game exhausted its wall-clock budget."""
+
+
+class StepBudgetExceeded(GameTimeout):
+    """A supervised game exhausted its per-game step budget."""
+
+
+class VictimCrash(ReproError):
+    """The algorithm under test raised an arbitrary exception.
+
+    The original exception is preserved as ``__cause__``.
+    """

@@ -1,0 +1,102 @@
+"""Crash-safe sweep journaling: JSON-lines checkpoints for long runs.
+
+A :class:`SweepJournal` records one JSON object per completed game (or
+benchmark row) and can be reloaded after a crash or kill to resume a
+sweep from where it stopped.  Rows are keyed by caller-chosen tuples —
+the tournament uses ``(adversary, victim, locality)``.
+
+The format is deliberately append-only, one self-contained JSON object
+per line, flushed per write: killing the process mid-sweep loses at most
+the in-flight game.  A trailing partial line (the kill landed mid-write)
+is detected and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Tuple
+
+Key = Tuple[Any, ...]
+
+
+class SweepJournal:
+    """Append-only JSON-lines journal of completed sweep rows.
+
+    Parameters
+    ----------
+    path:
+        Journal file location.  Parent directories are created lazily on
+        first append.
+    key_fields:
+        The row fields forming the resume key, in order.
+    """
+
+    def __init__(self, path, key_fields: Iterable[str]) -> None:
+        self.path = os.fspath(path)
+        self.key_fields = tuple(key_fields)
+        if not self.key_fields:
+            raise ValueError("key_fields must name at least one field")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> List[Dict[str, Any]]:
+        """Every complete row on disk, in append order.
+
+        Corrupt or partial trailing lines are skipped (they are the
+        signature of a kill mid-write, which resume must survive).
+        """
+        if not os.path.exists(self.path):
+            return []
+        rows: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(row, dict):
+                    rows.append(row)
+        return rows
+
+    def completed(self) -> Dict[Key, Dict[str, Any]]:
+        """Rows keyed by their resume key (later entries win)."""
+        return {self.key_of(row): row for row in self.load()}
+
+    def key_of(self, row: Dict[str, Any]) -> Key:
+        """The resume key of a row dict."""
+        return tuple(row.get(field) for field in self.key_fields)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, row: Dict[str, Any]) -> None:
+        """Record one completed row, flushed to disk immediately."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = json.dumps(row, sort_keys=True, default=str)
+        # A kill mid-write can leave a partial line with no newline; a
+        # fresh row must not be glued onto it (both would be lost).
+        repair = ""
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    repair = "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(repair + line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Delete the journal file (start a sweep from scratch)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,0 +1,69 @@
+"""Retry-with-reseed for randomized harness paths.
+
+Randomized reveal orders and oracle-backed colorers can fail for
+seed-specific reasons (an order that strands an oracle inference, a
+pathological scatter).  :func:`retry_with_reseed` re-runs the attempt
+with successive seeds, retrying only on *structured* failures
+(:class:`~repro.robustness.errors.ReproError`, which includes
+``OracleError``) — genuine bugs still propagate on the first attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.robustness.errors import ReproError
+
+T = TypeVar("T")
+
+
+class RetriesExhausted(ReproError):
+    """Every reseeded attempt failed; the last failure is ``__cause__``."""
+
+
+def retry_with_reseed(
+    attempt: Callable[[int], T],
+    *,
+    seed: int = 0,
+    attempts: int = 3,
+    retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run ``attempt(seed)``, reseeding with ``seed+1, seed+2, ...`` on failure.
+
+    Parameters
+    ----------
+    attempt:
+        Callable taking the seed for this try.  It must construct its
+        own fresh state per call (algorithms are stateful).
+    seed:
+        The first seed to try.
+    attempts:
+        Total tries, including the first.
+    retry_on:
+        Exception classes that trigger a reseed; anything else
+        propagates immediately.
+    on_retry:
+        Observer called with ``(failed_seed, exception)`` before each
+        reseed — CLI paths use it to narrate the recovery.
+
+    Raises
+    ------
+    RetriesExhausted
+        When every attempt failed; the final failure is chained.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be positive, got {attempts}")
+    last: Optional[BaseException] = None
+    for offset in range(attempts):
+        current = seed + offset
+        try:
+            return attempt(current)
+        except retry_on as exc:
+            last = exc
+            if on_retry is not None:
+                on_retry(current, exc)
+    raise RetriesExhausted(
+        f"all {attempts} reseeded attempts failed (seeds "
+        f"{seed}..{seed + attempts - 1})"
+    ) from last

@@ -22,7 +22,7 @@ a certificate verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence
 
 from repro.core.bvalue import b_value
 from repro.graphs.graph import Graph

@@ -9,7 +9,7 @@ is exactly one of the two.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Sequence, Set
 
 Node = Hashable
 Color = int

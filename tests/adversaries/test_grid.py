@@ -7,8 +7,6 @@ from repro.adversaries.result import AdversaryResult
 from repro.core.akbari import AkbariBipartiteColoring
 from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
 from repro.models.simulation import LocalAsOnline
-from repro.verify.certificates import verify_cycle_certificate
-from repro.verify.coloring import find_monochromatic_edge
 
 
 @pytest.mark.parametrize(

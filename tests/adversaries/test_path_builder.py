@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adversaries.path_builder import BuiltPath, PathBuilder, _direction
+from repro.adversaries.path_builder import PathBuilder, _direction
 from repro.core.baselines import GreedyOnlineColorer
 from repro.core.akbari import AkbariBipartiteColoring
 from repro.models.adaptive import FloatingGridInstance

@@ -13,7 +13,7 @@ from repro.families.random_graphs import (
     scattered_reveal_order,
 )
 from repro.models.online_local import OnlineLocalSimulator
-from repro.verify.coloring import assert_proper, is_proper
+from repro.verify.coloring import assert_proper
 
 
 def budget(n: int) -> int:

@@ -17,7 +17,6 @@ from repro.core.bvalue import (
 )
 from repro.families.grids import SimpleGrid
 from repro.oracles.brute import proper_colorings
-from repro.verify.coloring import is_proper
 
 
 class TestAValue:

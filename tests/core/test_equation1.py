@@ -6,7 +6,6 @@ are odd.
 
 import itertools
 
-import pytest
 
 from repro.core.bvalue import b_value
 from repro.families.grids import CylindricalGrid, ToroidalGrid

@@ -8,7 +8,6 @@ from repro.models.dynamic_local import (
     DynamicGreedy,
     DynamicLocalSimulator,
     DynamicViolation,
-    DynamicView,
     DynamicAlgorithm,
 )
 from repro.verify.coloring import is_proper

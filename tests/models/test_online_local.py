@@ -3,7 +3,6 @@
 import pytest
 
 from repro.families.grids import SimpleGrid
-from repro.graphs.graph import Graph
 from repro.models.base import AlgorithmView, OnlineAlgorithm
 from repro.models.online_local import OnlineLocalSimulator
 

@@ -1,0 +1,99 @@
+"""The structured exception hierarchy and its compatibility contracts."""
+
+import pytest
+
+from repro.models.base import AlgorithmError, ViewTracker
+from repro.models.online_local import OnlineLocalSimulator
+from repro.families.grids import SimpleGrid
+from repro.oracles.base import OracleError
+from repro.robustness.errors import (
+    GameTimeout,
+    InvalidColorError,
+    LocalityViolation,
+    ProtocolViolation,
+    RecoloringError,
+    ReproError,
+    RevealOrderError,
+    StepBudgetExceeded,
+    UnknownHostNodeError,
+    VictimCrash,
+)
+from repro.models.base import OnlineAlgorithm
+
+
+class Scripted(OnlineAlgorithm):
+    """Returns pre-programmed step results, one per reveal."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def step(self, view, target):
+        return self.script.pop(0)
+
+
+def test_hierarchy_roots():
+    for cls in (
+        ProtocolViolation,
+        InvalidColorError,
+        LocalityViolation,
+        RecoloringError,
+        RevealOrderError,
+        UnknownHostNodeError,
+        GameTimeout,
+        StepBudgetExceeded,
+        VictimCrash,
+        OracleError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_algorithm_error_is_protocol_violation_alias():
+    assert AlgorithmError is ProtocolViolation
+    # Adversaries catching AlgorithmError must catch every violation kind.
+    for cls in (InvalidColorError, LocalityViolation, RecoloringError):
+        assert issubclass(cls, AlgorithmError)
+
+
+def test_backward_compatible_builtin_bases():
+    assert issubclass(RevealOrderError, ValueError)
+    assert issubclass(UnknownHostNodeError, KeyError)
+    # The KeyError repr-quoting is suppressed for readable messages.
+    assert str(UnknownHostNodeError("plain message")) == "plain message"
+
+
+def test_tracker_raises_specific_violations():
+    def fresh(script):
+        tracker = ViewTracker(Scripted(script), n=10, locality=1, num_colors=3)
+        tracker.extend([0, 1], [(0, 1)])
+        return tracker
+
+    with pytest.raises(InvalidColorError):
+        fresh([{0: 99}]).reveal(0)
+    with pytest.raises(LocalityViolation):
+        fresh([{0: 1, 42: 2}]).reveal(0)
+    tracker = fresh([{0: 1}, {1: 2, 0: 3}])
+    tracker.reveal(0)
+    with pytest.raises(RecoloringError):
+        tracker.reveal(1)
+    with pytest.raises(ProtocolViolation, match="expected a node->color"):
+        fresh([None]).reveal(0)
+
+
+def test_simulator_raises_structured_errors():
+    class TargetOne(OnlineAlgorithm):
+        name = "target-one"
+
+        def step(self, view, target):
+            return {target: 1}
+
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(
+        grid.graph, TargetOne(), locality=1, num_colors=3
+    )
+    with pytest.raises(UnknownHostNodeError):
+        sim.reveal((9, 9))
+    sim.reveal((0, 0))
+    with pytest.raises(RevealOrderError):
+        sim.reveal((0, 0))

@@ -1,0 +1,78 @@
+"""Acceptance: every faulty victim loses — by forfeit, never by crash —
+against every adversary, while the honest sweep stays clean."""
+
+from repro.analysis.tournament import (
+    FIXED_VICTIM,
+    clean_sweep,
+    default_adversaries,
+    default_victims,
+    honest_rows,
+    run_tournament,
+)
+from repro.robustness.faults import faulty_victims
+from repro.robustness.supervisor import GamePolicy
+
+
+def test_full_faulty_sweep_completes_with_structured_forfeits():
+    """One full sweep: honest portfolio + every FaultyAlgorithm variant.
+
+    Must complete with zero uncaught exceptions; every faulty game is a
+    forfeit row with a machine-readable reason, and the honest games are
+    still a clean sweep.
+    """
+    rows = run_tournament(
+        locality=1,
+        include_faulty=True,
+        policy=GamePolicy(timeout=2.0),
+    )
+    adversaries = default_adversaries(1)
+    n_adversaries = len(adversaries)
+    n_fixed = 1  # theorem5 plays once, against its built-in victim
+    n_honest = len(default_victims())
+    n_faulty = len(faulty_victims())
+    expected = (n_adversaries - n_fixed) * (n_honest + n_faulty) + n_fixed
+    assert len(rows) == expected
+
+    honest = honest_rows(rows)
+    assert clean_sweep(honest)
+    assert not any(row.forfeit for row in honest)
+
+    faulty = [row for row in rows if row.victim.startswith("faulty-")]
+    assert len(faulty) == (n_adversaries - n_fixed) * n_faulty
+    for row in faulty:
+        assert row.won, f"{row.adversary} vs {row.victim} did not win"
+        assert row.forfeit, f"{row.adversary} vs {row.victim} not a forfeit"
+        assert row.reason.startswith("forfeit:"), row.reason
+
+    # Every failure mode maps to its expected forfeit class, for every
+    # adversary it met.
+    reason_by_victim = {
+        "faulty-crash": {"forfeit:victim-crash"},
+        "faulty-invalid-color": {"forfeit:model-violation"},
+        "faulty-none": {"forfeit:model-violation"},
+        "faulty-infinite-loop": {"forfeit:timeout"},
+        "faulty-flip-flop": {"forfeit:model-violation"},
+    }
+    for row in faulty:
+        assert row.reason in reason_by_victim[row.victim], (
+            f"{row.adversary} vs {row.victim}: {row.reason}"
+        )
+
+    # The sweep is still rectangular: every non-fixed adversary met every
+    # victim exactly once, and the fixed game ran exactly once.
+    fixed = [row for row in rows if row.victim == FIXED_VICTIM]
+    assert len(fixed) == n_fixed
+    assert fixed[0].won
+
+
+def test_fixed_victim_game_plays_once():
+    """Theorem 5 is not re-run per victim: one game, one row."""
+    adversaries = {
+        name: entry
+        for name, entry in default_adversaries(1).items()
+        if name == "theorem5-reduction"
+    }
+    rows = run_tournament(locality=1, adversaries=adversaries)
+    assert len(rows) == 1
+    assert rows[0].victim == FIXED_VICTIM
+    assert rows[0].won and not rows[0].forfeit

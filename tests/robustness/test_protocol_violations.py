@@ -1,0 +1,75 @@
+"""Simulator-level protocol enforcement: σ legality and side-effect safety."""
+
+import pytest
+
+from repro.families.grids import SimpleGrid
+from repro.models.base import AlgorithmView, OnlineAlgorithm
+from repro.models.online_local import OnlineLocalSimulator
+from repro.robustness.errors import InvalidColorError, RevealOrderError
+
+
+class Greedyish(OnlineAlgorithm):
+    name = "greedyish"
+
+    def step(self, view: AlgorithmView, target):
+        used = {view.colors.get(v) for v in view.graph.neighbors(target)}
+        for color in range(1, self.num_colors + 1):
+            if color not in used:
+                return {target: color}
+        return {target: 1}
+
+
+def make_sim(num_colors=3):
+    grid = SimpleGrid(3, 3)
+    return grid, OnlineLocalSimulator(
+        grid.graph, Greedyish(), locality=1, num_colors=num_colors
+    )
+
+
+def test_double_reveal_raises_reveal_order_error():
+    _grid, sim = make_sim()
+    sim.reveal((1, 1))
+    with pytest.raises(RevealOrderError):
+        sim.reveal((1, 1))
+
+
+def test_double_reveal_has_no_side_effects():
+    """The violation must fire *before* the view is extended: the seen
+    region, tracker state, and reveal log must be untouched."""
+    _grid, sim = make_sim()
+    sim.reveal((0, 0))
+    seen_before = set(sim._seen)
+    view_nodes_before = set(sim.tracker.view_graph.nodes())
+    sequence_before = list(sim.tracker.reveal_sequence)
+    colors_before = dict(sim.tracker.colors)
+    with pytest.raises(RevealOrderError):
+        sim.reveal((0, 0))
+    assert set(sim._seen) == seen_before
+    assert set(sim.tracker.view_graph.nodes()) == view_nodes_before
+    assert list(sim.tracker.reveal_sequence) == sequence_before
+    assert dict(sim.tracker.colors) == colors_before
+
+
+def test_incomplete_reveal_order_raises():
+    _grid, sim = make_sim()
+    with pytest.raises(RevealOrderError, match="covered 2 of 9"):
+        sim.run([(0, 0), (0, 1)])
+
+
+def test_out_of_range_color_is_invalid_color_error():
+    class BigColor(OnlineAlgorithm):
+        name = "big-color"
+
+        def step(self, view, target):
+            return {target: 9000}
+
+    grid = SimpleGrid(3, 3)
+    sim = OnlineLocalSimulator(grid.graph, BigColor(), locality=1, num_colors=3)
+    with pytest.raises(InvalidColorError):
+        sim.reveal((0, 0))
+
+
+def test_legal_game_is_unaffected_by_validation():
+    grid, sim = make_sim(num_colors=4)
+    coloring = sim.run(sorted(grid.graph.nodes()))
+    assert set(coloring) == set(grid.graph.nodes())

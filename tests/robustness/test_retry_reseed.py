@@ -1,0 +1,60 @@
+"""Retry-with-reseed for randomized oracle/order paths."""
+
+import pytest
+
+from repro.oracles.base import OracleError
+from repro.robustness.errors import ReproError
+from repro.robustness.retry import RetriesExhausted, retry_with_reseed
+
+
+def test_first_attempt_success_uses_given_seed():
+    seen = []
+    assert retry_with_reseed(lambda seed: seen.append(seed) or seed, seed=7) == 7
+    assert seen == [7]
+
+
+def test_reseeds_on_structured_failure():
+    seen = []
+
+    def attempt(seed):
+        seen.append(seed)
+        if seed < 2:
+            raise OracleError(f"seed {seed} strands the oracle")
+        return seed
+
+    observed = []
+    result = retry_with_reseed(
+        attempt, seed=0, attempts=5,
+        on_retry=lambda seed, exc: observed.append((seed, type(exc).__name__)),
+    )
+    assert result == 2
+    assert seen == [0, 1, 2]
+    assert observed == [(0, "OracleError"), (1, "OracleError")]
+
+
+def test_unstructured_failures_propagate_immediately():
+    calls = []
+
+    def attempt(seed):
+        calls.append(seed)
+        raise RuntimeError("genuine bug")
+
+    with pytest.raises(RuntimeError):
+        retry_with_reseed(attempt, seed=0, attempts=5)
+    assert calls == [0]
+
+
+def test_exhaustion_raises_structured_error_with_cause():
+    def attempt(seed):
+        raise OracleError(f"seed {seed} bad")
+
+    with pytest.raises(RetriesExhausted) as info:
+        retry_with_reseed(attempt, seed=3, attempts=2)
+    assert isinstance(info.value.__cause__, OracleError)
+    assert isinstance(info.value, ReproError)
+    assert "seeds 3..4" in str(info.value)
+
+
+def test_attempts_must_be_positive():
+    with pytest.raises(ValueError):
+        retry_with_reseed(lambda seed: seed, attempts=0)

@@ -1,0 +1,117 @@
+"""The supervised execution boundary: budgets, timeouts, forfeits."""
+
+import time
+
+import pytest
+
+from repro.adversaries.result import AdversaryError, AdversaryResult
+from repro.core.baselines import GreedyOnlineColorer
+from repro.families.grids import SimpleGrid
+from repro.models.online_local import OnlineLocalSimulator
+from repro.robustness.errors import (
+    GameTimeout,
+    StepBudgetExceeded,
+    VictimCrash,
+)
+from repro.robustness.faults import (
+    CrashingAlgorithm,
+    InfiniteLoopAlgorithm,
+    NoneReturningAlgorithm,
+)
+from repro.robustness.supervisor import (
+    GamePolicy,
+    SupervisedAlgorithm,
+    SupervisedGame,
+    call_with_timeout,
+)
+
+
+def run_grid_game(victim):
+    """A minimal 'adversary': run the victim over a small grid."""
+    grid = SimpleGrid(4, 4)
+    sim = OnlineLocalSimulator(grid.graph, victim, locality=1, num_colors=4)
+    sim.run(sorted(grid.graph.nodes()))
+    return AdversaryResult(won=False, reason="survived")
+
+
+def test_honest_victim_passes_through():
+    result = SupervisedGame(run_grid_game, GamePolicy(timeout=10.0)).run(
+        GreedyOnlineColorer()
+    )
+    assert not result.forfeit
+    assert result.reason == "survived"
+    assert result.stats["steps_taken"] == 16
+
+
+def test_crash_becomes_forfeit():
+    result = SupervisedGame(run_grid_game, GamePolicy()).run(
+        CrashingAlgorithm(trigger_step=3)
+    )
+    assert result.won and result.forfeit
+    assert result.reason == "forfeit:victim-crash"
+    assert result.stats["error_type"] == "VictimCrash"
+    assert "injected crash at step 3" in result.stats["error"]
+
+
+def test_none_return_becomes_model_violation_forfeit():
+    result = SupervisedGame(run_grid_game, GamePolicy()).run(
+        NoneReturningAlgorithm(trigger_step=2)
+    )
+    assert result.won and result.forfeit
+    assert result.reason == "forfeit:model-violation"
+
+
+def test_step_budget_forfeit():
+    result = SupervisedGame(run_grid_game, GamePolicy(step_budget=5)).run(
+        GreedyOnlineColorer()
+    )
+    assert result.won and result.forfeit
+    assert result.reason == "forfeit:step-budget"
+
+
+def test_wall_clock_timeout_interrupts_infinite_loop():
+    started = time.monotonic()
+    result = SupervisedGame(run_grid_game, GamePolicy(timeout=0.5)).run(
+        InfiniteLoopAlgorithm(trigger_step=2, max_spin_seconds=20.0)
+    )
+    elapsed = time.monotonic() - started
+    assert result.won and result.forfeit
+    assert result.reason == "forfeit:timeout"
+    assert elapsed < 5.0, "preemptive alarm did not fire"
+
+
+def test_supervised_algorithm_classifies_crash():
+    victim = SupervisedAlgorithm(CrashingAlgorithm(trigger_step=1))
+    victim.reset(n=4, locality=1, num_colors=3)
+    with pytest.raises(VictimCrash):
+        victim.step(None, 0)
+
+
+def test_supervised_algorithm_step_budget():
+    victim = SupervisedAlgorithm(
+        GreedyOnlineColorer(), GamePolicy(step_budget=0)
+    )
+    victim.reset(n=4, locality=1, num_colors=3)
+    with pytest.raises(StepBudgetExceeded):
+        victim.step(None, 0)
+
+
+def test_adversary_error_is_not_swallowed():
+    def buggy_adversary(_victim):
+        raise AdversaryError("certificate holds but no improper edge")
+
+    with pytest.raises(AdversaryError):
+        SupervisedGame(buggy_adversary, GamePolicy()).run(GreedyOnlineColorer())
+
+
+def test_call_with_timeout_passthrough_and_interrupt():
+    assert call_with_timeout(lambda: 42, timeout=None) == 42
+    assert call_with_timeout(lambda: 42, timeout=5.0) == 42
+
+    def spin():
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            pass
+
+    with pytest.raises(GameTimeout):
+        call_with_timeout(spin, timeout=0.3)

@@ -60,7 +60,8 @@ def test_tournament_subcommand(capsys):
     code = main(["tournament", "--locality", "1"])
     assert code == 0
     out = capsys.readouterr().out
-    assert "clean sweep: True" in out
+    assert "clean sweep over honest victims: True" in out
+    assert "(fixed)" in out  # theorem5 plays once, not per victim
 
 
 def test_fast_examples_run(capsys):

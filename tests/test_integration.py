@@ -7,7 +7,6 @@ adversary, and verification.
 
 import math
 
-import pytest
 
 from repro.adversaries import (
     GadgetAdversary,
