@@ -2,12 +2,42 @@
 
 Also a useful regression net: any change weakening an adversary or
 super-powering a victim breaks the sweep assertion immediately.
+
+Run as a script to benchmark the parallel executor and the
+neighborhood-ball cache, emitting machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_tournament.py \
+        --localities 1 2 3 --workers 1 2 4 --out BENCH_tournament.json
+
+The benchmark fans the full default portfolio at every requested
+locality through one :class:`~repro.analysis.executor.ParallelSweep`
+(48 games for three localities), so worker pools have enough
+independent games to balance.  The JSON records serial wall-clock,
+per-worker-count wall-clock and speedup, ball-cache hit rates, and
+whether every parallel sweep returned byte-identical rows to the serial
+one (it must).  Reported speedup is bounded by the host's core count —
+on a single-core container the parallel columns measure pure pool
+overhead.
 """
+
+import argparse
+import json
+import time
 
 import pytest
 
+from repro.analysis.executor import GameSpec, ParallelSweep
 from repro.analysis.tables import render_table
-from repro.analysis.tournament import clean_sweep, run_tournament
+from repro.analysis.tournament import (
+    FIXED_VICTIM,
+    FixedVictimGame,
+    clean_sweep,
+    default_adversaries,
+    default_victims,
+    run_tournament,
+)
+from repro.graphs.traversal import BallCache
+from repro.robustness.supervisor import GamePolicy
 
 
 @pytest.mark.parametrize("locality", (1, 2))
@@ -21,9 +51,117 @@ def test_clean_sweep(locality):
          for r in rows],
     ))
     assert clean_sweep(rows), [r for r in rows if not r.won]
-    assert len(rows) == 18
+    # 5 sweeping adversaries x 3 victims + 1 fixed-victim reduction game.
+    assert len(rows) == 16
+
+
+def test_parallel_sweep_matches_serial():
+    serial = run_tournament(locality=1, workers=1)
+    parallel = run_tournament(locality=1, workers=2)
+    assert parallel == serial
 
 
 def test_bench_tournament(benchmark):
     rows = benchmark(lambda: run_tournament(locality=1))
     assert clean_sweep(rows)
+
+
+def sweep_specs(localities, policy=None):
+    """The full default portfolio at every locality, as picklable specs."""
+    policy = policy if policy is not None else GamePolicy(timeout=30.0)
+    specs = []
+    for locality in localities:
+        for name, entry in default_adversaries(locality).items():
+            if isinstance(entry, FixedVictimGame):
+                victims = [FIXED_VICTIM]
+            else:
+                victims = list(default_victims())
+            for victim in victims:
+                specs.append(GameSpec(name, victim, locality, policy))
+    return specs
+
+
+def _timed_sweep(specs, workers):
+    start = time.perf_counter()
+    rows = ParallelSweep(workers).run(specs)
+    return rows, time.perf_counter() - start
+
+
+def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
+    """Measure serial vs parallel wall-clock and cache hit rates.
+
+    Each configuration is run ``repeats`` times and the best (minimum)
+    wall-clock kept, the usual way to suppress scheduler noise.
+    """
+    specs = sweep_specs(localities)
+    BallCache.reset_global_stats()
+    serial_rows, _ = _timed_sweep(specs, 1)  # warm-up + cache profile
+    cache = BallCache.global_stats()
+
+    results = {}
+    identical = True
+    for workers in worker_counts:
+        best = None
+        for _ in range(repeats):
+            rows, seconds = _timed_sweep(specs, workers)
+            identical = identical and rows == serial_rows
+            best = seconds if best is None else min(best, seconds)
+        results[workers] = best
+    if 1 not in results:
+        results[1] = min(_timed_sweep(specs, 1)[1] for _ in range(repeats))
+
+    report = {
+        "experiment": "tournament-parallel-executor",
+        "localities": list(localities),
+        "games": len(serial_rows),
+        "repeats": repeats,
+        "serial_seconds": results[1],
+        "workers": {
+            str(workers): {
+                "seconds": seconds,
+                "speedup": results[1] / seconds if seconds else None,
+            }
+            for workers, seconds in sorted(results.items())
+        },
+        "rows_identical_to_serial": identical,
+        "clean_sweep": clean_sweep(serial_rows),
+        "ball_cache": cache,
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--localities", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to benchmark (1 = the serial baseline)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_tournament.json")
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        localities=tuple(args.localities),
+        worker_counts=tuple(args.workers),
+        repeats=args.repeats,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(render_table(
+        ["workers", "seconds", "speedup"],
+        [[w, f"{v['seconds']:.3f}", f"{v['speedup']:.2f}x"]
+         for w, v in sorted(report["workers"].items(), key=lambda kv: int(kv[0]))],
+    ))
+    hit = report["ball_cache"]
+    print(f"ball cache: {hit['hits']}/{hit['hits'] + hit['misses']} hits "
+          f"({hit['hit_rate']:.0%})")
+    print(f"rows identical to serial: {report['rows_identical_to_serial']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Process-parallel tournament execution.
+
+``run_tournament`` plays the adversary×victim rectangle sequentially;
+this module fans the same games out over a ``multiprocessing`` worker
+pool.  The unit of distribution is a :class:`GameSpec` — a *picklable
+description* of one game (adversary name, victim name, locality,
+policy), never a live adversary or algorithm object.  Each worker
+rebuilds the standard portfolios from the names
+(:func:`~repro.analysis.tournament.default_adversaries` /
+:func:`~repro.analysis.tournament.default_victims` plus the
+fault-injection family), plays the game inside the usual
+:class:`~repro.robustness.supervisor.SupervisedGame` boundary, and ships
+the finished :class:`~repro.analysis.tournament.TournamentRow` back.
+
+Guarantees:
+
+* **Deterministic row order** — specs are enumerated in the serial
+  sweep's order and results are reassembled by index, so a parallel
+  sweep returns byte-identical rows to the serial one.
+* **Per-game policies in every worker** — the worker process runs the
+  game under the spec's :class:`~repro.robustness.supervisor.GamePolicy`;
+  pool workers execute on their process's main thread, so the preemptive
+  ``SIGALRM`` watchdog works exactly as in serial runs.
+* **Crash-safe journaling without lock contention** — each worker
+  appends finished rows to its own journal shard
+  (``<journal>.shard-<pid>``); the parent concatenates the shards into
+  the main journal (:meth:`~repro.robustness.journal.SweepJournal.merge_shards`)
+  when the pool drains, and again *before* computing the resume set, so
+  rows that reached only a shard before a kill still count as done.
+
+Workers are forked where the platform allows it (Linux/macOS with the
+``fork`` start method); ``spawn`` platforms work too since every spec
+field and the worker function are importable top-level objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.robustness.journal import SweepJournal
+from repro.robustness.supervisor import GamePolicy, SupervisedGame
+
+#: Environment knob for the default worker count (used by CI to push the
+#: whole default-portfolio test traffic through the parallel path).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """The effective worker count: explicit argument, else the
+    :data:`REPRO_WORKERS <WORKERS_ENV_VAR>` environment variable, else 1
+    (serial)."""
+    if workers is None:
+        workers = int(os.environ.get(WORKERS_ENV_VAR, "1"))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """A picklable description of one tournament game.
+
+    ``victim`` is :data:`~repro.analysis.tournament.FIXED_VICTIM` for
+    fixed-victim entries (the Theorem 5 reduction chain), whose victim is
+    built by the adversary itself.
+    """
+
+    adversary: str
+    victim: str
+    locality: int
+    policy: GamePolicy
+    include_faulty: bool = False
+    journal_path: Optional[str] = None
+
+
+def play_spec(spec: GameSpec):
+    """Play one game described by ``spec``; returns a ``TournamentRow``.
+
+    Runs inside a worker process (also callable inline, which is how the
+    serial path and the tests exercise it).  Rebuilds the standard
+    portfolios by name, so it only supports the default lineup — custom
+    callables cannot cross a process boundary and stay on the serial
+    path in ``run_tournament``.
+    """
+    from repro.analysis.tournament import (
+        FIXED_VICTIM,
+        FixedVictimGame,
+        _row_from_result,
+        default_adversaries,
+        default_victims,
+    )
+    from repro.robustness.faults import faulty_victims
+
+    adversaries = default_adversaries(spec.locality)
+    entry = adversaries[spec.adversary]
+    if isinstance(entry, FixedVictimGame):
+        if spec.victim != FIXED_VICTIM:
+            raise ValueError(
+                f"{spec.adversary} is a fixed-victim game; spec named "
+                f"victim {spec.victim!r}"
+            )
+        game = SupervisedGame(lambda _victim, e=entry: e.play(), spec.policy)
+        result = game.run(None)
+    else:
+        victims = default_victims()
+        if spec.include_faulty:
+            victims.update(faulty_victims())
+        factory = victims[spec.victim]
+        result = SupervisedGame(entry, spec.policy).run(factory())
+    row = _row_from_result(spec.adversary, spec.victim, spec.locality, result)
+    if spec.journal_path is not None:
+        from repro.analysis.tournament import JOURNAL_KEY_FIELDS
+
+        journal = SweepJournal(spec.journal_path, JOURNAL_KEY_FIELDS)
+        journal.shard(os.getpid()).append(asdict(row))
+    return row
+
+
+def _pool_context():
+    """Prefer ``fork`` (no re-import, shards inherit sys.path); fall back
+    to the platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelSweep:
+    """Fan a list of :class:`GameSpec` out over a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` plays every spec inline (no pool),
+        which keeps the serial path free of multiprocessing machinery.
+    journal:
+        The main :class:`SweepJournal`, if the sweep is journaled.
+        Workers write shards next to it; :meth:`run` merges them when the
+        pool completes.
+    """
+
+    def __init__(
+        self, workers: int, journal: Optional[SweepJournal] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.journal = journal
+
+    def run(
+        self,
+        specs: Sequence[GameSpec],
+        precomputed: Optional[Dict[int, object]] = None,
+    ) -> List[object]:
+        """Play every spec; returns rows in spec order.
+
+        ``precomputed`` maps spec indices to already-known rows (resumed
+        from a journal); those specs are not played.
+        """
+        precomputed = precomputed or {}
+        rows: List[object] = [None] * len(specs)
+        for index, row in precomputed.items():
+            rows[index] = row
+        pending = [
+            (index, spec)
+            for index, spec in enumerate(specs)
+            if index not in precomputed
+        ]
+        if not pending:
+            return rows
+        if self.workers == 1:
+            for index, spec in pending:
+                rows[index] = play_spec(spec)
+                if self.journal is not None:
+                    self.journal.merge_shards()
+            return rows
+        ctx = _pool_context()
+        pool_size = min(self.workers, len(pending))
+        with ctx.Pool(processes=pool_size) as pool:
+            played = pool.map(
+                play_spec, [spec for _, spec in pending], chunksize=1
+            )
+        for (index, _), row in zip(pending, played):
+            rows[index] = row
+        if self.journal is not None:
+            self.journal.merge_shards()
+        return rows

@@ -33,6 +33,7 @@ from repro.adversaries.grid import GridAdversary
 from repro.adversaries.reduction import reduce_to_grid
 from repro.adversaries.result import AdversaryResult
 from repro.adversaries.torus import TorusAdversary
+from repro.analysis.executor import resolve_workers
 from repro.core.akbari import AkbariBipartiteColoring
 from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
 from repro.core.unify import UnifyColoring
@@ -164,6 +165,7 @@ def run_tournament(
     policy: Optional[GamePolicy] = None,
     journal_path=None,
     resume: bool = False,
+    workers: Optional[int] = None,
 ) -> List[TournamentRow]:
     """Play every pairing; returns one row per game.
 
@@ -189,7 +191,27 @@ def run_tournament(
         With ``journal_path``: skip every game already journaled,
         reusing the recorded rows, so a killed sweep completes only the
         remainder on the next invocation.
+    workers:
+        Worker process count for the sweep (default 1 = serial; ``None``
+        also reads the ``REPRO_WORKERS`` environment variable).  Values
+        above 1 fan games out over a multiprocessing pool
+        (:class:`repro.analysis.executor.ParallelSweep`), with rows
+        returned in the exact serial order.  Only the default portfolios
+        can cross a process boundary — custom ``victims``/``adversaries``
+        callables always run serially, whatever ``workers`` says.
     """
+    custom_portfolio = victims is not None or adversaries is not None
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and not custom_portfolio:
+        return _run_parallel(
+            locality=locality,
+            include_faulty=include_faulty,
+            policy=policy if policy is not None else GamePolicy(timeout=30.0),
+            journal_path=journal_path,
+            resume=resume,
+            workers=n_workers,
+        )
+
     victims = dict(victims) if victims is not None else default_victims()
     if include_faulty:
         victims.update(faulty_victims())
@@ -202,6 +224,10 @@ def run_tournament(
         if journal_path is not None
         else None
     )
+    if journal is not None:
+        # A previous parallel run may have died with rows still in worker
+        # shards; fold them in so resume sees every finished game.
+        journal.merge_shards()
     done = journal.completed() if (journal is not None and resume) else {}
 
     rows: List[TournamentRow] = []
@@ -225,6 +251,63 @@ def run_tournament(
             if journal is not None:
                 journal.append(asdict(row))
     return rows
+
+
+def _run_parallel(
+    locality: int,
+    include_faulty: bool,
+    policy: GamePolicy,
+    journal_path,
+    resume: bool,
+    workers: int,
+) -> List[TournamentRow]:
+    """The parallel sweep over the default portfolios.
+
+    Builds picklable :class:`~repro.analysis.executor.GameSpec` entries
+    in the serial sweep's exact order and reassembles worker results by
+    index, so the returned rows are identical to a serial run.
+    """
+    from repro.analysis.executor import GameSpec, ParallelSweep
+
+    victims = default_victims()
+    if include_faulty:
+        victims.update(faulty_victims())
+    adversaries = default_adversaries(locality)
+    journal = (
+        SweepJournal(journal_path, JOURNAL_KEY_FIELDS)
+        if journal_path is not None
+        else None
+    )
+    if journal is not None:
+        journal.merge_shards()
+    done = journal.completed() if (journal is not None and resume) else {}
+
+    specs: List[GameSpec] = []
+    for adversary_name, entry in adversaries.items():
+        if isinstance(entry, FixedVictimGame):
+            pairings = [FIXED_VICTIM]
+        else:
+            pairings = list(victims)
+        for victim_name in pairings:
+            specs.append(
+                GameSpec(
+                    adversary=adversary_name,
+                    victim=victim_name,
+                    locality=locality,
+                    policy=policy,
+                    include_faulty=include_faulty,
+                    journal_path=(
+                        None if journal is None else journal.path
+                    ),
+                )
+            )
+    precomputed = {}
+    for index, spec in enumerate(specs):
+        key = (spec.adversary, spec.victim, spec.locality)
+        if key in done:
+            precomputed[index] = _row_from_journal(done[key])
+    sweep = ParallelSweep(workers, journal=journal)
+    return sweep.run(specs, precomputed=precomputed)
 
 
 def clean_sweep(rows: List[TournamentRow]) -> bool:

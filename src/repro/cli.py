@@ -150,12 +150,21 @@ def cmd_tournament(args: argparse.Namespace) -> int:
     )
     from repro.robustness.supervisor import GamePolicy
 
+    if args.resume and args.journal is None:
+        print(
+            "repro: error: --resume needs --journal PATH (there is no "
+            "journal to resume from)",
+            file=sys.stderr,
+        )
+        return 2
+
     rows = run_tournament(
         locality=args.locality,
         include_faulty=args.include_faulty,
         policy=GamePolicy(step_budget=args.step_budget, timeout=args.timeout),
         journal_path=args.journal,
         resume=args.resume,
+        workers=args.workers,
     )
 
     def verdict(row) -> str:
@@ -250,7 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tournament.add_argument(
         "--resume", action="store_true",
-        help="skip games already recorded in --journal",
+        help="skip games already recorded in --journal (requires --journal)",
+    )
+    tournament.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial; rows "
+        "come back in the same order either way)",
     )
     tournament.set_defaults(func=cmd_tournament)
 

@@ -9,6 +9,7 @@ programmatically.
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import (
+    BallCache,
     ball,
     bfs_distances,
     connected_components,
@@ -20,6 +21,7 @@ from repro.graphs.isomorphism import find_isomorphism, is_isomorphic
 
 __all__ = [
     "Graph",
+    "BallCache",
     "ball",
     "bfs_distances",
     "connected_components",

@@ -30,10 +30,11 @@ class Graph:
         automatically.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_generation")
 
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
+        self._generation = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -46,6 +47,7 @@ class Graph:
         """Add ``node`` if not already present (idempotent)."""
         if node not in self._adj:
             self._adj[node] = set()
+            self._generation += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -59,8 +61,10 @@ class Graph:
             raise ValueError(f"self-loop on node {u!r} is not allowed")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._generation += 1
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges``."""
@@ -77,6 +81,7 @@ class Graph:
         """
         for neighbor in self._adj.pop(node):
             self._adj[neighbor].discard(node)
+        self._generation += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``.
@@ -90,10 +95,21 @@ class Graph:
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter; bumps on every structural change.
+
+        Derived-data caches (e.g. :class:`repro.graphs.traversal.BallCache`)
+        key their validity on this: a cache built at generation ``g`` is
+        stale exactly when ``graph.generation != g``.
+        """
+        return self._generation
+
     @property
     def num_nodes(self) -> int:
         """Number of nodes, the paper's ``n``."""

@@ -8,7 +8,7 @@ some node of ``U`` (Section 2).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Union
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Union
 
 from repro.graphs.graph import Graph
 
@@ -86,6 +86,88 @@ def ball(graph: Graph, sources: Union[Node, Iterable[Node]], radius: int) -> Set
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
     return set(bfs_distances(graph, sources, max_dist=radius))
+
+
+class BallCache:
+    """Memoized :func:`ball` queries over one (mostly static) graph.
+
+    The simulators and adversaries recompute the same radius-T balls for
+    every reveal and again during audits; on a fixed host that BFS work
+    is identical each time.  The cache stores each ball as a frozenset
+    keyed by ``(source, radius)`` and is invalidated wholesale when the
+    graph's :attr:`~repro.graphs.graph.Graph.generation` counter moves,
+    so mutation can never serve a stale ball.
+
+    Cached balls are **frozensets shared between callers** — treat them
+    as immutable (every set-algebra reader in the codebase already does).
+    Unhashable source specs (lists/sets of nodes) fall through to an
+    uncached BFS.
+
+    Instances count ``hits``/``misses``; the class aggregates the same
+    counters process-wide (``BallCache.total_hits`` etc.) so benchmarks
+    can report hit rates without threading every simulator's cache out.
+    """
+
+    #: Process-wide counters across every cache instance.
+    total_hits = 0
+    total_misses = 0
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._generation = graph.generation
+        self._balls: Dict[tuple, FrozenSet[Node]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def ball(
+        self, sources: Union[Node, Iterable[Node]], radius: int
+    ) -> FrozenSet[Node]:
+        """A (possibly cached) :func:`ball`; same semantics, frozen result."""
+        if self.graph.generation != self._generation:
+            self._balls.clear()
+            self._generation = self.graph.generation
+        try:
+            key = (sources, radius)
+            cached = self._balls.get(key)
+        except TypeError:  # unhashable source collection: compute uncached
+            return frozenset(ball(self.graph, sources, radius))
+        if cached is not None:
+            self.hits += 1
+            BallCache.total_hits += 1
+            return cached
+        self.misses += 1
+        BallCache.total_misses += 1
+        result = frozenset(ball(self.graph, sources, radius))
+        self._balls[key] = result
+        return result
+
+    def stats(self) -> Dict[str, float]:
+        """This cache's hit/miss counters and hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._balls)
+
+    @classmethod
+    def global_stats(cls) -> Dict[str, float]:
+        """Aggregate counters across every cache in the process."""
+        total = cls.total_hits + cls.total_misses
+        return {
+            "hits": cls.total_hits,
+            "misses": cls.total_misses,
+            "hit_rate": cls.total_hits / total if total else 0.0,
+        }
+
+    @classmethod
+    def reset_global_stats(cls) -> None:
+        """Zero the process-wide counters (benchmark bookkeeping)."""
+        cls.total_hits = 0
+        cls.total_misses = 0
 
 
 def connected_components(graph: Graph) -> List[Set[Node]]:

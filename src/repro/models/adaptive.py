@@ -39,7 +39,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.families.grids import SimpleGrid
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
 
 Coord = Tuple[int, int]
@@ -293,6 +293,9 @@ class FloatingGridInstance:
         rows = max_y - min_y + 1
         cols = max_x - min_x + 1
         self.host = SimpleGrid(rows, cols)
+        # The host is fixed from here on: every post-commit reveal and the
+        # final audit query balls on it, so they share one cache.
+        self._balls = BallCache(self.host.graph)
         self._origin = (min_x, min_y)
 
         def to_host(coord: Coord) -> Coord:
@@ -319,7 +322,7 @@ class FloatingGridInstance:
         return self._reveal_host(host_coord)
 
     def _reveal_host(self, host_coord: Coord) -> Color:
-        region = ball(self.host.graph, host_coord, self.locality)
+        region = self._balls.ball(host_coord, self.locality)
         fresh = sorted(c for c in region if c not in self._host_id_of)
         fresh_ids = []
         for c in fresh:
@@ -380,7 +383,7 @@ class FloatingGridInstance:
                 raise ConsistencyError(
                     f"revealed id {target_id} has no committed host position"
                 )
-            region = ball(self.host.graph, host_coord, self.locality)
+            region = self._balls.ball(host_coord, self.locality)
             recomputed = frozenset(
                 self._host_id_of[c] for c in region if c not in seen
             )
@@ -419,6 +422,7 @@ class LateAutomorphismInstance:
     ) -> None:
         self.host = host
         self.locality = locality
+        self._balls = BallCache(host)
         self.tracker = ViewTracker(
             algorithm,
             n=declared_n if declared_n is not None else host.num_nodes,
@@ -503,7 +507,7 @@ class LateAutomorphismInstance:
         if fragment in self._committed:
             raise ConsistencyError(f"fragment {fragment} already committed")
         region = self._regions[fragment]
-        ball_nodes = ball(self.host, node, self.locality)
+        ball_nodes = self._balls.ball(node, self.locality)
         if not ball_nodes <= region:
             outside = next(iter(ball_nodes - region))
             raise ConsistencyError(
@@ -562,7 +566,7 @@ class LateAutomorphismInstance:
         if set(self._regions) - set(self._committed):
             raise ConsistencyError("commit every fragment before free reveals")
         self._free_phase = True
-        region = ball(self.host, node, self.locality)
+        region = self._balls.ball(node, self.locality)
         fresh = sorted((u for u in region if u not in self._id_of_host), key=repr)
         fresh_ids = []
         for u in fresh:
@@ -608,7 +612,7 @@ class LateAutomorphismInstance:
         ordered_hosts = [self._host_of_id[target] for target, __ in self._log]
         seen: Set[HostNode] = set()
         for (target_id, fresh_ids), node in zip(self._log, ordered_hosts):
-            region = ball(self.host, node, self.locality)
+            region = self._balls.ball(node, self.locality)
             recomputed = frozenset(
                 self._id_of_host[u] for u in region if u not in seen
             )

@@ -33,7 +33,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.graphs.decomposition import Decomposition
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache, ball
 from repro.models.slocal import SLocalAlgorithm, SLocalView
 
 Node = Hashable
@@ -73,6 +73,9 @@ class GkmSimulation:
         self.num_colors = num_colors
         ordered = sorted(host.nodes(), key=repr)
         self._id_map = {node: index for index, node in enumerate(ordered)}
+        # dependency_radius re-queries host balls at every radius; the
+        # induced-subgraph emulations below use plain (uncached) BFS.
+        self._host_balls = BallCache(host)
 
     # ------------------------------------------------------------------
     def processing_order(self, nodes=None) -> List[Node]:
@@ -123,7 +126,7 @@ class GkmSimulation:
         """The node's label when the emulation runs only inside its
         ``radius``-ball — what a LOCAL algorithm with that locality can
         compute."""
-        region = ball(self.host, node, radius)
+        region = self._host_balls.ball(node, radius)
         local_labels = self._emulate(self.host.induced_subgraph(region), region)
         return local_labels[node]
 
@@ -140,7 +143,7 @@ class GkmSimulation:
         for radius in range(0, max_radius + 1):
             if self.label_from_ball(node, radius) != truth:
                 stable_from = radius + 1
-            if len(ball(self.host, node, radius)) == self.host.num_nodes:
+            if len(self._host_balls.ball(node, radius)) == self.host.num_nodes:
                 break
         return stable_from
 

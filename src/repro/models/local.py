@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId
 
 HostNode = Hashable
@@ -81,10 +81,11 @@ class LocalSimulator:
         if len(set(id_map.values())) != host.num_nodes:
             raise ValueError("id_map must assign distinct ids to all host nodes")
         self.id_map = id_map
+        self._balls = BallCache(host)
 
     def view_of(self, node: HostNode) -> LocalView:
         """The LocalView served to ``node``."""
-        region = ball(self.host, node, self.locality)
+        region = self._balls.ball(node, self.locality)
         sub = self.host.induced_subgraph(region).relabel(self.id_map)
         return LocalView(
             graph=sub,

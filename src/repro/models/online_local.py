@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
 from repro.robustness.errors import RevealOrderError, UnknownHostNodeError
 
@@ -50,6 +50,7 @@ class OnlineLocalSimulator:
         self.host = host
         self.locality = locality
         self.leak_labels = leak_labels
+        self._balls = BallCache(host)
         self._id_of: Dict[HostNode, NodeId] = {}
         self._node_of: Dict[NodeId, HostNode] = {}
         self._seen: set = set()
@@ -104,16 +105,23 @@ class OnlineLocalSimulator:
         existing = self._id_of.get(node)
         if existing is not None and existing in self._revealed:
             raise RevealOrderError(f"node {node!r} was already revealed")
-        new_ball = ball(self.host, node, self.locality)
+        new_ball = self._balls.ball(node, self.locality)
         fresh = new_ball - self._seen
         self._seen |= new_ball
         fresh_ids = [self._intern(u) for u in fresh]
+        # Fresh-fresh edges are discovered from both endpoints; dedupe so
+        # the tracker receives each new edge exactly once.
         new_edges: List[Tuple[NodeId, NodeId]] = []
+        emitted: set = set()
         for u in fresh:
             u_id = self._id_of[u]
             for v in self.host.neighbors(u):
                 if v in self._seen:
-                    new_edges.append((u_id, self._id_of[v]))
+                    v_id = self._id_of[v]
+                    edge = frozenset((u_id, v_id))
+                    if edge not in emitted:
+                        emitted.add(edge)
+                        new_edges.append((u_id, v_id))
         self.tracker.extend(fresh_ids, new_edges)
         target = self._id_of[node]
         self._revealed.add(target)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Optional
 
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId
 
 HostNode = Hashable
@@ -73,6 +73,7 @@ class SLocalSimulator:
         if len(set(id_map.values())) != host.num_nodes:
             raise ValueError("id_map must assign distinct ids to all host nodes")
         self.id_map = id_map
+        self._balls = BallCache(host)
 
     def run(self, order: Iterable[HostNode]) -> Dict[HostNode, Color]:
         """Process nodes in ``order`` (must cover every node once)."""
@@ -86,7 +87,7 @@ class SLocalSimulator:
         for node in order:
             if node in coloring:
                 raise ValueError(f"node {node!r} appears twice in the order")
-            region = ball(self.host, node, self.locality)
+            region = self._balls.ball(node, self.locality)
             sub = self.host.induced_subgraph(region).relabel(self.id_map)
             visible_colors = {
                 self.id_map[other]: coloring[other]

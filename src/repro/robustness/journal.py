@@ -13,9 +13,10 @@ is detected and ignored on load.
 
 from __future__ import annotations
 
+import glob as _glob
 import json
 import os
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 Key = Tuple[Any, ...]
 
@@ -64,12 +65,37 @@ class SweepJournal:
         return rows
 
     def completed(self) -> Dict[Key, Dict[str, Any]]:
-        """Rows keyed by their resume key (later entries win)."""
+        """Rows keyed by their resume key (later entries win).
+
+        Keys are normalized (:meth:`key_of`), so a key computed from a
+        live in-memory row always matches the key of the same row after
+        a JSON round-trip through the journal file.
+        """
         return {self.key_of(row): row for row in self.load()}
 
     def key_of(self, row: Dict[str, Any]) -> Key:
-        """The resume key of a row dict."""
-        return tuple(row.get(field) for field in self.key_fields)
+        """The resume key of a row dict, with canonicalized value types.
+
+        Journal rows pass through JSON (``json.dumps(..., default=str)``),
+        which turns tuples into lists and non-JSON values into strings.
+        Without normalization a live row keyed ``("adv", ("a", 1), 2)``
+        never matches its reloaded twin ``("adv", ["a", 1], 2)`` and every
+        resume replays the whole sweep.  Canonicalization mirrors exactly
+        what the round-trip does — lists become tuples again, exotic
+        values become their ``str`` — while **preserving** scalar types,
+        so an integer locality ``1`` stays distinct from a string ``"1"``.
+        """
+        return tuple(self._canonical(row.get(field)) for field in self.key_fields)
+
+    @classmethod
+    def _canonical(cls, value: Any) -> Any:
+        if isinstance(value, bool) or value is None:
+            return value
+        if isinstance(value, (list, tuple)):
+            return tuple(cls._canonical(item) for item in value)
+        if isinstance(value, (int, float, str)):
+            return value
+        return str(value)  # what json.dumps(default=str) stores
 
     # ------------------------------------------------------------------
     # Writing
@@ -100,3 +126,45 @@ class SweepJournal:
 
     def __len__(self) -> int:
         return len(self.load())
+
+    # ------------------------------------------------------------------
+    # Worker shards
+    # ------------------------------------------------------------------
+    def shard(self, worker_id) -> "SweepJournal":
+        """A sibling journal for one parallel worker.
+
+        Parallel sweeps give each worker process its own append-only
+        shard (``<path>.shard-<worker_id>``) so workers never contend on
+        the main journal file; :meth:`merge_shards` folds the shards back
+        in when the sweep completes (or on resume after a kill).
+        """
+        return SweepJournal(f"{self.path}.shard-{worker_id}", self.key_fields)
+
+    def shard_paths(self) -> List[str]:
+        """Every shard file currently on disk, in sorted order."""
+        return sorted(_glob.glob(_glob.escape(self.path) + ".shard-*"))
+
+    def merge_shards(self, shard_paths: Optional[Iterable[str]] = None) -> int:
+        """Concatenate worker shards into the main journal; returns the
+        number of rows merged.
+
+        Rows whose resume key is already present in the main journal are
+        skipped (a worker may have raced a row the parent also recorded).
+        Merged shard files are deleted; a kill mid-merge is safe because
+        a shard is only removed after every row it holds is in the main
+        journal, and re-merging surviving shards just deduplicates.
+        """
+        paths = list(shard_paths) if shard_paths is not None else self.shard_paths()
+        done = self.completed()
+        merged = 0
+        for path in paths:
+            shard = SweepJournal(path, self.key_fields)
+            for row in shard.load():
+                key = self.key_of(row)
+                if key in done:
+                    continue
+                self.append(row)
+                done[key] = row
+                merged += 1
+            shard.clear()
+        return merged

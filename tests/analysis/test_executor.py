@@ -1,0 +1,153 @@
+"""Tests for the process-parallel tournament executor."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.executor import (
+    GameSpec,
+    ParallelSweep,
+    play_spec,
+    resolve_workers,
+)
+from repro.analysis.tournament import (
+    FIXED_VICTIM,
+    JOURNAL_KEY_FIELDS,
+    TournamentRow,
+    default_adversaries,
+    run_tournament,
+)
+from repro.core.baselines import GreedyOnlineColorer
+from repro.robustness.journal import SweepJournal
+from repro.robustness.supervisor import GamePolicy
+
+POLICY = GamePolicy(timeout=30.0)
+
+
+def test_game_spec_is_picklable():
+    spec = GameSpec(
+        adversary="theorem1-grid",
+        victim="greedy",
+        locality=1,
+        policy=POLICY,
+        include_faulty=True,
+        journal_path="/tmp/x.jsonl",
+    )
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_play_spec_inline_matches_tournament_row():
+    spec = GameSpec("theorem1-grid", "greedy", 1, POLICY)
+    row = play_spec(spec)
+    assert isinstance(row, TournamentRow)
+    assert (row.adversary, row.victim, row.locality) == (
+        "theorem1-grid", "greedy", 1,
+    )
+    assert row.won
+
+
+def test_play_spec_fixed_victim():
+    row = play_spec(GameSpec("theorem5-reduction", FIXED_VICTIM, 1, POLICY))
+    assert row.victim == FIXED_VICTIM
+    assert row.won
+
+
+def test_play_spec_rejects_mismatched_fixed_victim():
+    with pytest.raises(ValueError, match="fixed-victim"):
+        play_spec(GameSpec("theorem5-reduction", "greedy", 1, POLICY))
+
+
+def test_resolve_workers_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == 1
+    assert resolve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert resolve_workers(None) == 2
+    assert resolve_workers(1) == 1  # explicit argument wins
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_parallel_rows_identical_to_serial():
+    """The acceptance property: same order, same outcomes."""
+    serial = run_tournament(locality=1, workers=1)
+    parallel = run_tournament(locality=1, workers=2)
+    assert parallel == serial
+    assert len(parallel) == 16
+
+
+def test_parallel_journal_merges_shards(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    rows = run_tournament(locality=1, workers=2, journal_path=path)
+    journal = SweepJournal(path, JOURNAL_KEY_FIELDS)
+    assert len(journal) == len(rows) == 16
+    assert journal.shard_paths() == []  # all shards folded in and removed
+    assert {journal.key_of(e) for e in journal.load()} == {
+        (r.adversary, r.victim, r.locality) for r in rows
+    }
+
+
+def test_parallel_resume_skips_journaled_games(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    full = run_tournament(locality=1, workers=2, journal_path=path)
+
+    # Drop the journal down to the first 5 games (simulated kill), leave
+    # two more stranded in a worker shard.
+    journal = SweepJournal(path, JOURNAL_KEY_FIELDS)
+    entries = journal.load()
+    journal.clear()
+    for entry in entries[:5]:
+        journal.append(entry)
+    shard = journal.shard("stranded")
+    for entry in entries[5:7]:
+        shard.append(entry)
+
+    resumed = run_tournament(
+        locality=1, workers=2, journal_path=path, resume=True
+    )
+    assert resumed == full
+    assert len(SweepJournal(path, JOURNAL_KEY_FIELDS)) == 16
+    assert journal.shard_paths() == []
+
+
+def test_custom_portfolio_falls_back_to_serial():
+    """Closures can't cross a process boundary; workers>1 must still work."""
+    adversaries = {
+        name: entry
+        for name, entry in default_adversaries(1).items()
+        if name == "theorem1-grid"
+    }
+    victims = {"greedy": GreedyOnlineColorer}
+    rows = run_tournament(
+        locality=1, victims=victims, adversaries=adversaries, workers=4
+    )
+    assert len(rows) == 1
+    assert rows[0].won
+
+
+def test_parallel_sweep_precomputed_rows_short_circuit(tmp_path):
+    """Specs with precomputed rows are never replayed."""
+    specs = [
+        GameSpec("theorem1-grid", "greedy", 1, POLICY),
+        GameSpec("no-such-adversary", "greedy", 1, POLICY),
+    ]
+    sentinel = TournamentRow("no-such-adversary", "greedy", 1, True, "cached")
+    sweep = ParallelSweep(workers=1)
+    rows = sweep.run(specs, precomputed={1: sentinel})
+    assert rows[1] is sentinel
+    assert rows[0].adversary == "theorem1-grid"
+
+
+def test_worker_shards_use_distinct_files(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    journal = SweepJournal(path, JOURNAL_KEY_FIELDS)
+    spec = GameSpec("theorem1-grid", "greedy", 1, POLICY,
+                    journal_path=str(path))
+    play_spec(spec)
+    shards = journal.shard_paths()
+    assert len(shards) == 1
+    assert shards[0].endswith(f".shard-{os.getpid()}")
+    assert journal.merge_shards() == 1
+    assert journal.shard_paths() == []
+    assert len(journal) == 1

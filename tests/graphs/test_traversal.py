@@ -4,6 +4,7 @@ import pytest
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import (
+    BallCache,
     ball,
     bfs_distances,
     connected_components,
@@ -122,3 +123,83 @@ class TestDiameter:
 
     def test_grid_diameter(self, small_grid):
         assert diameter(small_grid.graph) == 4 + 6
+
+
+class TestBallCache:
+    def test_cached_ball_matches_plain_ball(self, path_graph):
+        cache = BallCache(path_graph)
+        for node in path_graph.nodes():
+            for radius in (0, 1, 2, 5):
+                assert cache.ball(node, radius) == ball(path_graph, node, radius)
+
+    def test_hit_and_miss_counters(self, path_graph):
+        cache = BallCache(path_graph)
+        cache.ball(0, 2)
+        cache.ball(0, 2)
+        cache.ball(0, 3)
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert cache.stats()["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_add_edge_invalidates(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        cache = BallCache(graph)
+        assert cache.ball(0, 1) == {0, 1}
+        graph.add_edge(0, 4)  # shortcut: 4 now inside the radius-1 ball
+        assert cache.ball(0, 1) == {0, 1, 4}
+
+    def test_remove_edge_invalidates(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        cache = BallCache(graph)
+        assert cache.ball(0, 2) == {0, 1, 2}
+        graph.remove_edge(1, 2)
+        assert cache.ball(0, 2) == {0, 1}
+
+    def test_remove_node_invalidates(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        cache = BallCache(graph)
+        assert cache.ball(0, 2) == {0, 1, 2}
+        graph.remove_node(1)
+        assert cache.ball(0, 2) == {0}
+
+    def test_add_node_invalidates(self):
+        graph = Graph(edges=[(0, 1)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        graph.add_node(7)
+        # The cache must notice the generation bump even though the old
+        # ball's content happens to be unchanged.
+        assert len(cache) == 0 or cache.ball(0, 1) == {0, 1}
+        assert cache.ball(7, 3) == {7}
+
+    def test_stale_balls_never_returned_after_many_mutations(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(6)])
+        cache = BallCache(graph)
+        for _ in range(3):
+            for node in list(graph.nodes()):
+                assert cache.ball(node, 2) == ball(graph, node, 2)
+            graph.add_edge(0, max(graph.nodes()))
+            graph.remove_edge(0, max(graph.nodes()))
+        assert cache.ball(0, 2) == ball(graph, 0, 2)
+
+    def test_idempotent_mutations_keep_cache_warm(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        graph.add_node(0)      # already present: no structural change
+        graph.add_edge(0, 1)   # already present: no structural change
+        cache.ball(0, 1)
+        assert cache.hits == 1
+
+    def test_unhashable_sources_fall_through(self, path_graph):
+        cache = BallCache(path_graph)
+        assert cache.ball([0, 5], 1) == ball(path_graph, [0, 5], 1)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_multi_source_tuple_key_cached(self):
+        graph = Graph(edges=[((0, 0), (0, 1)), ((0, 1), (0, 2))])
+        cache = BallCache(graph)
+        # A tuple that *is* a node caches under that node.
+        assert cache.ball((0, 0), 1) == {(0, 0), (0, 1)}
+        cache.ball((0, 0), 1)
+        assert cache.hits == 1

@@ -113,3 +113,58 @@ def test_view_is_induced_subgraph():
         {node: sim.id_of(node) for node in seen_hosts}
     )
     assert expected == sim.tracker.view_graph
+
+
+def test_extend_receives_each_edge_exactly_once():
+    """Regression: fresh-fresh edges were fed to the tracker twice (once
+    from each endpoint's neighbor scan)."""
+    grid = SimpleGrid(4, 4)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=2, num_colors=4)
+    extended = []
+    original = sim.tracker.extend
+
+    def spying_extend(new_nodes, new_edges):
+        new_nodes, new_edges = list(new_nodes), list(new_edges)
+        extended.append((new_nodes, new_edges))
+        return original(new_nodes, new_edges)
+
+    sim.tracker.extend = spying_extend
+    sim.reveal((1, 1))
+    sim.reveal((2, 2))
+    for _nodes, edges in extended:
+        undirected = [frozenset(edge) for edge in edges]
+        assert len(undirected) == len(set(undirected)), edges
+    # Every edge arrived once across the whole run, too (extend batches
+    # are disjoint: an edge appears when its second endpoint is seen).
+    all_edges = [frozenset(e) for _nodes, edges in extended for e in edges]
+    assert len(all_edges) == len(set(all_edges))
+
+
+def test_tracked_view_is_simple_with_exact_edge_count():
+    """The tracked view is a simple graph with exactly the induced edges."""
+    grid = SimpleGrid(5, 5)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=2, num_colors=4)
+    for node in ((0, 0), (2, 2), (4, 4), (0, 4)):
+        sim.reveal(node)
+    seen_hosts = [sim.host_node(i) for i in sim.tracker.view_graph.nodes()]
+    expected = grid.graph.induced_subgraph(seen_hosts)
+    assert sim.tracker.view_graph.num_nodes == expected.num_nodes
+    assert sim.tracker.view_graph.num_edges == expected.num_edges
+    # Simple graph: no self-loops, symmetric adjacency.
+    for u, v in sim.tracker.view_graph.edges():
+        assert u != v
+        assert sim.tracker.view_graph.has_edge(v, u)
+
+
+def test_repeated_reveals_hit_the_ball_cache():
+    """Reveals on the same host reuse BFS work via the BallCache."""
+    grid = SimpleGrid(4, 4)
+    sim = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=4)
+    order = sorted(grid.graph.nodes())
+    sim.run(order)
+    assert sim._balls.misses == len(order)
+    assert sim._balls.hits == 0  # σ is a permutation: each ball queried once
+
+    sim2 = OnlineLocalSimulator(grid.graph, Recorder(), locality=1, num_colors=4)
+    assert sim2._balls.ball((0, 0), 1) == sim2._balls.ball((0, 0), 1)
+    assert sim2._balls.hits == 1

@@ -93,3 +93,27 @@ def test_top_level_api_exports():
     repro.assert_proper(grid.graph, coloring, max_colors=3)
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+def test_tournament_resume_without_journal_rejected(capsys):
+    """--resume with no --journal must fail loudly, not be ignored."""
+    code = main(["tournament", "--resume"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--resume" in err
+    assert "--journal" in err
+
+
+def test_tournament_parallel_matches_serial_output(capsys, tmp_path):
+    code = main(["tournament", "--locality", "1"])
+    assert code == 0
+    serial_out = capsys.readouterr().out
+    code = main(["tournament", "--locality", "1", "--workers", "2"])
+    assert code == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_tournament_workers_rejects_non_positive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["tournament", "--workers", "0"])
