@@ -1,0 +1,159 @@
+"""Experiment OBSERVABILITY: the instrumentation must be ~free when off.
+
+The simulators' hot paths (every reveal, every ball query) now carry
+metric increments and a tracing guard.  This benchmark quantifies what
+that costs by timing the same adversary workload under three configs:
+
+``suppressed``
+    A :class:`~repro.observability.metrics.NullRegistry` is active and
+    tracing is off — the no-op reference approximating the
+    pre-instrumentation hot path.
+``off``
+    The shipped default: a live :class:`MetricsRegistry`, tracing off.
+``traced``
+    Full tracing to a JSON-lines file plus live metrics.
+
+The acceptance bar (asserted here and in CI): the ``off`` config — what
+every user pays whether or not they ever look at a metric — stays
+within **3%** of ``suppressed``.  Tracing itself is allowed to cost
+more; its price is reported, not bounded.
+
+Run as a script to emit machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py \
+        --out BENCH_observability.json
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.adversaries.grid import GridAdversary
+from repro.analysis.tables import render_table
+from repro.core.baselines import GreedyOnlineColorer
+from repro.observability.metrics import NullRegistry, scoped_registry
+from repro.observability.trace import tracing
+
+#: Overhead bound for the tracing-off configuration.
+MAX_OFF_OVERHEAD = 0.03
+
+
+def play_games(localities=(1, 2), rounds=2):
+    """The fixed workload: Theorem 1 games against greedy (deterministic,
+    reveal-heavy — the exact paths the instrumentation touches)."""
+    for _ in range(rounds):
+        for locality in localities:
+            result = GridAdversary(locality=locality).run(
+                GreedyOnlineColorer()
+            )
+            assert result.won, "workload game must be a win"
+
+
+def _timed(workload) -> float:
+    start = time.perf_counter()
+    workload()
+    return time.perf_counter() - start
+
+
+def _run_once(mode: str, workload, trace_dir: str, attempt: int) -> float:
+    if mode == "suppressed":
+        with scoped_registry(NullRegistry()):
+            return _timed(workload)
+    if mode == "off":
+        with scoped_registry():
+            return _timed(workload)
+    if mode == "traced":
+        trace_file = os.path.join(trace_dir, f"trace-{attempt}.jsonl")
+        with scoped_registry():
+            with tracing(trace_file):
+                return _timed(workload)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def time_configs(modes, workload, trace_dir: str, repeats: int) -> dict:
+    """Best-of-``repeats`` wall-clock per configuration.
+
+    Repeats are **interleaved** round-robin over the configs (not run as
+    consecutive blocks) so slow drift — thermal, page cache, a noisy
+    neighbor — hits every config alike instead of biasing whichever
+    block it landed on; the minimum then suppresses the remaining
+    point noise.
+    """
+    best = {mode: None for mode in modes}
+    for attempt in range(repeats):
+        for mode in modes:
+            seconds = _run_once(mode, workload, trace_dir, attempt)
+            current = best[mode]
+            best[mode] = seconds if current is None else min(current, seconds)
+    return best
+
+
+def run_bench(localities=(1, 2), rounds=2, repeats=9):
+    workload = lambda: play_games(localities, rounds)  # noqa: E731
+    workload()  # warm-up: imports, allocator, branch predictors
+
+    with tempfile.TemporaryDirectory(prefix="bench-observability-") as tmp:
+        timings = time_configs(
+            ("suppressed", "off", "traced"), workload, tmp, repeats
+        )
+
+    def overhead(mode, reference):
+        return timings[mode] / timings[reference] - 1.0
+
+    return {
+        "experiment": "observability-overhead",
+        "localities": list(localities),
+        "rounds": rounds,
+        "repeats": repeats,
+        "seconds": timings,
+        "off_overhead_vs_suppressed": overhead("off", "suppressed"),
+        "traced_overhead_vs_off": overhead("traced", "off"),
+        "max_off_overhead": MAX_OFF_OVERHEAD,
+        "off_within_bound": overhead("off", "suppressed") < MAX_OFF_OVERHEAD,
+    }
+
+
+def test_tracing_off_overhead_under_3_percent():
+    report = run_bench(localities=(1, 2), rounds=2, repeats=9)
+    assert report["off_within_bound"], (
+        f"tracing-off overhead {report['off_overhead_vs_suppressed']:.2%} "
+        f"exceeds the {MAX_OFF_OVERHEAD:.0%} budget"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--localities", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--out", default="BENCH_observability.json")
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        localities=tuple(args.localities),
+        rounds=args.rounds,
+        repeats=args.repeats,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(render_table(
+        ["config", "seconds"],
+        [[mode, f"{seconds:.4f}"]
+         for mode, seconds in sorted(report["seconds"].items())],
+    ))
+    print(f"tracing-off overhead: {report['off_overhead_vs_suppressed']:+.2%} "
+          f"(budget {MAX_OFF_OVERHEAD:.0%})")
+    print(f"tracing-on overhead:  {report['traced_overhead_vs_off']:+.2%}")
+    print(f"wrote {args.out}")
+    if not report["off_within_bound"]:
+        print("FAIL: tracing-off overhead exceeds budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

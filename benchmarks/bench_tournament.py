@@ -94,7 +94,7 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
     wall-clock kept, the usual way to suppress scheduler noise.
     """
     specs = sweep_specs(localities)
-    BallCache.reset_global_stats()
+    BallCache.reset()
     serial_rows, _ = _timed_sweep(specs, 1)  # warm-up + cache profile
     cache = BallCache.global_stats()
 

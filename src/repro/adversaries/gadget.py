@@ -22,6 +22,8 @@ from repro.adversaries.result import AdversaryError, AdversaryResult
 from repro.families.gadgets import GadgetChain
 from repro.models.adaptive import LateAutomorphismInstance
 from repro.models.base import AlgorithmError, OnlineAlgorithm
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
 from repro.verify.coloring import find_monochromatic_edge
 from repro.verify.gadget_props import classify_gadget
 
@@ -171,6 +173,15 @@ class GadgetAdversary:
         else:
             instance.commit_fragment(frag_tail, "identity")
             stats["tail_committed"] = "identity"
+        get_registry().inc("adversary_rounds")
+        if TRACER.enabled:
+            TRACER.event(
+                "gadget-ends-committed",
+                theorem="theorem3",
+                head_class=head_class,
+                tail_class=tail_class,
+                tail_committed=stats["tail_committed"],
+            )
 
         # Reveal everything else; Lemma 4.6 makes a proper completion
         # impossible.

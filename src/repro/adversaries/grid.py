@@ -28,6 +28,7 @@ from repro.adversaries.result import AdversaryError, AdversaryResult
 from repro.core.bvalue import b_value
 from repro.models.adaptive import FloatingGridInstance
 from repro.models.base import AlgorithmError, OnlineAlgorithm
+from repro.observability.trace import TRACER
 from repro.verify.certificates import CycleCertificate
 from repro.verify.coloring import find_monochromatic_edge
 
@@ -90,6 +91,13 @@ class GridAdversary:
         path = builder.build(self.level)
         if path is None:
             return self._finish_improper(instance, builder, stats, None)
+        if TRACER.enabled:
+            TRACER.event(
+                "path-built",
+                level=self.level,
+                b=path.b,
+                reveals=builder.reveals,
+            )
         stats["b_forced"] = path.b
         stats["region_length"] = (
             instance.fragment_row_extent(path.fragment)[1]
@@ -136,6 +144,13 @@ class GridAdversary:
                         builder.improper = True
         certificate = self._certificate(instance, u, v, 2 * T + 2)
         stats["cycle_b"] = certificate.b_value if certificate else None
+        if TRACER.enabled:
+            TRACER.event(
+                "certificate",
+                theorem="theorem1",
+                cycle_b=certificate.b_value if certificate else None,
+                reveals=builder.reveals,
+            )
         return self._finish_improper(instance, builder, stats, certificate)
 
     # ------------------------------------------------------------------

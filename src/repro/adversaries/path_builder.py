@@ -25,6 +25,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.bvalue import endpoint_indicator, path_b_value
 from repro.models.adaptive import FloatingGridInstance
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
 
 
 @dataclass
@@ -186,6 +188,7 @@ class PathBuilder:
         dx, (s_pos, t_pos) = placement(gap)
         instance.merge(first.fragment, second.fragment, dx=dx, dy=0, reflect=reflect)
         fragment = first.fragment
+        get_registry().inc("adversary_rounds")
 
         # Color every remaining node between the merged colored intervals.
         merged_second_interval = sorted(
@@ -204,6 +207,17 @@ class PathBuilder:
         candidates = [(u, t_pos), (t_pos, u), (v, s_pos), (s_pos, v)]
         best = max(candidates, key=lambda p: self.path_b(fragment, *p))
         best_b = self.path_b(fragment, *best)
+        if TRACER.enabled:
+            TRACER.event(
+                "bvalue-round",
+                level=level,
+                gap=gap,
+                reflect=reflect,
+                b_first=first.b,
+                b_second=second.b,
+                b_best=best_b,
+                reveals=self.reveals,
+            )
         if best_b < level:
             if self.gap_policy == "fixed":
                 # The ablation forfeited the parity guarantee; record the

@@ -54,19 +54,28 @@ class AdversaryResult:
     forfeit: bool = False
 
 
-def forfeit_result(reason: str, error: BaseException) -> AdversaryResult:
+def forfeit_result(
+    reason: str,
+    error: BaseException,
+    failed_at_step: Optional[int] = None,
+) -> AdversaryResult:
     """A structured forfeit: the adversary wins because the victim failed.
 
     ``reason`` is the machine-readable class of failure
     (``"forfeit:victim-crash"``, ``"forfeit:timeout"``, ...); the
-    triggering error is recorded in ``stats`` for post-mortems.
+    triggering error — its exception type, message, and the reveal index
+    the game had reached (``failed_at_step``) — is recorded in ``stats``
+    for post-mortems and surfaced in tournament rows.
     """
+    stats = {
+        "error_type": type(error).__name__,
+        "error": str(error),
+    }
+    if failed_at_step is not None:
+        stats["failed_at_step"] = failed_at_step
     return AdversaryResult(
         won=True,
         reason=reason,
         forfeit=True,
-        stats={
-            "error_type": type(error).__name__,
-            "error": str(error),
-        },
+        stats=stats,
     )

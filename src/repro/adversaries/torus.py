@@ -24,6 +24,8 @@ from repro.core.bvalue import cycle_b_value
 from repro.families.grids import CylindricalGrid, ToroidalGrid
 from repro.models.adaptive import LateAutomorphismInstance
 from repro.models.base import AlgorithmError, OnlineAlgorithm
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
 from repro.verify.certificates import TorusCertificate
 from repro.verify.coloring import find_monochromatic_edge
 
@@ -155,6 +157,16 @@ class TorusAdversary:
         if b_one + b_two == 0:
             raise AdversaryError("orientation choice failed to break Equation (1)")
         stats["b_sum"] = b_one + b_two
+        get_registry().inc("adversary_rounds")
+        if TRACER.enabled:
+            TRACER.event(
+                "orientation-committed",
+                theorem="theorem2",
+                topology=self.topology,
+                b_one=b_one,
+                beta_two=beta_two,
+                b_sum=b_one + b_two,
+            )
 
         # Reveal everything else; the coloring can no longer be proper.
         for node in sorted(grid.nodes()):

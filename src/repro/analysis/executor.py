@@ -27,6 +27,15 @@ Guarantees:
   the main journal (:meth:`~repro.robustness.journal.SweepJournal.merge_shards`)
   when the pool drains, and again *before* computing the resume set, so
   rows that reached only a shard before a kill still count as done.
+* **Metrics survive the process boundary** — each game plays under a
+  fresh :func:`~repro.observability.metrics.scoped_registry`, and the
+  worker ships the registry snapshot back alongside the row
+  (:class:`WorkerResult`).  The parent folds every snapshot into its
+  ambient registry; because
+  :meth:`~repro.observability.metrics.MetricsRegistry.merge` is
+  associative and commutative, the folded totals equal a serial run's.
+  Traced sweeps (``GameSpec.trace_path``) likewise write per-worker
+  trace shards that the caller merges when the pool drains.
 
 Workers are forked where the platform allows it (Linux/macOS with the
 ``fork`` start method); ``spawn`` platforms work too since every spec
@@ -37,9 +46,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.observability.metrics import get_registry, scoped_registry
+from repro.observability.trace import TRACER, JsonlTraceRecorder, shard_path
 from repro.robustness.journal import SweepJournal
 from repro.robustness.supervisor import GamePolicy, SupervisedGame
 
@@ -74,16 +85,32 @@ class GameSpec:
     policy: GamePolicy
     include_faulty: bool = False
     journal_path: Optional[str] = None
+    trace_path: Optional[str] = None
 
 
-def play_spec(spec: GameSpec):
-    """Play one game described by ``spec``; returns a ``TournamentRow``.
+@dataclass
+class WorkerResult:
+    """What one game ships back across the process boundary: the row
+    plus the game's metrics-registry snapshot (its exact metric delta,
+    thanks to the per-game :func:`scoped_registry`)."""
+
+    row: Any
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+def play_spec(spec: GameSpec) -> WorkerResult:
+    """Play one game described by ``spec``; returns a :class:`WorkerResult`.
 
     Runs inside a worker process (also callable inline, which is how the
     serial path and the tests exercise it).  Rebuilds the standard
     portfolios by name, so it only supports the default lineup — custom
     callables cannot cross a process boundary and stay on the serial
     path in ``run_tournament``.
+
+    The game plays under a fresh scoped metrics registry whose snapshot
+    is returned with the row.  When ``spec.trace_path`` is set (and no
+    tracer is already active in this process), trace records go to this
+    process's shard file for the caller to merge.
     """
     from repro.analysis.tournament import (
         FIXED_VICTIM,
@@ -94,29 +121,48 @@ def play_spec(spec: GameSpec):
     )
     from repro.robustness.faults import faulty_victims
 
-    adversaries = default_adversaries(spec.locality)
-    entry = adversaries[spec.adversary]
-    if isinstance(entry, FixedVictimGame):
-        if spec.victim != FIXED_VICTIM:
-            raise ValueError(
-                f"{spec.adversary} is a fixed-victim game; spec named "
-                f"victim {spec.victim!r}"
+    activated = False
+    if spec.trace_path is not None and not TRACER.enabled:
+        TRACER.activate(
+            JsonlTraceRecorder(shard_path(spec.trace_path, os.getpid()))
+        )
+        activated = True
+    try:
+        with scoped_registry() as registry:
+            adversaries = default_adversaries(spec.locality)
+            entry = adversaries[spec.adversary]
+            labels = {"adversary": spec.adversary}
+            if isinstance(entry, FixedVictimGame):
+                if spec.victim != FIXED_VICTIM:
+                    raise ValueError(
+                        f"{spec.adversary} is a fixed-victim game; spec named "
+                        f"victim {spec.victim!r}"
+                    )
+                game = SupervisedGame(
+                    lambda _victim, e=entry: e.play(), spec.policy, labels=labels
+                )
+                result = game.run(None)
+            else:
+                victims = default_victims()
+                if spec.include_faulty:
+                    victims.update(faulty_victims())
+                factory = victims[spec.victim]
+                result = SupervisedGame(
+                    entry, spec.policy, labels=labels
+                ).run(factory())
+            row = _row_from_result(
+                spec.adversary, spec.victim, spec.locality, result
             )
-        game = SupervisedGame(lambda _victim, e=entry: e.play(), spec.policy)
-        result = game.run(None)
-    else:
-        victims = default_victims()
-        if spec.include_faulty:
-            victims.update(faulty_victims())
-        factory = victims[spec.victim]
-        result = SupervisedGame(entry, spec.policy).run(factory())
-    row = _row_from_result(spec.adversary, spec.victim, spec.locality, result)
+            snapshot = registry.snapshot()
+    finally:
+        if activated:
+            TRACER.deactivate()
     if spec.journal_path is not None:
         from repro.analysis.tournament import JOURNAL_KEY_FIELDS
 
         journal = SweepJournal(spec.journal_path, JOURNAL_KEY_FIELDS)
         journal.shard(os.getpid()).append(asdict(row))
-    return row
+    return WorkerResult(row=row, metrics=snapshot)
 
 
 def _pool_context():
@@ -159,6 +205,11 @@ class ParallelSweep:
 
         ``precomputed`` maps spec indices to already-known rows (resumed
         from a journal); those specs are not played.
+
+        Each played game's metrics snapshot is folded into the caller's
+        ambient registry, so after a parallel sweep
+        ``get_registry().snapshot()`` reports the same totals a serial
+        sweep would have accumulated.
         """
         precomputed = precomputed or {}
         rows: List[object] = [None] * len(specs)
@@ -171,9 +222,12 @@ class ParallelSweep:
         ]
         if not pending:
             return rows
+        ambient = get_registry()
         if self.workers == 1:
             for index, spec in pending:
-                rows[index] = play_spec(spec)
+                outcome = play_spec(spec)
+                rows[index] = outcome.row
+                ambient.merge(outcome.metrics)
                 if self.journal is not None:
                     self.journal.merge_shards()
             return rows
@@ -183,8 +237,9 @@ class ParallelSweep:
             played = pool.map(
                 play_spec, [spec for _, spec in pending], chunksize=1
             )
-        for (index, _), row in zip(pending, played):
-            rows[index] = row
+        for (index, _), outcome in zip(pending, played):
+            rows[index] = outcome.row
+            ambient.merge(outcome.metrics)
         if self.journal is not None:
             self.journal.merge_shards()
         return rows

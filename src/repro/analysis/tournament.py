@@ -25,6 +25,8 @@ completed rows to disk (``journal_path=``) and resume after a kill
 
 from __future__ import annotations
 
+import os
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Union
 
@@ -39,6 +41,12 @@ from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
 from repro.core.unify import UnifyColoring
 from repro.models.base import OnlineAlgorithm
 from repro.models.simulation import LocalAsOnline
+from repro.observability.metrics import get_registry
+from repro.observability.trace import (
+    JsonlTraceRecorder,
+    merge_trace_shards,
+    tracing,
+)
 from repro.oracles import CliqueChainOracle
 from repro.robustness.faults import faulty_victims
 from repro.robustness.journal import SweepJournal
@@ -59,7 +67,9 @@ class TournamentRow:
     ``forfeit`` marks wins awarded by the supervisor (victim crash,
     timeout, protocol violation) rather than earned on the board;
     ``detail`` carries the machine-readable failure description for
-    forfeit rows.
+    forfeit rows, ``error_type`` the triggering exception class, and
+    ``failed_at_step`` the reveal index the game had reached when it
+    failed (None for non-forfeit rows and fixed-victim games).
     """
 
     adversary: str
@@ -69,6 +79,8 @@ class TournamentRow:
     reason: str
     forfeit: bool = False
     detail: str = ""
+    error_type: str = ""
+    failed_at_step: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -129,10 +141,14 @@ def _row_from_result(
     adversary: str, victim: str, locality: int, result: AdversaryResult
 ) -> TournamentRow:
     detail = ""
+    error_type = ""
+    failed_at_step = None
     if result.forfeit:
         detail = str(
             result.stats.get("error") or result.stats.get("violation") or ""
         )
+        error_type = str(result.stats.get("error_type", ""))
+        failed_at_step = result.stats.get("failed_at_step")
     return TournamentRow(
         adversary=adversary,
         victim=victim,
@@ -141,6 +157,8 @@ def _row_from_result(
         reason=result.reason,
         forfeit=result.forfeit,
         detail=detail,
+        error_type=error_type,
+        failed_at_step=failed_at_step,
     )
 
 
@@ -153,6 +171,8 @@ def _row_from_journal(entry: dict) -> TournamentRow:
         reason=entry["reason"],
         forfeit=bool(entry.get("forfeit", False)),
         detail=entry.get("detail", ""),
+        error_type=entry.get("error_type", ""),
+        failed_at_step=entry.get("failed_at_step"),
     )
 
 
@@ -166,6 +186,7 @@ def run_tournament(
     journal_path=None,
     resume: bool = False,
     workers: Optional[int] = None,
+    trace_path=None,
 ) -> List[TournamentRow]:
     """Play every pairing; returns one row per game.
 
@@ -199,6 +220,12 @@ def run_tournament(
         returned in the exact serial order.  Only the default portfolios
         can cross a process boundary — custom ``victims``/``adversaries``
         callables always run serially, whatever ``workers`` says.
+    trace_path:
+        When given, record a structured game trace (JSON-lines, see
+        :mod:`repro.observability.trace`) to this file — span records
+        per game, reveal/commitment events, and a final metrics
+        snapshot.  Parallel sweeps write per-worker shards and merge
+        them here when the pool drains.
     """
     custom_portfolio = victims is not None or adversaries is not None
     n_workers = resolve_workers(workers)
@@ -210,6 +237,7 @@ def run_tournament(
             journal_path=journal_path,
             resume=resume,
             workers=n_workers,
+            trace_path=trace_path,
         )
 
     victims = dict(victims) if victims is not None else default_victims()
@@ -230,26 +258,35 @@ def run_tournament(
         journal.merge_shards()
     done = journal.completed() if (journal is not None and resume) else {}
 
+    trace = tracing(trace_path) if trace_path is not None else nullcontext()
     rows: List[TournamentRow] = []
-    for adversary_name, entry in adversaries.items():
-        if isinstance(entry, FixedVictimGame):
-            pairings = [(FIXED_VICTIM, None)]
-        else:
-            pairings = list(victims.items())
-        for victim_name, factory in pairings:
-            key = (adversary_name, victim_name, locality)
-            if key in done:
-                rows.append(_row_from_journal(done[key]))
-                continue
+    with trace:
+        for adversary_name, entry in adversaries.items():
             if isinstance(entry, FixedVictimGame):
-                game = SupervisedGame(lambda _victim, e=entry: e.play(), policy)
-                result = game.run(None)
+                pairings = [(FIXED_VICTIM, None)]
             else:
-                result = SupervisedGame(entry, policy).run(factory())
-            row = _row_from_result(adversary_name, victim_name, locality, result)
-            rows.append(row)
-            if journal is not None:
-                journal.append(asdict(row))
+                pairings = list(victims.items())
+            for victim_name, factory in pairings:
+                key = (adversary_name, victim_name, locality)
+                if key in done:
+                    rows.append(_row_from_journal(done[key]))
+                    continue
+                labels = {"adversary": adversary_name}
+                if isinstance(entry, FixedVictimGame):
+                    game = SupervisedGame(
+                        lambda _victim, e=entry: e.play(), policy, labels=labels
+                    )
+                    result = game.run(None)
+                else:
+                    result = SupervisedGame(entry, policy, labels=labels).run(
+                        factory()
+                    )
+                row = _row_from_result(
+                    adversary_name, victim_name, locality, result
+                )
+                rows.append(row)
+                if journal is not None:
+                    journal.append(asdict(row))
     return rows
 
 
@@ -260,15 +297,21 @@ def _run_parallel(
     journal_path,
     resume: bool,
     workers: int,
+    trace_path=None,
 ) -> List[TournamentRow]:
     """The parallel sweep over the default portfolios.
 
     Builds picklable :class:`~repro.analysis.executor.GameSpec` entries
     in the serial sweep's exact order and reassembles worker results by
-    index, so the returned rows are identical to a serial run.
+    index, so the returned rows are identical to a serial run.  Worker
+    trace shards are merged into ``trace_path`` when the pool drains,
+    followed by a ``metrics`` record of the parent's registry (which by
+    then holds every worker's folded snapshot).
     """
     from repro.analysis.executor import GameSpec, ParallelSweep
 
+    if trace_path is not None and os.path.exists(os.fspath(trace_path)):
+        os.remove(os.fspath(trace_path))
     victims = default_victims()
     if include_faulty:
         victims.update(faulty_victims())
@@ -299,6 +342,9 @@ def _run_parallel(
                     journal_path=(
                         None if journal is None else journal.path
                     ),
+                    trace_path=(
+                        None if trace_path is None else os.fspath(trace_path)
+                    ),
                 )
             )
     precomputed = {}
@@ -307,7 +353,15 @@ def _run_parallel(
         if key in done:
             precomputed[index] = _row_from_journal(done[key])
     sweep = ParallelSweep(workers, journal=journal)
-    return sweep.run(specs, precomputed=precomputed)
+    rows = sweep.run(specs, precomputed=precomputed)
+    if trace_path is not None:
+        merge_trace_shards(trace_path)
+        recorder = JsonlTraceRecorder(trace_path)
+        recorder.write(
+            {"type": "metrics", "snapshot": get_registry().snapshot()}
+        )
+        recorder.close()
+    return rows
 
 
 def clean_sweep(rows: List[TournamentRow]) -> bool:

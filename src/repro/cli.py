@@ -13,10 +13,24 @@ Subcommands
     the paper's locality budget and verify the coloring.
 ``report``
     Regenerate EXPERIMENTS.md content on stdout.
+``stats``
+    Summarize a trace recorded with ``--trace`` (event counts, games by
+    adversary, reveal totals, cache hit rate).
+
+The game-playing subcommands (``adversary``, ``upper-bound``,
+``tournament``) accept ``--trace FILE`` to record a structured
+JSON-lines trace and ``--metrics`` to print the metrics-registry totals
+after the run.
+
+Exit statuses: 0 success, 1 structured failure (an adversary survived,
+a harness error), 2 bad invocation (reported as ``repro: error: ...``).
 
 Examples::
 
     python -m repro.cli adversary theorem1 --victim akbari --locality 2
+    python -m repro.cli adversary theorem1 --victim greedy --locality 2 \\
+        --trace /tmp/t.jsonl
+    python -m repro.cli stats /tmp/t.jsonl
     python -m repro.cli upper-bound akbari --side 24
     python -m repro.cli upper-bound unify-triangular --side 14
     python -m repro.cli report
@@ -26,7 +40,9 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
+from contextlib import nullcontext
 from typing import Optional
 
 from repro.adversaries.gadget import GadgetAdversary
@@ -41,11 +57,26 @@ from repro.families.random_graphs import scattered_reveal_order
 from repro.families.triangular import TriangularGrid
 from repro.models.online_local import OnlineLocalSimulator
 from repro.models.simulation import LocalAsOnline
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER, tracing
 from repro.oracles import CliqueChainOracle, TriangularOracle
 from repro.robustness.errors import ReproError
 from repro.robustness.retry import retry_with_reseed
 from repro.robustness.supervisor import call_with_timeout
 from repro.verify.coloring import assert_proper
+
+
+class UserError(Exception):
+    """A bad invocation (unknown name, inconsistent flags).  ``main``
+    reports it as ``repro: error: ...`` on stderr with exit status 2 —
+    argparse's own convention for usage errors."""
+
+
+def _print_metrics() -> None:
+    from repro.observability.stats import format_metrics
+
+    print("\nmetrics:")
+    print(format_metrics(get_registry().snapshot()))
 
 
 def _make_victim(name: str):
@@ -55,7 +86,7 @@ def _make_victim(name: str):
         "local-canonical": lambda: LocalAsOnline(CanonicalLocalColorer()),
     }
     if name not in factories:
-        raise SystemExit(
+        raise UserError(
             f"unknown victim {name!r}; choose from {sorted(factories)}"
         )
     return factories[name]()
@@ -63,21 +94,31 @@ def _make_victim(name: str):
 
 def cmd_adversary(args: argparse.Namespace) -> int:
     victim = _make_victim(args.victim)
-    if args.theorem == "theorem1":
-        result = GridAdversary(locality=args.locality).run(victim)
-    elif args.theorem == "theorem2":
-        result = TorusAdversary(
-            locality=args.locality, topology=args.topology
-        ).run(victim)
-    elif args.theorem == "theorem3":
-        result = GadgetAdversary(k=args.k, locality=args.locality).run(victim)
-    elif args.theorem == "theorem5":
-        inner = UnifyColoring(CliqueChainOracle(args.k, args.k))
-        result = GridAdversary(locality=args.locality).run(
-            reduce_to_grid(inner, k=args.k)
-        )
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown theorem {args.theorem!r}")
+    trace = tracing(args.trace) if args.trace else nullcontext()
+    with trace:
+        with TRACER.span(
+            "game", adversary=args.theorem, victim=args.victim
+        ) as span:
+            if args.theorem == "theorem1":
+                result = GridAdversary(locality=args.locality).run(victim)
+            elif args.theorem == "theorem2":
+                result = TorusAdversary(
+                    locality=args.locality, topology=args.topology
+                ).run(victim)
+            elif args.theorem == "theorem3":
+                result = GadgetAdversary(
+                    k=args.k, locality=args.locality
+                ).run(victim)
+            elif args.theorem == "theorem5":
+                inner = UnifyColoring(CliqueChainOracle(args.k, args.k))
+                result = GridAdversary(locality=args.locality).run(
+                    reduce_to_grid(inner, k=args.k)
+                )
+            else:  # pragma: no cover - argparse restricts choices
+                raise UserError(f"unknown theorem {args.theorem!r}")
+            span.note(
+                reason=result.reason, won=result.won, forfeit=result.forfeit
+            )
     verdict = "DEFEATED" if result.won else "survived"
     print(f"{args.theorem} vs {args.victim} at T={args.locality}: {verdict}")
     print(f"  how: {result.reason}")
@@ -85,6 +126,8 @@ def cmd_adversary(args: argparse.Namespace) -> int:
         print(f"  witness edge: {result.improper_edge}")
     for key, value in sorted(result.stats.items()):
         print(f"  {key}: {value}")
+    if args.metrics:
+        _print_metrics()
     return 0 if result.won else 1
 
 
@@ -104,7 +147,7 @@ def cmd_upper_bound(args: argparse.Namespace) -> int:
         make_algorithm = lambda: UnifyColoring(TriangularOracle())  # noqa: E731
         colors = 4
     else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+        raise UserError(f"unknown algorithm {args.algorithm!r}")
 
     # Randomized reveal orders can fail for seed-specific reasons (an
     # order that strands the oracle); retry with fresh seeds rather than
@@ -118,18 +161,27 @@ def cmd_upper_bound(args: argparse.Namespace) -> int:
         assert_proper(graph, coloring, max_colors=colors)
         return seed
 
-    used_seed = retry_with_reseed(
-        attempt,
-        seed=args.seed,
-        attempts=args.retries,
-        on_retry=lambda seed, exc: print(
-            f"seed {seed} failed ({type(exc).__name__}: {exc}); reseeding"
-        ),
-    )
+    trace = tracing(args.trace) if args.trace else nullcontext()
+    with trace:
+        with TRACER.span(
+            "upper-bound", algorithm=args.algorithm, side=args.side, n=n
+        ) as span:
+            used_seed = retry_with_reseed(
+                attempt,
+                seed=args.seed,
+                attempts=args.retries,
+                on_retry=lambda seed, exc: print(
+                    f"seed {seed} failed ({type(exc).__name__}: {exc}); "
+                    "reseeding"
+                ),
+            )
+            span.note(seed=used_seed, locality=budget)
     print(
         f"{args.algorithm}: proper {colors}-coloring of {n} nodes at "
         f"T={budget} under an adversarial order (seed {used_seed})"
     )
+    if args.metrics:
+        _print_metrics()
     return 0
 
 
@@ -151,12 +203,10 @@ def cmd_tournament(args: argparse.Namespace) -> int:
     from repro.robustness.supervisor import GamePolicy
 
     if args.resume and args.journal is None:
-        print(
-            "repro: error: --resume needs --journal PATH (there is no "
-            "journal to resume from)",
-            file=sys.stderr,
+        raise UserError(
+            "--resume needs --journal PATH (there is no journal to "
+            "resume from)"
         )
-        return 2
 
     rows = run_tournament(
         locality=args.locality,
@@ -165,6 +215,7 @@ def cmd_tournament(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         resume=args.resume,
         workers=args.workers,
+        trace_path=args.trace,
     )
 
     def verdict(row) -> str:
@@ -187,9 +238,24 @@ def cmd_tournament(args: argparse.Namespace) -> int:
     if forfeits:
         print(f"forfeits: {len(forfeits)}")
         for row in forfeits:
+            cause = row.error_type
+            if row.failed_at_step is not None:
+                cause += f" at step {row.failed_at_step}"
             print(f"  {row.adversary} vs {row.victim}: {row.reason}"
+                  + (f" [{cause}]" if cause else "")
                   + (f" ({row.detail})" if row.detail else ""))
+    if args.metrics:
+        _print_metrics()
     return 0 if swept and all(r.won for r in rows) else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.observability.stats import aggregate_file, render_stats
+
+    if not os.path.exists(args.trace):
+        raise UserError(f"no trace file at {args.trace!r}")
+    print(render_stats(aggregate_file(args.trace), top=args.top))
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -268,6 +334,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tournament.set_defaults(func=cmd_tournament)
 
+    for command in (adversary, upper, tournament):
+        command.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="record a JSON-lines game trace to FILE (inspect with "
+            "the stats subcommand)",
+        )
+        command.add_argument(
+            "--metrics", action="store_true",
+            help="print the metrics-registry totals after the run",
+        )
+
+    stats = sub.add_parser(
+        "stats", help="summarize a trace recorded with --trace"
+    )
+    stats.add_argument("trace", metavar="TRACE", help="trace file to read")
+    stats.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="slowest games to list (default 5)",
+    )
+    stats.set_defaults(func=cmd_stats)
+
     return parser
 
 
@@ -276,6 +363,9 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except UserError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1

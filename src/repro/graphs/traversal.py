@@ -11,8 +11,12 @@ from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Union
 
 from repro.graphs.graph import Graph
+from repro.observability.metrics import BoundCounter, get_registry
 
 Node = Hashable
+
+_BALL_HITS = BoundCounter("ball_cache_hits")
+_BALL_MISSES = BoundCounter("ball_cache_misses")
 
 
 def _as_sources(sources: Union[Node, Iterable[Node]], graph: Graph) -> List[Node]:
@@ -103,14 +107,12 @@ class BallCache:
     Unhashable source specs (lists/sets of nodes) fall through to an
     uncached BFS.
 
-    Instances count ``hits``/``misses``; the class aggregates the same
-    counters process-wide (``BallCache.total_hits`` etc.) so benchmarks
-    can report hit rates without threading every simulator's cache out.
+    Instances count ``hits``/``misses``; the process-wide aggregates
+    live in the active metrics registry (``ball_cache_hits`` /
+    ``ball_cache_misses`` counters), so benchmarks can report hit rates
+    without threading every simulator's cache out, and parallel sweeps
+    can ship worker counts back to the parent as registry snapshots.
     """
-
-    #: Process-wide counters across every cache instance.
-    total_hits = 0
-    total_misses = 0
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
@@ -133,10 +135,10 @@ class BallCache:
             return frozenset(ball(self.graph, sources, radius))
         if cached is not None:
             self.hits += 1
-            BallCache.total_hits += 1
+            _BALL_HITS.inc()
             return cached
         self.misses += 1
-        BallCache.total_misses += 1
+        _BALL_MISSES.inc()
         result = frozenset(ball(self.graph, sources, radius))
         self._balls[key] = result
         return result
@@ -155,19 +157,31 @@ class BallCache:
 
     @classmethod
     def global_stats(cls) -> Dict[str, float]:
-        """Aggregate counters across every cache in the process."""
-        total = cls.total_hits + cls.total_misses
+        """Aggregate counters across every cache recorded in the active
+        metrics registry."""
+        registry = get_registry()
+        hits = registry.counter("ball_cache_hits").value
+        misses = registry.counter("ball_cache_misses").value
+        total = hits + misses
         return {
-            "hits": cls.total_hits,
-            "misses": cls.total_misses,
-            "hit_rate": cls.total_hits / total if total else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
         }
 
     @classmethod
-    def reset_global_stats(cls) -> None:
-        """Zero the process-wide counters (benchmark bookkeeping)."""
-        cls.total_hits = 0
-        cls.total_misses = 0
+    def reset(cls) -> None:
+        """Zero the registry-held aggregate counters.
+
+        Benchmarks call this between configurations so repeated runs in
+        one process never accumulate stale counts.
+        """
+        registry = get_registry()
+        registry.counter("ball_cache_hits").value = 0
+        registry.counter("ball_cache_misses").value = 0
+
+    #: Backwards-compatible alias for the pre-registry name.
+    reset_global_stats = reset
 
 
 def connected_components(graph: Graph) -> List[Set[Node]]:

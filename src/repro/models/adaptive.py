@@ -41,9 +41,13 @@ from repro.families.grids import SimpleGrid
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
+from repro.observability.metrics import BoundCounter
+from repro.observability.trace import TRACER
 
 Coord = Tuple[int, int]
 HostNode = Hashable
+
+_REVEALS = BoundCounter("reveals_total")
 
 
 class ConsistencyError(Exception):
@@ -158,6 +162,17 @@ class FloatingGridInstance:
         target = frag.seen[coord]
         color = self.tracker.reveal(target)
         self._log.append((target, frozenset(fresh_ids)))
+        _REVEALS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "reveal",
+                model="floating-grid",
+                fragment=fragment,
+                node=coord,
+                id=target,
+                color=color,
+                fresh=len(fresh_ids),
+            )
         return color
 
     def _new_id(self, frag: _Fragment, coord: Coord) -> NodeId:
@@ -226,6 +241,15 @@ class FloatingGridInstance:
         a.revealed.extend(transform(c) for c in b.revealed)
         b.alive = False
         del self._fragments[frag_b]
+        if TRACER.enabled:
+            TRACER.event(
+                "fragment-merge",
+                into=frag_a,
+                merged=frag_b,
+                dx=dx,
+                dy=dy,
+                reflect=reflect,
+            )
 
     @staticmethod
     def _near(seen: Dict[Coord, NodeId], coord: Coord, radius: int) -> List[Coord]:
@@ -342,6 +366,17 @@ class FloatingGridInstance:
         self._host_revealed.append(host_coord)
         color = self.tracker.reveal(target)
         self._log.append((target, frozenset(fresh_ids)))
+        _REVEALS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "reveal",
+                model="floating-grid",
+                phase="committed",
+                node=host_coord,
+                id=target,
+                color=color,
+                fresh=len(fresh_ids),
+            )
         return color
 
     # ------------------------------------------------------------------
@@ -533,6 +568,17 @@ class LateAutomorphismInstance:
         self._frag_revealed[fragment].append(node)
         color = self.tracker.reveal(target)
         self._log.append((target, frozenset(fresh_ids)))
+        _REVEALS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "reveal",
+                model="late-automorphism",
+                fragment=fragment,
+                node=node,
+                id=target,
+                color=color,
+                fresh=len(fresh_ids),
+            )
         return color
 
     def fragment_color(self, fragment: int, pre_node: HostNode) -> Optional[Color]:
@@ -550,6 +596,10 @@ class LateAutomorphismInstance:
             raise ConsistencyError(f"fragment {fragment} already committed")
         mapping = self._autos[fragment][automorphism]
         self._committed[fragment] = automorphism
+        if TRACER.enabled:
+            TRACER.event(
+                "fragment-commit", fragment=fragment, automorphism=automorphism
+            )
         for pre_node in self._frag_seen[fragment]:
             node_id = self._pre_id_of[(fragment, pre_node)]
             true_node = mapping[pre_node]
@@ -586,6 +636,17 @@ class LateAutomorphismInstance:
         self._host_revealed.append(node)
         color = self.tracker.reveal(target)
         self._log.append((target, frozenset(fresh_ids)))
+        _REVEALS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "reveal",
+                model="late-automorphism",
+                phase="free",
+                node=node,
+                id=target,
+                color=color,
+                fresh=len(fresh_ids),
+            )
         return color
 
     # ------------------------------------------------------------------

@@ -35,6 +35,8 @@ from repro.graphs.decomposition import Decomposition
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import BallCache, ball
 from repro.models.slocal import SLocalAlgorithm, SLocalView
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
 
 Node = Hashable
 Color = int
@@ -98,6 +100,13 @@ class GkmSimulation:
     def _emulate(self, graph: Graph, nodes) -> Dict[Node, Color]:
         """Run the SLOCAL algorithm over ``nodes`` of ``graph`` in the
         decomposition order, serving each node its T-ball view."""
+        get_registry().inc("gkm_emulations_total")
+        if TRACER.enabled:
+            TRACER.event(
+                "gkm-emulation",
+                model="gkm",
+                nodes=len(nodes) if hasattr(nodes, "__len__") else None,
+            )
         self.algorithm.reset(
             n=self.host.num_nodes,
             locality=self.locality,

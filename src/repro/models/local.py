@@ -14,8 +14,12 @@ from typing import Dict, Hashable, Optional
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId
+from repro.observability.metrics import BoundCounter
+from repro.observability.trace import TRACER
 
 HostNode = Hashable
+
+_LOCAL_OUTPUTS = BoundCounter("local_outputs_total")
 
 
 @dataclass
@@ -110,4 +114,9 @@ class LocalSimulator:
                     f"1..{self.num_colors}"
                 )
             coloring[node] = color
+            _LOCAL_OUTPUTS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "local-output", model="local", node=node, color=color
+                )
         return coloring

@@ -19,9 +19,13 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId, OnlineAlgorithm, ViewTracker
+from repro.observability.metrics import BoundCounter
+from repro.observability.trace import TRACER
 from repro.robustness.errors import RevealOrderError, UnknownHostNodeError
 
 HostNode = Hashable
+
+_REVEALS = BoundCounter("reveals_total")
 
 
 class OnlineLocalSimulator:
@@ -125,7 +129,19 @@ class OnlineLocalSimulator:
         self.tracker.extend(fresh_ids, new_edges)
         target = self._id_of[node]
         self._revealed.add(target)
-        return self.tracker.reveal(target)
+        color = self.tracker.reveal(target)
+        _REVEALS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "reveal",
+                model="online-local",
+                node=node,
+                id=target,
+                color=color,
+                fresh=len(fresh),
+                seen=len(self._seen),
+            )
+        return color
 
     def run(self, order: Iterable[HostNode]) -> Dict[HostNode, Color]:
         """Reveal every node in ``order``; returns the full host coloring.

@@ -22,8 +22,12 @@ from typing import Dict, Hashable, Iterable, Optional
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import BallCache
 from repro.models.base import Color, NodeId
+from repro.observability.metrics import BoundCounter
+from repro.observability.trace import TRACER
 
 HostNode = Hashable
+
+_SLOCAL_STEPS = BoundCounter("slocal_steps_total")
 
 
 @dataclass
@@ -109,6 +113,15 @@ class SLocalSimulator:
                 )
             coloring[node] = color
             processed += 1
+            _SLOCAL_STEPS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "slocal-step",
+                    model="slocal",
+                    node=node,
+                    color=color,
+                    visible=len(visible_colors),
+                )
         if processed != self.host.num_nodes:
             raise ValueError(
                 f"order covered {processed} of {self.host.num_nodes} nodes"

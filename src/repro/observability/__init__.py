@@ -1,0 +1,64 @@
+"""Observability: metrics registry, structured traces, and reporting.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.observability.metrics` — dependency-free counters, gauges,
+  and timing histograms behind a process-local registry whose snapshots
+  merge associatively across worker processes.
+* :mod:`repro.observability.trace` — a kill-safe JSON-lines event/span
+  recorder, disabled by default (the hot path pays one attribute check),
+  wired through the simulators, adversaries, and the game supervisor.
+* :mod:`repro.observability.stats` — aggregation of a trace file into
+  the human-readable report served by ``repro.cli stats``.
+
+Only ``metrics`` and ``trace`` are imported eagerly: low-level modules
+(``repro.graphs.traversal``) import the registry from here, so ``stats``
+— which pulls in the analysis layer — is loaded lazily via PEP 562 to
+keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import (
+    BoundCounter,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from repro.observability.trace import (
+    TRACER,
+    JsonlTraceRecorder,
+    merge_trace_shards,
+    read_trace,
+    tracing,
+)
+
+__all__ = [
+    "BoundCounter",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+    "TRACER",
+    "JsonlTraceRecorder",
+    "tracing",
+    "read_trace",
+    "merge_trace_shards",
+    "aggregate",
+    "aggregate_file",
+    "render_stats",
+    "format_metrics",
+]
+
+_LAZY_STATS = {"aggregate", "aggregate_file", "render_stats", "format_metrics"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_STATS:
+        from repro.observability import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,248 @@
+"""Structured game traces: kill-safe JSON-lines event/span recording.
+
+The paper's lower bounds are adaptive *processes* — to understand why
+an adversary defeats a victim you need the reveal sequence, the b-value
+evolution, and the commitment decisions, not just the final verdict.
+This module records exactly that:
+
+* :func:`event` records — one JSON object per line — carry a ``kind``
+  (``"reveal"``, ``"bvalue-round"``, ``"orientation-committed"``, …)
+  plus arbitrary fields.
+* :func:`span` records bracket a stretch of work (``"game"``) with a
+  start line, an end line carrying the measured ``seconds``, and a
+  per-process ``span`` id; events emitted inside a span are stamped
+  with the innermost open span id (``in_span``), which is how the
+  ``stats`` reporting groups reveals per game.
+* A final ``metrics`` record holding a
+  :meth:`~repro.observability.metrics.MetricsRegistry.snapshot` is
+  appended when tracing deactivates, so one trace file carries both the
+  event stream and the aggregate counters.
+
+**The hot path pays one attribute check when tracing is off.**  Call
+sites guard with ``if TRACER.enabled: TRACER.event(...)``; the module
+singleton :data:`TRACER` defaults to disabled and
+``benchmarks/bench_observability.py`` holds the overhead under 3%.
+
+Files are written append-only, one self-contained JSON object per line,
+flushed per record — the same kill-safety discipline as
+:class:`~repro.robustness.journal.SweepJournal`, whose tolerant loader
+and shard/merge machinery this module reuses: a kill mid-write loses at
+most the in-flight record, a partial trailing line is skipped on load
+and repaired before the next append, and parallel workers write
+``<trace>.shard-<pid>`` files that :func:`merge_trace_shards` folds into
+the main trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.robustness.journal import SweepJournal
+
+#: Fields identifying one trace record across shard merges: the writing
+#: process plus its per-process sequence number.
+TRACE_KEY_FIELDS = ("src", "seq")
+
+#: Per-process sequence numbers, shared by every recorder the process
+#: opens, so ``(src, seq)`` stays unique even when one worker records
+#: many games through separate recorder instances.
+_SEQUENCE = itertools.count()
+
+
+class JsonlTraceRecorder:
+    """Appends trace records to a JSON-lines file, one flush per record.
+
+    Open recorders keep their file handle; records are stamped with the
+    writing process id (``src``) and a process-unique sequence number
+    (``seq``).  Appending to a file whose previous writer was killed
+    mid-line first repairs the missing newline, exactly like
+    :meth:`SweepJournal.append`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._src = os.getpid()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        repair = ""
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    repair = "\n"
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if repair:
+            self._handle.write(repair)
+        self.records_written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record["src"] = self._src
+        record["seq"] = next(_SEQUENCE)
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class SpanHandle:
+    """Yielded by :meth:`Tracer.span`; lets the body annotate the end
+    record (outcome fields known only after the work ran)."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self) -> None:
+        self.fields: Dict[str, Any] = {}
+
+    def note(self, **fields: Any) -> None:
+        self.fields.update(fields)
+
+
+#: Shared no-op handle served while tracing is disabled.
+_NULL_SPAN = SpanHandle()
+
+
+class Tracer:
+    """The process-local tracing facade.
+
+    Disabled by default; :meth:`activate` attaches a recorder and flips
+    :attr:`enabled`, which is the single attribute the hot paths check.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._recorder: Optional[JsonlTraceRecorder] = None
+        self._spans = itertools.count()
+        self._open_spans: List[int] = []
+
+    def activate(self, recorder: JsonlTraceRecorder) -> None:
+        if self.enabled:
+            raise RuntimeError(
+                f"tracing already active on {self._recorder.path!r}"
+            )
+        self._recorder = recorder
+        self._open_spans = []
+        self.enabled = True
+
+    def deactivate(self) -> Optional[JsonlTraceRecorder]:
+        """Detach and close the recorder; returns it (already closed)."""
+        recorder = self._recorder
+        self.enabled = False
+        self._recorder = None
+        self._open_spans = []
+        if recorder is not None:
+            recorder.close()
+        return recorder
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = {"type": "event", "kind": kind, **fields}
+        if self._open_spans:
+            record["in_span"] = self._open_spans[-1]
+        self._recorder.write(record)
+
+    @contextmanager
+    def span(self, kind: str, **fields: Any) -> Iterator[SpanHandle]:
+        """Bracket a stretch of work with start/end records.
+
+        The end record carries the wall-clock ``seconds`` and any fields
+        the body attached via :meth:`SpanHandle.note`.
+        """
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        span_id = next(self._spans)
+        self._recorder.write(
+            {"type": "span-start", "kind": kind, "span": span_id, **fields}
+        )
+        self._open_spans.append(span_id)
+        handle = SpanHandle()
+        started = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            seconds = time.perf_counter() - started
+            if self._open_spans and self._open_spans[-1] == span_id:
+                self._open_spans.pop()
+            if self.enabled:
+                self._recorder.write(
+                    {
+                        "type": "span-end",
+                        "kind": kind,
+                        "span": span_id,
+                        "seconds": round(seconds, 6),
+                        **handle.fields,
+                    }
+                )
+
+    def metrics(self, snapshot: Dict[str, Any]) -> None:
+        """Record a metrics-registry snapshot (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._recorder.write({"type": "metrics", "snapshot": snapshot})
+
+
+#: The module singleton every instrumented call site checks.
+TRACER = Tracer()
+
+
+@contextmanager
+def tracing(path, append: bool = False) -> Iterator[JsonlTraceRecorder]:
+    """Activate tracing to ``path`` for the dynamic extent.
+
+    On exit, the active metrics registry's snapshot is appended as a
+    final ``metrics`` record (so ``repro.cli stats`` can report cache
+    hit rates from the trace alone) and the recorder is closed.  Unless
+    ``append`` is set, an existing file at ``path`` is removed first —
+    a trace file describes one run.
+    """
+    from repro.observability.metrics import get_registry
+
+    path = os.fspath(path)
+    if not append and os.path.exists(path):
+        os.remove(path)
+    recorder = JsonlTraceRecorder(path)
+    TRACER.activate(recorder)
+    try:
+        yield recorder
+    finally:
+        TRACER.metrics(get_registry().snapshot())
+        TRACER.deactivate()
+
+
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Every complete record of a trace file, in write order.
+
+    Reuses the journal's tolerant loader: partial trailing lines (a kill
+    landed mid-write) are skipped, not fatal.
+    """
+    return SweepJournal(path, TRACE_KEY_FIELDS).load()
+
+
+def merge_trace_shards(path) -> int:
+    """Fold worker shard files (``<path>.shard-*``) into the main trace.
+
+    Returns the number of records merged.  Deduplication is by
+    ``(src, seq)``, so re-merging after a kill mid-merge is safe.
+    """
+    return SweepJournal(path, TRACE_KEY_FIELDS).merge_shards()
+
+
+def shard_path(path, worker_id) -> str:
+    """The shard file a worker process should record to."""
+    return f"{os.fspath(path)}.shard-{worker_id}"

@@ -28,6 +28,8 @@ from typing import Callable, Iterator, Mapping, Optional
 
 from repro.adversaries.result import AdversaryResult, forfeit_result
 from repro.models.base import Color, NodeId, OnlineAlgorithm
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
 from repro.robustness.errors import (
     GameTimeout,
     ProtocolViolation,
@@ -183,39 +185,73 @@ class SupervisedGame:
         self,
         play: Callable[[OnlineAlgorithm], AdversaryResult],
         policy: GamePolicy = GamePolicy(),
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.play = play
         self.policy = policy
+        #: Extra fields stamped on the game's trace span (the tournament
+        #: passes ``adversary``/``victim`` so traces are self-describing).
+        self.labels = dict(labels) if labels else {}
 
     def run(self, victim: Optional[OnlineAlgorithm]) -> AdversaryResult:
         """Play against ``victim`` (None for fixed-victim games)."""
         started = time.monotonic()
         if victim is None:
-            contender: Optional[OnlineAlgorithm] = None
+            contender: Optional[SupervisedAlgorithm] = None
         else:
             contender = SupervisedAlgorithm(victim, self.policy)
+        span_fields = {"victim": victim.name if victim else "(fixed)"}
+        span_fields.update(self.labels)
+        with TRACER.span("game", **span_fields) as span:
+            result = self._run_guarded(contender)
+            elapsed = time.monotonic() - started
+            span.note(
+                reason=result.reason,
+                won=result.won,
+                forfeit=result.forfeit,
+                steps=contender.steps_taken if contender else None,
+            )
+        result.stats.setdefault("game_seconds", round(elapsed, 6))
+        if contender is not None:
+            result.stats.setdefault("steps_taken", contender.steps_taken)
+        registry = get_registry()
+        registry.observe("game_wall_seconds", elapsed)
+        if result.forfeit:
+            registry.inc("supervisor_forfeits")
+        return result
+
+    def _run_guarded(
+        self, contender: Optional["SupervisedAlgorithm"]
+    ) -> AdversaryResult:
+        """The play call with every classified failure mapped to a forfeit
+        carrying its structured cause (exception type + reveal index)."""
+
+        def step() -> Optional[int]:
+            return contender.steps_taken if contender is not None else None
+
         try:
             with alarm_guard(self.policy.timeout):
                 result = self.play(contender)
         except StepBudgetExceeded as exc:
-            result = forfeit_result("forfeit:step-budget", exc)
+            result = forfeit_result("forfeit:step-budget", exc, step())
         except GameTimeout as exc:
-            result = forfeit_result("forfeit:timeout", exc)
+            result = forfeit_result("forfeit:timeout", exc, step())
         except VictimCrash as exc:
-            result = forfeit_result("forfeit:victim-crash", exc)
+            result = forfeit_result("forfeit:victim-crash", exc, step())
         except ProtocolViolation as exc:
-            result = forfeit_result("forfeit:model-violation", exc)
+            result = forfeit_result("forfeit:model-violation", exc, step())
         except ReproError as exc:
-            result = forfeit_result("forfeit:harness-error", exc)
+            result = forfeit_result("forfeit:harness-error", exc, step())
         if result.reason == "model-violation":
+            # Violations the adversary itself observed (the tracker's
+            # AlgorithmError) arrive as results, not exceptions; give
+            # them the same structured cause as exception-path forfeits.
             result = replace(
                 result, won=True, reason="forfeit:model-violation", forfeit=True
             )
-        result.stats.setdefault(
-            "game_seconds", round(time.monotonic() - started, 6)
-        )
-        if contender is not None:
-            result.stats.setdefault("steps_taken", contender.steps_taken)
+            result.stats.setdefault("error_type", "AlgorithmError")
+            if step() is not None:
+                result.stats.setdefault("failed_at_step", step())
         return result
 
 

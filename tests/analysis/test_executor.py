@@ -39,16 +39,22 @@ def test_game_spec_is_picklable():
 
 def test_play_spec_inline_matches_tournament_row():
     spec = GameSpec("theorem1-grid", "greedy", 1, POLICY)
-    row = play_spec(spec)
+    outcome = play_spec(spec)
+    row = outcome.row
     assert isinstance(row, TournamentRow)
     assert (row.adversary, row.victim, row.locality) == (
         "theorem1-grid", "greedy", 1,
     )
     assert row.won
+    # The worker ships the game's exact metric delta back with the row.
+    assert outcome.metrics["counters"]["reveals_total"] > 0
+    assert outcome.metrics["histograms"]["game_wall_seconds"]["count"] == 1
 
 
 def test_play_spec_fixed_victim():
-    row = play_spec(GameSpec("theorem5-reduction", FIXED_VICTIM, 1, POLICY))
+    row = play_spec(
+        GameSpec("theorem5-reduction", FIXED_VICTIM, 1, POLICY)
+    ).row
     assert row.victim == FIXED_VICTIM
     assert row.won
 
@@ -75,6 +81,24 @@ def test_parallel_rows_identical_to_serial():
     parallel = run_tournament(locality=1, workers=2)
     assert parallel == serial
     assert len(parallel) == 16
+
+
+def test_parallel_metrics_match_serial():
+    """Worker registry snapshots folded into the parent must reproduce
+    the serial sweep's counter totals exactly."""
+    from repro.observability.metrics import scoped_registry
+
+    with scoped_registry() as serial_registry:
+        run_tournament(locality=1, workers=1)
+        serial = serial_registry.snapshot()
+    with scoped_registry() as parallel_registry:
+        run_tournament(locality=1, workers=2)
+        parallel = parallel_registry.snapshot()
+    assert serial["counters"] == parallel["counters"]
+    assert serial["counters"]["reveals_total"] > 0
+    serial_wall = serial["histograms"]["game_wall_seconds"]
+    parallel_wall = parallel["histograms"]["game_wall_seconds"]
+    assert serial_wall["count"] == parallel_wall["count"] == 16
 
 
 def test_parallel_journal_merges_shards(tmp_path):

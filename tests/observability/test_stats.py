@@ -1,0 +1,113 @@
+"""Tests for trace aggregation and the stats report rendering."""
+
+from repro.observability.metrics import scoped_registry
+from repro.observability.stats import (
+    aggregate,
+    aggregate_file,
+    format_metrics,
+    render_stats,
+)
+from repro.observability.trace import TRACER, tracing
+
+
+def _synthetic_records():
+    return [
+        {"type": "span-start", "kind": "game", "span": 0, "src": 1, "seq": 0,
+         "adversary": "theorem1", "victim": "greedy"},
+        {"type": "event", "kind": "reveal", "in_span": 0, "src": 1, "seq": 1},
+        {"type": "event", "kind": "reveal", "in_span": 0, "src": 1, "seq": 2},
+        {"type": "span-end", "kind": "game", "span": 0, "src": 1, "seq": 3,
+         "seconds": 0.25, "reason": "monochromatic-edge", "won": True},
+        {"type": "span-start", "kind": "game", "span": 0, "src": 2, "seq": 0,
+         "adversary": "theorem2", "victim": "akbari"},
+        {"type": "event", "kind": "reveal", "in_span": 0, "src": 2, "seq": 1},
+        {"type": "span-end", "kind": "game", "span": 0, "src": 2, "seq": 2,
+         "seconds": 0.5, "reason": "forfeit:timeout", "won": True,
+         "forfeit": True},
+        {"type": "event", "kind": "reveal", "src": 3, "seq": 0},  # unspanned
+        {"type": "metrics", "src": 3, "seq": 1, "snapshot": {
+            "counters": {"ball_cache_hits": 3, "ball_cache_misses": 1},
+        }},
+    ]
+
+
+def test_aggregate_counts_and_joins_spans():
+    stats = aggregate(_synthetic_records())
+    assert stats.records == 9
+    assert stats.event_counts == {"reveal": 4}
+    assert stats.reveals_total == 4
+    assert stats.unspanned_reveals == 1
+
+    assert len(stats.games) == 2
+    by_adversary = {g.adversary: g for g in stats.games}
+    first = by_adversary["theorem1"]
+    assert (first.victim, first.reveals, first.seconds) == ("greedy", 2, 0.25)
+    assert first.won and not first.forfeit
+    second = by_adversary["theorem2"]
+    assert second.forfeit
+    assert second.reason == "forfeit:timeout"
+
+    assert stats.cache_hit_rate() == 0.75
+
+
+def test_aggregate_tolerates_unjoined_spans():
+    records = [
+        {"type": "span-start", "kind": "game", "span": 7, "src": 1, "seq": 0,
+         "adversary": "theorem3", "victim": "greedy"},
+        # no span-end: the game was killed mid-flight
+    ]
+    stats = aggregate(records)
+    assert len(stats.games) == 1
+    game = stats.games[0]
+    assert game.seconds is None
+    assert game.reason == ""
+
+
+def test_cache_hit_rate_none_without_cache_traffic():
+    assert aggregate([]).cache_hit_rate() is None
+
+
+def test_render_stats_sections():
+    report = render_stats(aggregate(_synthetic_records()))
+    assert "trace records: 9" in report
+    assert "reveals total: 4" in report
+    assert "games by adversary:" in report
+    assert "theorem1" in report and "theorem2" in report
+    assert "reveals per game: min=1 median=2 max=2" in report
+    assert "slowest games" in report
+    assert "ball cache hit rate: 75.0% (3/4)" in report
+
+
+def test_render_stats_empty_trace():
+    report = render_stats(aggregate([]))
+    assert "trace records: 0" in report
+    assert "reveals total: 0" in report
+
+
+def test_format_metrics_renders_all_instrument_kinds():
+    snapshot = {
+        "counters": {"reveals_total": 12},
+        "gauges": {"depth": 3.5},
+        "histograms": {"seconds": {"count": 2, "sum": 3.0,
+                                   "min": 1.0, "max": 2.0}},
+    }
+    table = format_metrics(snapshot)
+    assert "reveals_total" in table and "12" in table
+    assert "depth" in table and "gauge" in table
+    assert "count=2 mean=1.5000" in table
+    assert format_metrics({}) == "(no metrics recorded)"
+
+
+def test_aggregate_file_round_trip(tmp_path):
+    """End to end: record a real traced stretch, aggregate from disk."""
+    path = tmp_path / "t.jsonl"
+    with scoped_registry() as registry:
+        with tracing(path):
+            with TRACER.span("game", adversary="theorem1", victim="greedy"):
+                TRACER.event("reveal", node=1)
+                registry.inc("reveals_total")
+    stats = aggregate_file(path)
+    assert stats.reveals_total == 1
+    assert len(stats.games) == 1
+    assert stats.games[0].reveals == 1
+    assert stats.metrics.counter("reveals_total").value == 1

@@ -1,0 +1,181 @@
+"""Tests for the trace recorder: round-trips, kill-safety, shard merges."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import scoped_registry
+from repro.observability.trace import (
+    TRACER,
+    JsonlTraceRecorder,
+    merge_trace_shards,
+    read_trace,
+    shard_path,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracer_is_quiescent():
+    """Every test starts and must end with the tracer disabled."""
+    assert not TRACER.enabled
+    yield
+    if TRACER.enabled:  # pragma: no cover - cleanup after a failed test
+        TRACER.deactivate()
+        pytest.fail("test leaked an active tracer")
+
+
+def test_disabled_tracer_is_a_no_op():
+    TRACER.event("reveal", node=(0, 0))
+    with TRACER.span("game", adversary="x") as span:
+        span.note(reason="ok")
+    # Nothing recorded, nothing raised, no recorder attached.
+    assert not TRACER.enabled
+
+
+def test_event_round_trip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        TRACER.event("reveal", node=[0, 1], color=2)
+        TRACER.event("fragment-merge", dx=3)
+    records = read_trace(path)
+    # Two events plus the final metrics snapshot.
+    assert [r["type"] for r in records] == ["event", "event", "metrics"]
+    reveal = records[0]
+    assert reveal["kind"] == "reveal"
+    assert reveal["node"] == [0, 1]
+    assert reveal["color"] == 2
+    assert "src" in reveal and "seq" in reveal
+
+
+def test_span_round_trip_and_in_span_stamping(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        TRACER.event("outside")
+        with TRACER.span("game", adversary="theorem1") as span:
+            TRACER.event("reveal", node=1)
+            span.note(reason="monochromatic-edge", won=True)
+    records = read_trace(path)
+    by_type = {r["type"]: r for r in records if r["type"] != "event"}
+    start, end = by_type["span-start"], by_type["span-end"]
+    assert start["kind"] == end["kind"] == "game"
+    assert start["span"] == end["span"]
+    assert start["adversary"] == "theorem1"
+    assert end["reason"] == "monochromatic-edge"
+    assert end["won"] is True
+    assert end["seconds"] >= 0
+
+    events = [r for r in records if r["type"] == "event"]
+    outside = next(r for r in events if r["kind"] == "outside")
+    inside = next(r for r in events if r["kind"] == "reveal")
+    assert "in_span" not in outside
+    assert inside["in_span"] == start["span"]
+
+
+def test_tracing_appends_metrics_snapshot(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with scoped_registry() as registry:
+        with tracing(path):
+            registry.inc("reveals_total", 9)
+    final = read_trace(path)[-1]
+    assert final["type"] == "metrics"
+    assert final["snapshot"]["counters"]["reveals_total"] == 9
+
+
+def test_tracing_truncates_by_default(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        TRACER.event("first-run")
+    with tracing(path):
+        TRACER.event("second-run")
+    kinds = [r.get("kind") for r in read_trace(path) if r["type"] == "event"]
+    assert kinds == ["second-run"]
+
+
+def test_mid_write_kill_is_survivable(tmp_path):
+    """A partial trailing line (kill landed mid-write) is skipped on
+    load and repaired before the next append."""
+    path = tmp_path / "t.jsonl"
+    recorder = JsonlTraceRecorder(path)
+    recorder.write({"type": "event", "kind": "reveal", "node": 1})
+    recorder.close()
+    # Simulate the kill: a truncated record with no newline.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "event", "kind": "rev')
+
+    records = read_trace(path)
+    assert len(records) == 1  # partial line skipped, not fatal
+    assert records[0]["node"] == 1
+
+    repaired = JsonlTraceRecorder(path)
+    repaired.write({"type": "event", "kind": "reveal", "node": 2})
+    repaired.close()
+    records = read_trace(path)
+    # The new record is not glued onto the partial line.
+    assert [r.get("node") for r in records] == [1, 2]
+
+
+def test_shard_merge_folds_worker_files(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with tracing(path):
+        TRACER.event("parent-event")
+
+    for worker in ("a", "b"):
+        shard = JsonlTraceRecorder(shard_path(path, worker))
+        shard.write({"type": "event", "kind": f"from-{worker}"})
+        shard.close()
+
+    merged = merge_trace_shards(path)
+    assert merged == 2
+    kinds = {r["kind"] for r in read_trace(path) if r["type"] == "event"}
+    assert kinds == {"parent-event", "from-a", "from-b"}
+    # Shards are consumed; a re-merge finds nothing.
+    assert merge_trace_shards(path) == 0
+
+
+def test_shard_merge_deduplicates_by_src_seq(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with tracing(path):
+        TRACER.event("original")
+    duplicate = read_trace(path)[0]
+
+    shard = shard_path(path, "dup")
+    with open(shard, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(duplicate) + "\n")
+        handle.write(
+            json.dumps({**duplicate, "seq": duplicate["seq"] + 10_000,
+                        "kind": "fresh"}) + "\n"
+        )
+    before = len(read_trace(path))
+    assert merge_trace_shards(path) == 1  # the duplicate is skipped
+    assert len(read_trace(path)) == before + 1
+
+
+def test_activate_twice_rejected(tmp_path):
+    with tracing(tmp_path / "t.jsonl"):
+        with pytest.raises(RuntimeError, match="already active"):
+            TRACER.activate(JsonlTraceRecorder(tmp_path / "u.jsonl"))
+
+
+def test_instrumented_simulator_emits_reveal_events(tmp_path):
+    """The Online-LOCAL hot path records one reveal event per reveal
+    when tracing is on."""
+    from repro.core.baselines import GreedyOnlineColorer
+    from repro.families.grids import SimpleGrid
+    from repro.models.online_local import OnlineLocalSimulator
+
+    grid = SimpleGrid(3, 3)
+    path = tmp_path / "t.jsonl"
+    with scoped_registry() as registry:
+        with tracing(path):
+            sim = OnlineLocalSimulator(
+                grid.graph, GreedyOnlineColorer(), locality=1, num_colors=4
+            )
+            sim.run(sorted(grid.graph.nodes()))
+        reveals = [
+            r for r in read_trace(path)
+            if r["type"] == "event" and r["kind"] == "reveal"
+        ]
+        assert len(reveals) == grid.graph.num_nodes
+        assert registry.counter("reveals_total").value == grid.graph.num_nodes
+        assert all(r["model"] == "online-local" for r in reveals)

@@ -58,6 +58,13 @@ def test_full_faulty_sweep_completes_with_structured_forfeits():
             f"{row.adversary} vs {row.victim}: {row.reason}"
         )
 
+    # Satellite: every forfeit row surfaces its structured cause — the
+    # triggering exception type and the reveal index the game reached.
+    for row in faulty:
+        assert row.error_type, f"{row.adversary} vs {row.victim}"
+        assert row.failed_at_step is not None
+        assert row.failed_at_step >= 1
+
     # The sweep is still rectangular: every non-fixed adversary met every
     # victim exactly once, and the fixed game ran exactly once.
     fixed = [row for row in rows if row.victim == FIXED_VICTIM]

@@ -51,6 +51,49 @@ def test_crash_becomes_forfeit():
     assert result.reason == "forfeit:victim-crash"
     assert result.stats["error_type"] == "VictimCrash"
     assert "injected crash at step 3" in result.stats["error"]
+    # The structured cause carries the reveal index the game reached.
+    assert result.stats["failed_at_step"] == 3
+
+
+def test_step_budget_forfeit_records_failure_position():
+    result = SupervisedGame(run_grid_game, GamePolicy(step_budget=5)).run(
+        GreedyOnlineColorer()
+    )
+    assert result.stats["failed_at_step"] == 6  # the budget-busting step
+
+
+def test_forfeit_metrics_and_wall_seconds_recorded():
+    from repro.observability.metrics import scoped_registry
+
+    with scoped_registry() as registry:
+        SupervisedGame(run_grid_game, GamePolicy()).run(
+            CrashingAlgorithm(trigger_step=3)
+        )
+        SupervisedGame(run_grid_game, GamePolicy(timeout=10.0)).run(
+            GreedyOnlineColorer()
+        )
+        assert registry.counter("supervisor_forfeits").value == 1
+        assert registry.histogram("game_wall_seconds").count == 2
+
+
+def test_game_span_carries_labels_and_outcome(tmp_path):
+    from repro.observability.trace import read_trace, tracing
+
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        SupervisedGame(
+            run_grid_game,
+            GamePolicy(),
+            labels={"adversary": "mini-grid"},
+        ).run(CrashingAlgorithm(trigger_step=3))
+    records = read_trace(path)
+    start = next(r for r in records if r["type"] == "span-start")
+    end = next(r for r in records if r["type"] == "span-end")
+    assert start["adversary"] == "mini-grid"
+    assert start["victim"].startswith("crash-on-step")
+    assert end["reason"] == "forfeit:victim-crash"
+    assert end["forfeit"] is True
+    assert end["steps"] == 3
 
 
 def test_none_return_becomes_model_violation_forfeit():

@@ -46,9 +46,40 @@ def test_upper_bound_unify(capsys):
     assert "proper 4-coloring" in capsys.readouterr().out
 
 
-def test_unknown_victim_rejected():
-    with pytest.raises(SystemExit):
-        main(["adversary", "theorem1", "--victim", "quantum"])
+def test_unknown_victim_rejected(capsys):
+    """Bad invocations exit 2 with a normalized error line, not a raw
+    SystemExit message."""
+    code = main(["adversary", "theorem1", "--victim", "quantum"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "quantum" in err
+
+
+def test_adversary_trace_and_stats(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    code = main(
+        ["adversary", "theorem1", "--victim", "greedy", "--locality", "1",
+         "--trace", str(trace), "--metrics"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reveals_total" in out  # --metrics table
+    assert trace.exists()
+
+    code = main(["stats", str(trace)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reveals total:" in out
+    assert "games by adversary:" in out
+    assert "theorem1" in out
+    assert "ball cache hit rate:" in out
+
+
+def test_stats_missing_file_rejected(capsys, tmp_path):
+    code = main(["stats", str(tmp_path / "absent.jsonl")])
+    assert code == 2
+    assert capsys.readouterr().err.startswith("repro: error:")
 
 
 def test_parser_requires_command():
