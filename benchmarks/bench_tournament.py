@@ -13,9 +13,10 @@ The benchmark fans the full default portfolio at every requested
 locality through one :class:`~repro.analysis.executor.ParallelSweep`
 (48 games for three localities), so worker pools have enough
 independent games to balance.  The JSON records serial wall-clock,
-per-worker-count wall-clock and speedup, ball-cache hit rates, and
-whether every parallel sweep returned byte-identical rows to the serial
-one (it must).  Reported speedup is bounded by the host's core count —
+per-worker-count wall-clock and speedup, ball-cache hit rates — both
+the cold first pass (with per-reveal query/hit breakdowns) and the warm
+whole-session aggregate — and whether every parallel sweep returned
+byte-identical rows to the serial one (it must).  Reported speedup is bounded by the host's core count —
 on a single-core container the parallel columns measure pure pool
 overhead.
 """
@@ -37,6 +38,7 @@ from repro.analysis.tournament import (
     run_tournament,
 )
 from repro.graphs.traversal import BallCache
+from repro.observability.metrics import get_registry
 from repro.robustness.supervisor import GamePolicy
 
 
@@ -95,8 +97,17 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
     """
     specs = sweep_specs(localities)
     BallCache.reset()
+    reveals_before = get_registry().counter("reveals_total").value
     serial_rows, _ = _timed_sweep(specs, 1)  # warm-up + cache profile
     cache = BallCache.global_stats()
+    reveals = get_registry().counter("reveals_total").value - reveals_before
+    queries = cache["hits"] + cache["misses"]
+    cache["per_reveal"] = {
+        "reveals": reveals,
+        "queries_per_reveal": queries / reveals if reveals else 0.0,
+        "hits_per_reveal": cache["hits"] / reveals if reveals else 0.0,
+        "misses_per_reveal": cache["misses"] / reveals if reveals else 0.0,
+    }
 
     results = {}
     identical = True
@@ -109,6 +120,7 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
         results[workers] = best
     if 1 not in results:
         results[1] = min(_timed_sweep(specs, 1)[1] for _ in range(repeats))
+    session_cache = BallCache.global_stats()
 
     report = {
         "experiment": "tournament-parallel-executor",
@@ -126,6 +138,7 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
         "rows_identical_to_serial": identical,
         "clean_sweep": clean_sweep(serial_rows),
         "ball_cache": cache,
+        "ball_cache_session": session_cache,
     }
     return report
 
@@ -156,8 +169,14 @@ def main(argv=None):
          for w, v in sorted(report["workers"].items(), key=lambda kv: int(kv[0]))],
     ))
     hit = report["ball_cache"]
-    print(f"ball cache: {hit['hits']}/{hit['hits'] + hit['misses']} hits "
-          f"({hit['hit_rate']:.0%})")
+    print(f"ball cache (cold pass): {hit['hits']}/{hit['hits'] + hit['misses']} "
+          f"hits ({hit['hit_rate']:.0%}), "
+          f"{hit['per_reveal']['queries_per_reveal']:.2f} queries/reveal "
+          f"over {hit['per_reveal']['reveals']} reveals")
+    session = report["ball_cache_session"]
+    print(f"ball cache (whole session): {session['hit_rate']:.0%} hit rate, "
+          f"{session['evictions']} evictions, "
+          f"{session['full_flushes']} full flushes")
     print(f"rows identical to serial: {report['rows_identical_to_serial']}")
     print(f"wrote {args.out}")
     return 0

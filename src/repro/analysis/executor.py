@@ -34,6 +34,12 @@ Guarantees:
   ambient registry; because
   :meth:`~repro.observability.metrics.MetricsRegistry.merge` is
   associative and commutative, the folded totals equal a serial run's.
+  One caveat: the ball cache pools balls per *process* (see
+  ``docs/performance.md``), so while the query total
+  (``ball_cache_hits + ball_cache_misses``) and every simulation counter
+  are partition-independent, the hit/miss *split* — and the
+  eviction/flush counters that ride along the same snapshots — depend on
+  which worker played which games.
   Traced sweeps (``GameSpec.trace_path``) likewise write per-worker
   trace shards that the caller merges when the pool drains.
 
@@ -209,7 +215,10 @@ class ParallelSweep:
         Each played game's metrics snapshot is folded into the caller's
         ambient registry, so after a parallel sweep
         ``get_registry().snapshot()`` reports the same totals a serial
-        sweep would have accumulated.
+        sweep would have accumulated — except the ball-cache hit/miss
+        split and eviction/flush counters, which are per-process cache
+        profile rather than simulation state (the query total still
+        matches; see the module docstring).
         """
         precomputed = precomputed or {}
         rows: List[object] = [None] * len(specs)

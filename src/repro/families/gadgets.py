@@ -32,13 +32,17 @@ class Gadget:
         if k < 2:
             raise ValueError(f"gadgets need k >= 2, got {k}")
         self.k = k
-        self.graph = Graph(nodes=((i, j) for i in range(k) for j in range(k)))
-        for i in range(k):
-            for j in range(k):
-                for i2 in range(k):
-                    for j2 in range(k):
-                        if i2 != i and j2 != j and (i, j) < (i2, j2):
-                            self.graph.add_edge((i, j), (i2, j2))
+        self.graph = Graph()
+        with self.graph.batch():
+            for i in range(k):
+                for j in range(k):
+                    self.graph.add_node((i, j))
+            for i in range(k):
+                for j in range(k):
+                    for i2 in range(k):
+                        for j2 in range(k):
+                            if i2 != i and j2 != j and (i, j) < (i2, j2):
+                                self.graph.add_edge((i, j), (i2, j2))
 
     def row(self, i: int) -> List[GadgetNode]:
         """Nodes of row ``i``."""
@@ -71,18 +75,16 @@ class GadgetChain:
             raise ValueError(f"chain length must be positive, got {length}")
         self.k = k
         self.length = length
-        self.graph = Graph(
-            nodes=(
-                (idx, i, j)
-                for idx in range(length)
-                for i in range(k)
-                for j in range(k)
-            )
-        )
-        for idx in range(length):
-            self._connect(idx, idx)
-            if idx + 1 < length:
-                self._connect(idx, idx + 1)
+        self.graph = Graph()
+        with self.graph.batch():
+            for idx in range(length):
+                for i in range(k):
+                    for j in range(k):
+                        self.graph.add_node((idx, i, j))
+            for idx in range(length):
+                self._connect(idx, idx)
+                if idx + 1 < length:
+                    self._connect(idx, idx + 1)
 
     def _connect(self, a: int, b: int) -> None:
         """Edges between gadgets ``a`` and ``b`` (or within one if a == b)."""

@@ -33,10 +33,13 @@ class _GridBase:
             raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
         self.rows = rows
         self.cols = cols
-        self.graph = Graph(
-            nodes=((i, j) for i in range(rows) for j in range(cols))
-        )
-        self._add_edges()
+        self.graph = Graph()
+        # One batch: the finished grid sits at generation 1, not O(n).
+        with self.graph.batch():
+            for i in range(rows):
+                for j in range(cols):
+                    self.graph.add_node((i, j))
+            self._add_edges()
 
     # Subclasses override to define wraparound behavior.
     def _wrap_row(self) -> bool:

@@ -38,10 +38,11 @@ class KTree:
         self.k = k
         self.graph = Graph()
         initial = list(range(k + 1))
-        for u in initial:
-            for v in initial:
-                if u < v:
-                    self.graph.add_edge(u, v)
+        with self.graph.batch():
+            for u in initial:
+                for v in initial:
+                    if u < v:
+                        self.graph.add_edge(u, v)
         self._canonical: Dict[Node, int] = {u: u for u in initial}
         # All (k+1)-cliques, in creation order; clique 0 is the root.
         self.cliques: List[FrozenSet[Node]] = [frozenset(initial)]
@@ -76,8 +77,9 @@ class KTree:
                     raise ValueError(f"attachment set is not a clique: {u!r} !~ {v!r}")
         new = self._next_label
         self._next_label += 1
-        for u in members:
-            self.graph.add_edge(new, u)
+        with self.graph.batch():
+            for u in members:
+                self.graph.add_edge(new, u)
         used = {self._canonical[u] for u in members}
         free = [color for color in range(self.k + 1) if color not in used]
         self._canonical[new] = free[0]

@@ -7,14 +7,62 @@ Nodes may be any hashable value; the graph families in
 :mod:`repro.families` use structured tuples such as ``(row, col)`` for grid
 nodes or ``(layer, base)`` for hierarchy nodes, which keeps the geometry
 readable in tests and adversary code.
+
+Beyond the adjacency map the graph maintains derived bookkeeping that the
+hot paths rely on (see ``docs/performance.md``):
+
+* a monotone :attr:`~Graph.generation` counter, bumped once per structural
+  change (or once per :meth:`~Graph.batch` block);
+* a bounded **structural change log** so caches can invalidate *scoped* to
+  the nodes a mutation touched instead of flushing wholesale
+  (:meth:`~Graph.changes_since`);
+* an order-independent **structural fingerprint** so caches can recognize
+  independently built but identical graphs (:attr:`~Graph.fingerprint`);
+* an O(1) edge counter and memoized per-node neighbor frozensets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+#: Change-log records kept before the log overflows and consumers must
+#: fall back to a full flush.  Sized to cover any realistic burst of
+#: single mutations between two cache queries (bulk construction goes
+#: through ``batch()`` and costs one record regardless of size).
+LOG_CAPACITY = 4096
+
+#: Touched-node sets larger than this are recorded as an opaque ``bulk``
+#: record (consumers full-flush) instead of an explicit node list —
+#: scanning a huge touched set per cached ball would cost more than the
+#: recompute it avoids.
+BATCH_TOUCH_LIMIT = 512
+
+_FP_MASK = (1 << 64) - 1
+
+
+def _node_token(node: Node) -> int:
+    return hash(("repro.graph.node", node))
+
+
+def _edge_token(u: Node, v: Node) -> int:
+    hu, hv = hash(u), hash(v)
+    if hu > hv:
+        hu, hv = hv, hu
+    return hash(("repro.graph.edge", hu, hv))
 
 
 class Graph:
@@ -28,17 +76,122 @@ class Graph:
     edges:
         Optional iterable of 2-tuples.  Endpoints are added as nodes
         automatically.
+
+    Bulk construction through the constructor (or :meth:`add_edges`) is
+    coalesced via :meth:`batch`, so a freshly built graph sits at
+    generation 1 (0 if empty) instead of one generation per element.
     """
 
-    __slots__ = ("_adj", "_generation")
+    __slots__ = (
+        "_adj",
+        "_generation",
+        "_num_edges",
+        "_nbr_cache",
+        "_log",
+        "_log_floor",
+        "_fp_xor",
+        "_fp_add",
+        "_batch_depth",
+        "_batch_mutated",
+        "_batch_removal",
+        "_batch_touched",
+    )
 
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
         self._generation = 0
-        for node in nodes:
-            self.add_node(node)
-        for u, v in edges:
-            self.add_edge(u, v)
+        self._num_edges = 0
+        self._nbr_cache: Dict[Node, FrozenSet[Node]] = {}
+        self._log: List[Tuple[int, str, Tuple[Node, ...]]] = []
+        self._log_floor = 0
+        self._fp_xor = 0
+        self._fp_add = 0
+        self._batch_depth = 0
+        self._batch_mutated = False
+        self._batch_removal = False
+        self._batch_touched: Optional[Set[Node]] = None
+        with self.batch():
+            for node in nodes:
+                self.add_node(node)
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Change accounting
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, nodes: Tuple[Node, ...]) -> None:
+        """Account for one structural change: bump the generation and log
+        it, or fold it into the enclosing :meth:`batch` block."""
+        if self._batch_depth:
+            self._batch_mutated = True
+            if kind != "add":
+                self._batch_removal = True
+            elif self._batch_touched is not None:
+                self._batch_touched.update(nodes)
+                if len(self._batch_touched) > BATCH_TOUCH_LIMIT:
+                    self._batch_touched = None  # too big: degrade to bulk
+            return
+        self._generation += 1
+        self._append_log(kind, nodes)
+
+    def _append_log(self, kind: str, nodes: Tuple[Node, ...]) -> None:
+        if len(self._log) >= LOG_CAPACITY:
+            # Overflow: drop history (including this record) and advance
+            # the floor so changes_since() reports "unknowable".
+            self._log.clear()
+            self._log_floor = self._generation
+            return
+        self._log.append((self._generation, kind, nodes))
+
+    @contextmanager
+    def batch(self):
+        """Coalesce a block of mutations into one generation bump.
+
+        Family builders wrap their construction loops in
+        ``with graph.batch():`` so building an n-node grid costs one
+        generation (and one change-log record) instead of O(n).  Blocks
+        nest; only the outermost exit commits.  A block that performed no
+        structural change commits nothing.
+        """
+        self._batch_depth += 1
+        if self._batch_depth == 1:
+            self._batch_mutated = False
+            self._batch_removal = False
+            self._batch_touched = set()
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_mutated:
+                self._generation += 1
+                if self._batch_removal:
+                    self._append_log("remove", ())
+                elif self._batch_touched is None:
+                    self._append_log("bulk", ())
+                else:
+                    self._append_log("add", tuple(self._batch_touched))
+                self._batch_touched = None
+
+    def changes_since(self, generation: int) -> Optional[List[Tuple[str, Tuple[Node, ...]]]]:
+        """The ``(kind, nodes)`` records after ``generation``, oldest first.
+
+        Returns ``None`` when the history is unknowable — ``generation``
+        predates the log floor (records were dropped on overflow) or does
+        not correspond to a state this graph has been in.  Consumers must
+        then invalidate wholesale.  ``kind`` is ``"add"`` (nodes/edges
+        added; ``nodes`` lists every touched endpoint), ``"remove"`` (at
+        least one removal; balls may shrink), or ``"bulk"`` (an oversized
+        batch recorded without a node list).
+        """
+        if generation == self._generation:
+            return []
+        if generation < self._log_floor or generation > self._generation:
+            return None
+        return [
+            (kind, nodes)
+            for gen, kind, nodes in self._log
+            if gen > generation
+        ]
 
     # ------------------------------------------------------------------
     # Construction
@@ -47,7 +200,9 @@ class Graph:
         """Add ``node`` if not already present (idempotent)."""
         if node not in self._adj:
             self._adj[node] = set()
-            self._generation += 1
+            self._fp_xor ^= _node_token(node)
+            self._fp_add = (self._fp_add + _node_token(node)) & _FP_MASK
+            self._record("add", (node,))
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed.
@@ -59,17 +214,35 @@ class Graph:
         """
         if u == v:
             raise ValueError(f"self-loop on node {u!r} is not allowed")
-        self.add_node(u)
-        self.add_node(v)
-        if v not in self._adj[u]:
-            self._adj[u].add(v)
-            self._adj[v].add(u)
-            self._generation += 1
+        adj = self._adj
+        created = None
+        for node in (u, v):
+            if node not in adj:
+                adj[node] = set()
+                token = _node_token(node)
+                self._fp_xor ^= token
+                self._fp_add = (self._fp_add + token) & _FP_MASK
+                created = True
+        if v not in adj[u]:
+            adj[u].add(v)
+            adj[v].add(u)
+            self._num_edges += 1
+            self._nbr_cache.pop(u, None)
+            self._nbr_cache.pop(v, None)
+            token = _edge_token(u, v)
+            self._fp_xor ^= token
+            self._fp_add = (self._fp_add + token) & _FP_MASK
+            # One atomic change (and one record) even when the edge also
+            # created its endpoints — they are covered by (u, v).
+            self._record("add", (u, v))
+        elif created:  # unreachable for a simple graph, kept for safety
+            self._record("add", (u, v))
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
-        """Add every edge in ``edges``."""
-        for u, v in edges:
-            self.add_edge(u, v)
+        """Add every edge in ``edges`` (one generation bump total)."""
+        with self.batch():
+            for u, v in edges:
+                self.add_edge(u, v)
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges.
@@ -79,9 +252,18 @@ class Graph:
         KeyError
             If ``node`` is not in the graph.
         """
-        for neighbor in self._adj.pop(node):
+        neighbors = self._adj.pop(node)
+        for neighbor in neighbors:
             self._adj[neighbor].discard(node)
-        self._generation += 1
+            self._nbr_cache.pop(neighbor, None)
+            token = _edge_token(node, neighbor)
+            self._fp_xor ^= token
+            self._fp_add = (self._fp_add - token) & _FP_MASK
+        self._num_edges -= len(neighbors)
+        self._nbr_cache.pop(node, None)
+        self._fp_xor ^= _node_token(node)
+        self._fp_add = (self._fp_add - _node_token(node)) & _FP_MASK
+        self._record("remove", (node,))
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``.
@@ -95,20 +277,46 @@ class Graph:
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
-        self._generation += 1
+        self._num_edges -= 1
+        self._nbr_cache.pop(u, None)
+        self._nbr_cache.pop(v, None)
+        token = _edge_token(u, v)
+        self._fp_xor ^= token
+        self._fp_add = (self._fp_add - token) & _FP_MASK
+        self._record("remove", (u, v))
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def generation(self) -> int:
-        """Monotone mutation counter; bumps on every structural change.
+        """Monotone mutation counter; bumps once per structural change
+        (or once per :meth:`batch` block).
 
         Derived-data caches (e.g. :class:`repro.graphs.traversal.BallCache`)
         key their validity on this: a cache built at generation ``g`` is
-        stale exactly when ``graph.generation != g``.
+        stale exactly when ``graph.generation != g``, and can consult
+        :meth:`changes_since` to invalidate only what the change touched.
         """
         return self._generation
+
+    @property
+    def fingerprint(self) -> Tuple[int, int]:
+        """An order-independent structural fingerprint of the labeled graph.
+
+        XOR and sum (mod 2^64) of per-node and per-edge hash tokens,
+        updated incrementally in O(1) per mutation.  Two graphs built in
+        different orders from the same nodes and edges fingerprint
+        identically; collisions between *different* labeled graphs require
+        simultaneous 64-bit XOR and sum collisions at equal node and edge
+        counts (see :meth:`structural_key`) and are vanishingly unlikely.
+        """
+        return (self._fp_xor, self._fp_add)
+
+    def structural_key(self) -> Tuple[int, int, int, int]:
+        """``(num_nodes, num_edges, *fingerprint)`` — the key under which
+        shared caches pool structurally identical graphs."""
+        return (len(self._adj), self._num_edges, self._fp_xor, self._fp_add)
 
     @property
     def num_nodes(self) -> int:
@@ -117,8 +325,8 @@ class Graph:
 
     @property
     def num_edges(self) -> int:
-        """Number of undirected edges."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        """Number of undirected edges (O(1); maintained incrementally)."""
+        return self._num_edges
 
     def __len__(self) -> int:
         return len(self._adj)
@@ -143,14 +351,22 @@ class Graph:
             seen.add(u)
 
     def neighbors(self, node: Node) -> FrozenSet[Node]:
-        """The neighbor set of ``node``.
+        """The neighbor set of ``node`` (memoized frozenset).
+
+        The frozenset is cached per node and invalidated only when one of
+        the node's incident edges changes, so BFS inner loops stop paying
+        an O(deg) allocation per visit.
 
         Raises
         ------
         KeyError
             If ``node`` is not in the graph.
         """
-        return frozenset(self._adj[node])
+        cached = self._nbr_cache.get(node)
+        if cached is None:
+            cached = frozenset(self._adj[node])
+            self._nbr_cache[node] = cached
+        return cached
 
     def degree(self, node: Node) -> int:
         """The degree of ``node``."""
@@ -177,18 +393,29 @@ class Graph:
         same graph.
         """
         keep = {node for node in nodes if node in self._adj}
-        sub = Graph(nodes=keep)
+        edge_list: List[Edge] = []
+        seen: Set[Node] = set()
         for u in keep:
             for v in self._adj[u]:
-                if v in keep:
-                    sub._adj[u].add(v)
-                    sub._adj[v].add(u)
-        return sub
+                if v in keep and v not in seen:
+                    edge_list.append((u, v))
+            seen.add(u)
+        return Graph(nodes=keep, edges=edge_list)
 
     def copy(self) -> "Graph":
-        """A deep copy (adjacency sets are duplicated)."""
+        """A deep copy (adjacency sets are duplicated).
+
+        The copy carries the source's generation and fingerprint — caches
+        keyed on either keep working — but starts a fresh change log, so
+        ``changes_since`` on the copy only answers for post-copy history.
+        """
         clone = Graph()
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        clone._generation = self._generation
+        clone._num_edges = self._num_edges
+        clone._fp_xor = self._fp_xor
+        clone._fp_add = self._fp_add
+        clone._log_floor = self._generation
         return clone
 
     def relabel(self, mapping: Dict[Node, Node]) -> "Graph":
@@ -205,10 +432,12 @@ class Graph:
         new_labels = {node: mapping.get(node, node) for node in self._adj}
         if len(set(new_labels.values())) != len(new_labels):
             raise ValueError("relabel mapping is not injective on the node set")
-        clone = Graph(nodes=new_labels.values())
-        for u, v in self.edges():
-            clone.add_edge(new_labels[u], new_labels[v])
-        return clone
+        return Graph(
+            nodes=new_labels.values(),
+            edges=(
+                (new_labels[u], new_labels[v]) for u, v in self.edges()
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Dunder conveniences

@@ -7,7 +7,7 @@ some node of ``U`` (Section 2).
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Union
 
 from repro.graphs.graph import Graph
@@ -17,6 +17,43 @@ Node = Hashable
 
 _BALL_HITS = BoundCounter("ball_cache_hits")
 _BALL_MISSES = BoundCounter("ball_cache_misses")
+_BALL_EVICTIONS = BoundCounter("ball_cache_evictions")
+_SCOPED_FLUSHES = BoundCounter("ball_cache_scoped_flushes")
+_FULL_FLUSHES = BoundCounter("ball_cache_full_flushes")
+
+#: Names of the registry counters the cache maintains, in reporting order.
+_CACHE_COUNTERS = (
+    "ball_cache_hits",
+    "ball_cache_misses",
+    "ball_cache_evictions",
+    "ball_cache_scoped_flushes",
+    "ball_cache_full_flushes",
+)
+
+_invalidation_policy = "scoped"
+
+
+def set_invalidation_policy(policy: str) -> str:
+    """Select how new :class:`BallCache` instances invalidate.
+
+    ``"scoped"`` (the default) drains the graph's structural change log,
+    evicts only balls a mutation touched, and pools balls across caches
+    whose graphs share a structural fingerprint.  ``"wholesale"`` is the
+    historical baseline: per-instance storage cleared on any generation
+    bump — kept so ``benchmarks/bench_ballcache.py`` can measure the
+    difference.  Returns the previous policy (for restore).
+    """
+    global _invalidation_policy
+    if policy not in ("scoped", "wholesale"):
+        raise ValueError(f"unknown invalidation policy {policy!r}")
+    previous = _invalidation_policy
+    _invalidation_policy = policy
+    return previous
+
+
+def get_invalidation_policy() -> str:
+    """The policy new :class:`BallCache` instances are built with."""
+    return _invalidation_policy
 
 
 def _as_sources(sources: Union[Node, Iterable[Node]], graph: Graph) -> List[Node]:
@@ -70,12 +107,15 @@ def bfs_distances(
         if source not in dist:
             dist[source] = 0
             frontier.append(source)
+    # Hot path: walk the raw adjacency map rather than the public
+    # neighbors() accessor — this loop dominates every simulator reveal.
+    adj = graph._adj
     while frontier:
         u = frontier.popleft()
         d = dist[u]
         if max_dist is not None and d >= max_dist:
             continue
-        for v in graph.neighbors(u):
+        for v in adj[u]:
             if v not in dist:
                 dist[v] = d + 1
                 frontier.append(v)
@@ -97,37 +137,121 @@ class BallCache:
 
     The simulators and adversaries recompute the same radius-T balls for
     every reveal and again during audits; on a fixed host that BFS work
-    is identical each time.  The cache stores each ball as a frozenset
-    keyed by ``(source, radius)`` and is invalidated wholesale when the
-    graph's :attr:`~repro.graphs.graph.Graph.generation` counter moves,
-    so mutation can never serve a stale ball.
+    is identical each time.  Each ball is stored as a frozenset keyed by
+    ``(source, radius)``.
+
+    Invalidation (under the default ``"scoped"`` policy) is *incremental*:
+    when :attr:`~repro.graphs.graph.Graph.generation` moves, the cache
+    drains the graph's structural change log and evicts a cached ball only
+    when a touched endpoint lies **inside** the cached frozenset.  This is
+    sound for node/edge additions: a new edge can only shorten a distance
+    into B(s, r) via a path whose first new-edge endpoint already lies
+    strictly inside the old ball, so a ball disjoint from the touched set
+    is unchanged.  Removals can shrink balls from anywhere, so any removal
+    (and a log overflow or oversized batch) triggers a full flush.
+
+    Storage is pooled process-wide by the graph's structural key
+    (``(n, m, fingerprint)``): independently built but identical hosts —
+    e.g. the same torus constructed by consecutive tournament games —
+    share one ball table, so the second game's reveals hit immediately.
+    The pool is LRU-bounded; :meth:`reset` clears it.
 
     Cached balls are **frozensets shared between callers** — treat them
     as immutable (every set-algebra reader in the codebase already does).
     Unhashable source specs (lists/sets of nodes) fall through to an
     uncached BFS.
 
-    Instances count ``hits``/``misses``; the process-wide aggregates
-    live in the active metrics registry (``ball_cache_hits`` /
-    ``ball_cache_misses`` counters), so benchmarks can report hit rates
-    without threading every simulator's cache out, and parallel sweeps
-    can ship worker counts back to the parent as registry snapshots.
+    Instances count ``hits``/``misses``/``evictions``/flushes; the
+    process-wide aggregates live in the active metrics registry
+    (``ball_cache_hits``, ``ball_cache_misses``, ``ball_cache_evictions``,
+    ``ball_cache_scoped_flushes``, ``ball_cache_full_flushes``), so
+    benchmarks can report hit rates without threading every simulator's
+    cache out, and parallel sweeps ship worker counts back to the parent
+    as registry snapshots.
     """
+
+    #: Process-wide pool: structural key -> {(source, radius): frozenset}.
+    _shared_store: "OrderedDict[tuple, Dict[tuple, FrozenSet[Node]]]" = OrderedDict()
+    #: Distinct graph structures kept before LRU eviction.
+    SHARED_STORE_CAPACITY = 128
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         self._generation = graph.generation
-        self._balls: Dict[tuple, FrozenSet[Node]] = {}
+        self._policy = _invalidation_policy
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.scoped_flushes = 0
+        self.full_flushes = 0
+        if self._policy == "scoped":
+            self._key = graph.structural_key()
+            self._balls = self._bucket_for(self._key)
+        else:
+            self._key = None
+            self._balls: Dict[tuple, FrozenSet[Node]] = {}
+
+    @classmethod
+    def _bucket_for(cls, key: tuple) -> Dict[tuple, FrozenSet[Node]]:
+        """The shared ball table for one graph structure (LRU-tracked)."""
+        store = cls._shared_store
+        bucket = store.get(key)
+        if bucket is None:
+            bucket = {}
+            store[key] = bucket
+            if len(store) > cls.SHARED_STORE_CAPACITY:
+                store.popitem(last=False)
+        else:
+            store.move_to_end(key)
+        return bucket
+
+    def _sync(self) -> None:
+        """Catch up with the graph after a generation change."""
+        generation = self.graph.generation
+        if self._policy == "wholesale":
+            self._balls.clear()
+            self.full_flushes += 1
+            _FULL_FLUSHES.inc()
+            self._generation = generation
+            return
+        changes = self.graph.changes_since(self._generation)
+        new_key = self.graph.structural_key()
+        new_bucket = self._bucket_for(new_key)
+        if changes is None or any(kind != "add" for kind, _ in changes):
+            # Unknowable history, a removal, or an opaque bulk batch:
+            # nothing from the old table can be trusted.  (The old bucket
+            # stays in the pool under the old key — it is still valid for
+            # graphs *at* that structure.)
+            self.full_flushes += 1
+            _FULL_FLUSHES.inc()
+        else:
+            touched: Set[Node] = set()
+            for _, nodes in changes:
+                touched.update(nodes)
+            evicted = 0
+            for key, ballset in self._balls.items():
+                if key in new_bucket:
+                    continue
+                if ballset.isdisjoint(touched):
+                    # Additions only grow balls, and none touched this
+                    # one: it is byte-identical on the new structure.
+                    new_bucket[key] = ballset
+                else:
+                    evicted += 1
+            self.evictions += evicted
+            self.scoped_flushes += 1
+            _BALL_EVICTIONS.inc(evicted)
+            _SCOPED_FLUSHES.inc()
+        self._balls = new_bucket
+        self._key = new_key
+        self._generation = generation
 
     def ball(
         self, sources: Union[Node, Iterable[Node]], radius: int
     ) -> FrozenSet[Node]:
         """A (possibly cached) :func:`ball`; same semantics, frozen result."""
         if self.graph.generation != self._generation:
-            self._balls.clear()
-            self._generation = self.graph.generation
+            self._sync()
         try:
             key = (sources, radius)
             cached = self._balls.get(key)
@@ -144,12 +268,15 @@ class BallCache:
         return result
 
     def stats(self) -> Dict[str, float]:
-        """This cache's hit/miss counters and hit rate."""
+        """This cache's counters and hit rate."""
         total = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "evictions": self.evictions,
+            "scoped_flushes": self.scoped_flushes,
+            "full_flushes": self.full_flushes,
         }
 
     def __len__(self) -> int:
@@ -167,18 +294,28 @@ class BallCache:
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
+            "evictions": registry.counter("ball_cache_evictions").value,
+            "scoped_flushes": registry.counter("ball_cache_scoped_flushes").value,
+            "full_flushes": registry.counter("ball_cache_full_flushes").value,
         }
 
     @classmethod
+    def clear_shared_store(cls) -> None:
+        """Drop every pooled ball table (counters are left alone)."""
+        cls._shared_store.clear()
+
+    @classmethod
     def reset(cls) -> None:
-        """Zero the registry-held aggregate counters.
+        """Zero the registry-held aggregate counters and drop the shared
+        ball pool.
 
         Benchmarks call this between configurations so repeated runs in
-        one process never accumulate stale counts.
+        one process never accumulate stale counts or pre-warmed balls.
         """
         registry = get_registry()
-        registry.counter("ball_cache_hits").value = 0
-        registry.counter("ball_cache_misses").value = 0
+        for name in _CACHE_COUNTERS:
+            registry.counter(name).value = 0
+        cls.clear_shared_store()
 
     #: Backwards-compatible alias for the pre-registry name.
     reset_global_stats = reset

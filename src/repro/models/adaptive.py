@@ -35,6 +35,7 @@ never asserted.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.families.grids import SimpleGrid
@@ -54,14 +55,21 @@ class ConsistencyError(Exception):
     """Raised when an adversary move would falsify an earlier view."""
 
 
+@lru_cache(maxsize=None)
+def _diamond_offsets(radius: int) -> Tuple[Coord, ...]:
+    """All L1 offsets of norm ≤ ``radius`` (translation-invariant, so
+    memoized once per radius instead of rebuilt per reveal)."""
+    return tuple(
+        (dx, dy)
+        for dx in range(-radius, radius + 1)
+        for dy in range(-(radius - abs(dx)), radius - abs(dx) + 1)
+    )
+
+
 def _plane_ball(center: Coord, radius: int) -> Set[Coord]:
     """The L1 ball (diamond) around ``center`` in the infinite grid Z^2."""
     x0, y0 = center
-    return {
-        (x0 + dx, y0 + dy)
-        for dx in range(-radius, radius + 1)
-        for dy in range(-(radius - abs(dx)), radius - abs(dx) + 1)
-    }
+    return {(x0 + dx, y0 + dy) for dx, dy in _diamond_offsets(radius)}
 
 
 def _l1(a: Coord, b: Coord) -> int:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Set
 
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import ball
+from repro.graphs.traversal import BallCache, ball
 
 Node = Hashable
 Color = int
@@ -81,6 +81,10 @@ class DynamicLocalSimulator:
         self.locality = locality
         self.num_colors = num_colors
         self.graph = Graph()
+        # The graph mutates on every insert, which is exactly the workload
+        # scoped invalidation exists for: each insert evicts only balls
+        # the new node landed in, instead of flushing the whole cache.
+        self._balls = BallCache(self.graph)
         self.colors: Dict[Node, Color] = {}
         self.recolor_counts: Dict[Node, int] = {}
         algorithm.reset(locality=locality, num_colors=num_colors)
@@ -94,11 +98,12 @@ class DynamicLocalSimulator:
         for nbr in neighbors:
             if nbr not in self.graph:
                 raise ValueError(f"neighbor {nbr!r} not in the graph yet")
-        self.graph.add_node(node)
-        for nbr in neighbors:
-            self.graph.add_edge(node, nbr)
+        with self.graph.batch():  # one generation bump per insertion
+            self.graph.add_node(node)
+            for nbr in neighbors:
+                self.graph.add_edge(node, nbr)
 
-        allowed = ball(self.graph, node, self.locality)
+        allowed = self._balls.ball(node, self.locality)
         view = DynamicView(
             graph=self.graph.induced_subgraph(allowed),
             new_node=node,

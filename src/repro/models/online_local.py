@@ -114,18 +114,22 @@ class OnlineLocalSimulator:
         self._seen |= new_ball
         fresh_ids = [self._intern(u) for u in fresh]
         # Fresh-fresh edges are discovered from both endpoints; dedupe so
-        # the tracker receives each new edge exactly once.
+        # the tracker receives each new edge exactly once.  Edges into the
+        # previously seen region are discovered from the fresh side only,
+        # so they skip the dedup set.
         new_edges: List[Tuple[NodeId, NodeId]] = []
         emitted: set = set()
+        id_of = self._id_of
         for u in fresh:
-            u_id = self._id_of[u]
+            u_id = id_of[u]
             for v in self.host.neighbors(u):
-                if v in self._seen:
-                    v_id = self._id_of[v]
-                    edge = frozenset((u_id, v_id))
+                if v in fresh:
+                    edge = frozenset((u_id, id_of[v]))
                     if edge not in emitted:
                         emitted.add(edge)
-                        new_edges.append((u_id, v_id))
+                        new_edges.append((u_id, id_of[v]))
+                elif v in self._seen:
+                    new_edges.append((u_id, id_of[v]))
         self.tracker.extend(fresh_ids, new_edges)
         target = self._id_of[node]
         self._revealed.add(target)

@@ -85,7 +85,15 @@ def test_parallel_rows_identical_to_serial():
 
 def test_parallel_metrics_match_serial():
     """Worker registry snapshots folded into the parent must reproduce
-    the serial sweep's counter totals exactly."""
+    the serial sweep's counter totals exactly.
+
+    Ball-cache hit/miss *splits* are the one exception: the shared ball
+    pool is per-process, so how queries divide into hits vs misses
+    depends on which worker played which games (and forked workers
+    inherit whatever the parent had already warmed).  The query total
+    and every simulation counter are partition-independent and must
+    match exactly.
+    """
     from repro.observability.metrics import scoped_registry
 
     with scoped_registry() as serial_registry:
@@ -94,8 +102,20 @@ def test_parallel_metrics_match_serial():
     with scoped_registry() as parallel_registry:
         run_tournament(locality=1, workers=2)
         parallel = parallel_registry.snapshot()
-    assert serial["counters"] == parallel["counters"]
-    assert serial["counters"]["reveals_total"] > 0
+
+    def split(counters):
+        cache = {k: v for k, v in counters.items()
+                 if k.startswith("ball_cache_")}
+        rest = {k: v for k, v in counters.items()
+                if not k.startswith("ball_cache_")}
+        return cache, rest
+
+    serial_cache, serial_rest = split(serial["counters"])
+    parallel_cache, parallel_rest = split(parallel["counters"])
+    assert serial_rest == parallel_rest
+    queries = lambda c: c.get("ball_cache_hits", 0) + c.get("ball_cache_misses", 0)  # noqa: E731
+    assert queries(serial_cache) == queries(parallel_cache) > 0
+    assert serial_rest["reveals_total"] > 0
     serial_wall = serial["histograms"]["game_wall_seconds"]
     parallel_wall = parallel["histograms"]["game_wall_seconds"]
     assert serial_wall["count"] == parallel_wall["count"] == 16

@@ -5,6 +5,20 @@ import pytest
 from repro.families.grids import CylindricalGrid, SimpleGrid, ToroidalGrid
 from repro.families.triangular import TriangularGrid
 from repro.graphs.graph import Graph
+from repro.graphs.traversal import BallCache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ball_cache_pool():
+    """Isolate tests from the process-wide shared ball pool.
+
+    The pool is keyed by structural fingerprint, so two tests building
+    the same small fixture graph would otherwise warm each other's
+    caches and perturb hit/miss expectations.
+    """
+    BallCache.clear_shared_store()
+    yield
+    BallCache.clear_shared_store()
 
 
 @pytest.fixture

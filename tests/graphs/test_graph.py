@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import BATCH_TOUCH_LIMIT, LOG_CAPACITY, Graph
 
 
 class TestConstruction:
@@ -176,3 +176,196 @@ class TestDerived:
 
     def test_repr(self):
         assert repr(Graph(edges=[(1, 2)])) == "Graph(n=2, m=1)"
+
+
+class TestGeneration:
+    def test_bulk_construction_is_one_generation(self):
+        g = Graph(nodes=[1, 2], edges=[(2, 3), (3, 4)])
+        assert g.generation == 1
+        assert Graph().generation == 0
+
+    def test_add_edges_is_one_generation(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_edges([(2, 3), (3, 4), (4, 5)])
+        assert g.generation == 2
+
+    def test_single_mutations_bump_once_each(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        g.remove_node(2)
+        assert g.generation == 4
+
+    def test_idempotent_mutations_do_not_bump(self):
+        g = Graph(edges=[(1, 2)])
+        before = g.generation
+        g.add_node(1)
+        g.add_edge(2, 1)
+        assert g.generation == before
+
+    def test_empty_batch_commits_nothing(self):
+        g = Graph(edges=[(1, 2)])
+        before = g.generation
+        with g.batch():
+            pass
+        with g.batch():
+            g.add_node(1)  # idempotent: no structural change
+        assert g.generation == before
+
+    def test_nested_batches_commit_once(self):
+        g = Graph()
+        with g.batch():
+            g.add_edge(1, 2)
+            with g.batch():
+                g.add_edge(2, 3)
+        assert g.generation == 1
+
+    def test_copy_carries_generation(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_edge(2, 3)
+        clone = g.copy()
+        assert clone.generation == g.generation
+        assert clone.num_edges == g.num_edges
+        assert clone.fingerprint == g.fingerprint
+
+    def test_derived_graphs_have_consistent_counters(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sub.generation == 1
+        assert sub.num_edges == 2
+        relabeled = g.relabel({1: "a"})
+        assert relabeled.generation == 1
+        assert relabeled.num_edges == 4
+
+
+class TestChangeLog:
+    def test_no_change_is_empty(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.changes_since(g.generation) == []
+
+    def test_records_additions_with_touched_nodes(self):
+        g = Graph(edges=[(1, 2)])
+        base = g.generation
+        g.add_edge(2, 3)
+        g.add_node(9)
+        changes = g.changes_since(base)
+        assert changes == [("add", (2, 3)), ("add", (9,))]
+
+    def test_records_removals(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        base = g.generation
+        g.remove_edge(1, 2)
+        g.remove_node(3)
+        kinds = [kind for kind, _ in g.changes_since(base)]
+        assert kinds == ["remove", "remove"]
+
+    def test_batch_coalesces_to_one_record(self):
+        g = Graph(edges=[(1, 2)])
+        base = g.generation
+        with g.batch():
+            g.add_edge(2, 3)
+            g.add_edge(3, 4)
+        changes = g.changes_since(base)
+        assert len(changes) == 1
+        kind, nodes = changes[0]
+        assert kind == "add"
+        assert set(nodes) == {2, 3, 4}
+
+    def test_batch_with_removal_is_a_remove_record(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        base = g.generation
+        with g.batch():
+            g.add_edge(3, 4)
+            g.remove_edge(1, 2)
+        assert g.changes_since(base) == [("remove", ())]
+
+    def test_oversized_batch_degrades_to_bulk(self):
+        g = Graph()
+        base = g.generation
+        with g.batch():
+            for i in range(BATCH_TOUCH_LIMIT + 2):
+                g.add_node(i)
+        assert g.changes_since(base) == [("bulk", ())]
+
+    def test_unknown_generation_is_none(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.changes_since(g.generation + 5) is None
+
+    def test_overflow_makes_history_unknowable(self):
+        g = Graph()
+        base = g.generation
+        for i in range(LOG_CAPACITY + 10):
+            g.add_node(i)
+        assert g.changes_since(base) is None
+        # Post-overflow history is tracked again.
+        recent = g.generation
+        g.add_node("fresh")
+        assert g.changes_since(recent) == [("add", ("fresh",))]
+
+    def test_copy_starts_a_fresh_log(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        assert clone.changes_since(clone.generation) == []
+        assert clone.changes_since(0) is None  # pre-copy history unknowable
+        clone.add_edge(2, 3)
+        assert clone.changes_since(clone.generation - 1) == [("add", (2, 3))]
+
+
+class TestFingerprint:
+    def test_order_independent(self):
+        a = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        b = Graph(edges=[(3, 4), (1, 2), (2, 3)])
+        assert a.fingerprint == b.fingerprint
+        assert a.structural_key() == b.structural_key()
+
+    def test_mutation_changes_and_reverting_restores(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        original = g.structural_key()
+        g.add_edge(1, 3)
+        assert g.structural_key() != original
+        g.remove_edge(1, 3)
+        assert g.structural_key() == original
+
+    def test_different_graphs_differ(self):
+        a = Graph(edges=[(1, 2), (3, 4)])
+        b = Graph(edges=[(1, 2), (3, 5)])
+        assert a.structural_key() != b.structural_key()
+
+    def test_isolated_node_counts(self):
+        a = Graph(edges=[(1, 2)])
+        b = Graph(nodes=[7], edges=[(1, 2)])
+        assert a.structural_key() != b.structural_key()
+
+
+class TestNeighborMemoization:
+    def test_same_object_until_mutation(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        first = g.neighbors(1)
+        assert g.neighbors(1) is first
+        g.add_edge(1, 4)
+        assert g.neighbors(1) == frozenset({2, 3, 4})
+
+    def test_remove_node_invalidates_neighbors(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.neighbors(1)
+        g.neighbors(3)
+        g.remove_node(2)
+        assert g.neighbors(1) == frozenset()
+        assert g.neighbors(3) == frozenset()
+
+    def test_remove_edge_invalidates_both_endpoints(self):
+        g = Graph(edges=[(1, 2)])
+        g.neighbors(1)
+        g.neighbors(2)
+        g.remove_edge(1, 2)
+        assert g.neighbors(1) == frozenset()
+        assert g.neighbors(2) == frozenset()
+
+    def test_num_edges_tracks_all_mutations(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        assert g.num_edges == 3
+        g.remove_node(2)  # drops two incident edges
+        assert g.num_edges == 1
+        g.add_edge(1, 4)
+        assert g.num_edges == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import LOG_CAPACITY, Graph
 from repro.graphs.traversal import (
     BallCache,
     ball,
@@ -10,9 +10,18 @@ from repro.graphs.traversal import (
     connected_components,
     diameter,
     eccentricity,
+    get_invalidation_policy,
     is_connected,
+    set_invalidation_policy,
     shortest_path,
 )
+
+
+@pytest.fixture
+def wholesale_policy():
+    previous = set_invalidation_policy("wholesale")
+    yield
+    set_invalidation_policy(previous)
 
 
 class TestBfsDistances:
@@ -203,3 +212,131 @@ class TestBallCache:
         assert cache.ball((0, 0), 1) == {(0, 0), (0, 1)}
         cache.ball((0, 0), 1)
         assert cache.hits == 1
+
+
+class TestScopedInvalidation:
+    def test_far_away_addition_keeps_balls(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        graph.add_edge(7, 9)  # nowhere near B(0, 1) = {0, 1}
+        assert cache.ball(0, 1) == {0, 1}
+        assert cache.hits == 1  # survived the mutation
+        assert cache.evictions == 0
+        assert cache.scoped_flushes == 1
+        assert cache.full_flushes == 0
+
+    def test_addition_inside_ball_evicts_only_that_ball(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)   # {0, 1}
+        cache.ball(6, 1)   # {5, 6, 7}
+        graph.add_edge(1, 9)  # touches B(0,1), far from B(6,1)
+        assert cache.ball(6, 1) == {5, 6, 7}
+        assert cache.ball(0, 1) == {0, 1}  # recomputed, still correct
+        assert cache.evictions == 1
+        assert cache.hits == 1
+        assert cache.misses == 3
+
+    def test_removal_full_flushes(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        cache.ball(6, 1)
+        graph.remove_edge(6, 7)
+        cache.ball(0, 1)
+        assert cache.full_flushes == 1
+        assert cache.evictions == 0
+
+    def test_log_overflow_full_flushes(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        for i in range(LOG_CAPACITY + 10):
+            graph.add_node(("pad", i))
+        cache.ball(0, 1)
+        assert cache.full_flushes == 1
+
+    def test_oversized_batch_full_flushes(self):
+        from repro.graphs.graph import BATCH_TOUCH_LIMIT
+
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        with graph.batch():
+            for i in range(BATCH_TOUCH_LIMIT + 2):
+                graph.add_node(("pad", i))
+        cache.ball(0, 1)
+        assert cache.full_flushes == 1
+
+    def test_scoped_matches_uncached_through_mutations(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(10)])
+        cache = BallCache(graph)
+        for step in range(5):
+            graph.add_edge(step, step + 11 + step)
+            for node in (0, 4, 9):
+                assert cache.ball(node, 2) == ball(graph, node, 2)
+
+
+class TestSharedStore:
+    def test_identical_graphs_share_balls(self):
+        a = Graph(edges=[(i, i + 1) for i in range(6)])
+        b = Graph(edges=[(i, i + 1) for i in range(6)])
+        cache_a = BallCache(a)
+        cache_b = BallCache(b)
+        cache_a.ball(0, 2)
+        assert cache_b.ball(0, 2) == {0, 1, 2}
+        assert cache_b.hits == 1
+        assert cache_b.misses == 0
+
+    def test_different_structures_do_not_share(self):
+        a = Graph(edges=[(i, i + 1) for i in range(6)])
+        b = Graph(edges=[(i, i + 1) for i in range(7)])
+        cache_a = BallCache(a)
+        cache_b = BallCache(b)
+        cache_a.ball(0, 2)
+        cache_b.ball(0, 2)
+        assert cache_b.misses == 1
+
+    def test_clear_shared_store_drops_pooled_balls(self):
+        graph = Graph(edges=[(0, 1)])
+        BallCache(graph).ball(0, 1)
+        BallCache.clear_shared_store()
+        fresh = BallCache(graph)
+        fresh.ball(0, 1)
+        assert fresh.misses == 1
+
+    def test_lru_bounds_the_pool(self):
+        for i in range(BallCache.SHARED_STORE_CAPACITY + 5):
+            BallCache(Graph(edges=[(i, i + 1)])).ball(i, 1)
+        assert len(BallCache._shared_store) == BallCache.SHARED_STORE_CAPACITY
+
+
+class TestWholesalePolicy:
+    def test_policy_switch_round_trips(self):
+        assert get_invalidation_policy() == "scoped"
+        previous = set_invalidation_policy("wholesale")
+        assert previous == "scoped"
+        assert get_invalidation_policy() == "wholesale"
+        set_invalidation_policy(previous)
+        with pytest.raises(ValueError):
+            set_invalidation_policy("nonsense")
+
+    def test_wholesale_does_not_share(self, wholesale_policy):
+        a = Graph(edges=[(i, i + 1) for i in range(6)])
+        b = Graph(edges=[(i, i + 1) for i in range(6)])
+        BallCache(a).ball(0, 2)
+        cache_b = BallCache(b)
+        cache_b.ball(0, 2)
+        assert cache_b.misses == 1
+        assert cache_b.hits == 0
+
+    def test_wholesale_flushes_on_any_mutation(self, wholesale_policy):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        graph.add_edge(7, 9)  # far away, but wholesale flushes anyway
+        cache.ball(0, 1)
+        assert cache.misses == 2
+        assert cache.full_flushes == 1
+        assert cache.ball(0, 1) == {0, 1}
