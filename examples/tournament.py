@@ -10,13 +10,8 @@ instead of dying on the first broken victim.
 """
 
 from repro.analysis.tables import render_table
-from repro.analysis.tournament import (
-    clean_sweep,
-    forfeit_rows,
-    honest_rows,
-    run_tournament,
-)
-from repro.robustness.supervisor import GamePolicy
+from repro.analysis.tournament import forfeit_rows
+from repro.api import GamePolicy, clean_sweep, honest_rows, run_tournament
 
 
 def main() -> None:

@@ -88,6 +88,7 @@ class GadgetAdversary:
             "locality": self.locality,
             "length": self.length,
             "colors": self.colors,
+            "declared_n": self.length * self.k * self.k,
         }
         try:
             return self._play(algorithm, stats)

@@ -70,7 +70,11 @@ class GridAdversary:
             declared_n=self.declared_n(),
         )
         builder = PathBuilder(instance)
-        stats = {"locality": self.locality, "level": self.level}
+        stats = {
+            "locality": self.locality,
+            "level": self.level,
+            "declared_n": self.declared_n(),
+        }
         try:
             return self._play(instance, builder, stats)
         except AlgorithmError as error:

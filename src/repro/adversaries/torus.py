@@ -89,6 +89,7 @@ class TorusAdversary:
             "locality": self.locality,
             "side": self.side,
             "topology": self.topology,
+            "declared_n": self.side * self.side,
         }
         try:
             return self._play(algorithm, stats)

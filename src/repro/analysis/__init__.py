@@ -1,9 +1,17 @@
-"""Experiment analysis: growth-curve fitting and result tables.
+"""Experiment analysis: sweeps, campaigns, fitting, and result tables.
 
 The theorems claim asymptotic *shapes* (Θ(log n), Θ(√n), Θ(n)); the
 benchmarks measure thresholds across a sweep of n and this package
 decides which shape fits best and renders the paper-vs-measured tables
 recorded in EXPERIMENTS.md.
+
+Campaigns (:mod:`repro.analysis.campaign`) scale that up: a declarative
+spec expands into a work queue of games drained by a work-stealing
+scheduler into a content-addressed result store
+(:mod:`repro.analysis.store`), so killed runs resume with zero replayed
+games.  The heavyweight campaign symbols are imported lazily — pulling
+in :mod:`repro.analysis` for a table helper must not drag in the full
+adversary/registry stack.
 """
 
 from repro.analysis.fitting import FitResult, best_growth_model, fit_growth
@@ -17,4 +25,34 @@ __all__ = [
     "ExperimentRecord",
     "threshold_locality",
     "render_table",
+    # lazy (see __getattr__)
+    "CampaignSpec",
+    "ThresholdSearchSpec",
+    "run_campaign",
+    "run_threshold_search",
+    "campaign_status",
+    "load_campaign",
+    "threshold_table",
+    "ResultStore",
+    "spec_hash",
 ]
+
+_LAZY = {
+    "CampaignSpec": "repro.analysis.campaign",
+    "ThresholdSearchSpec": "repro.analysis.campaign",
+    "run_campaign": "repro.analysis.campaign",
+    "run_threshold_search": "repro.analysis.campaign",
+    "campaign_status": "repro.analysis.campaign",
+    "load_campaign": "repro.analysis.campaign",
+    "threshold_table": "repro.analysis.campaign",
+    "ResultStore": "repro.analysis.store",
+    "spec_hash": "repro.analysis.store",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

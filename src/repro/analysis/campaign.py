@@ -1,0 +1,1102 @@
+"""Campaign engine: declarative experiment campaigns over a sharded
+work-queue scheduler with content-addressed, resumable progress.
+
+``run_tournament()`` plays one hardcoded cartesian product.  A
+*campaign* is the open-ended generalization the ROADMAP's scale goal
+needs: a declarative spec — adversaries (with instance-size parameters),
+victims, locality ranges, step policies — loadable from JSON/TOML or
+built in code, expanded deterministically into
+:class:`~repro.analysis.executor.GameSpec` work items and drained by a
+pool of worker processes pulling from a shared queue (work-stealing: a
+worker takes the next pending game the moment it finishes its last one,
+so stragglers never idle the rest of the pool, unlike a static
+pre-partition).
+
+Progress is kill-safe and machine-shardable because every finished game
+lands in a :class:`~repro.analysis.store.ResultStore` keyed by the
+game's content hash (:func:`~repro.analysis.store.spec_hash`):
+
+* kill the run anywhere and re-run it — only the missing games play;
+* run overlapping campaigns into one store — shared games play once;
+* point two machines at two stores and merge by copying row shards.
+
+Two campaign kinds ship:
+
+* :class:`CampaignSpec` — a grid sweep (the tournament is the pre-baked
+  special case, see :meth:`CampaignSpec.tournament`), and
+* :class:`ThresholdSearchSpec` — an *adaptive* workload that
+  binary-searches, per (adversary, victim), the smallest locality at
+  which the victim survives (None if the adversary wins through the top
+  of the range — the paper's prediction), issuing probes in waves
+  through the same scheduler/store so a killed search resumes without
+  replaying a single probe.
+
+Failure handling: games run inside the existing
+:class:`~repro.robustness.supervisor.SupervisedGame` boundary, so victim
+crashes/timeouts surface as forfeit *rows*, not errors.  Exceptions that
+escape the boundary (harness/adversary bugs, transient OS failures) are
+retried with exponential backoff (``retries``); a game that still fails
+is reported in :attr:`CampaignOutcome.errors` and — deliberately — *not*
+stored, so the next run retries it.
+
+Observability: the run is wrapped in a ``campaign`` trace span and
+counts ``campaign_games_played`` / ``campaign_games_deduped`` /
+``campaign_game_retries`` / ``campaign_game_errors`` in the metrics
+registry; worker metric snapshots fold into the parent exactly as in
+:class:`~repro.analysis.executor.ParallelSweep`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing.queues
+import os
+import queue as _queue
+import time
+import traceback
+from dataclasses import asdict, dataclass, field, replace
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.executor import (
+    GameSpec,
+    WorkerResult,
+    _pool_context,
+    play_spec,
+    resolve_workers,
+)
+from repro.analysis.store import HASH_FIELD, ResultStore, spec_hash
+from repro.analysis.tables import render_table
+from repro.observability.metrics import get_registry
+from repro.observability.trace import (
+    TRACER,
+    JsonlTraceRecorder,
+    merge_trace_shards,
+)
+from repro.registry import (
+    DEFAULT_ADVERSARIES,
+    DEFAULT_VICTIMS,
+    FAULTY_VICTIM_NAMES,
+    FIXED_VICTIM,
+    adversary_is_fixed,
+    get_adversary,
+    get_victim,
+)
+from repro.robustness.errors import ReproError
+from repro.robustness.supervisor import GamePolicy
+
+
+class CampaignError(ReproError):
+    """A campaign-level failure (bad spec file, dead worker pool)."""
+
+
+# ----------------------------------------------------------------------
+# Spec payloads and hashing
+# ----------------------------------------------------------------------
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def freeze_params(params: Optional[Mapping[str, Any]]) -> Params:
+    """A mapping as the sorted, hashable tuple form ``GameSpec.params``
+    carries across process boundaries."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class AdversaryRef:
+    """One adversary dimension entry: a registry name plus factory
+    parameters (instance-size knobs like ``k``/``side``/``length``).
+
+    Spec files write either a bare string (``"theorem1-grid"``) or an
+    object (``{"name": "theorem3-gadget(2k-2)", "params": {"k": 4}}``).
+    """
+
+    name: str
+    params: Params = ()
+
+    @classmethod
+    def of(cls, config: Union[str, Mapping[str, Any], "AdversaryRef"]) -> "AdversaryRef":
+        if isinstance(config, AdversaryRef):
+            return config
+        if isinstance(config, str):
+            return cls(name=config)
+        if isinstance(config, Mapping):
+            extra = set(config) - {"name", "params"}
+            if "name" not in config or extra:
+                raise CampaignError(
+                    f"adversary entries take 'name' and optional 'params', "
+                    f"got {dict(config)!r}"
+                )
+            return cls(
+                name=config["name"],
+                params=freeze_params(config.get("params")),
+            )
+        raise CampaignError(f"bad adversary entry {config!r}")
+
+    def label(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}[{inner}]"
+
+    def to_config(self) -> Union[str, Dict[str, Any]]:
+        if not self.params:
+            return self.name
+        return {"name": self.name, "params": dict(self.params)}
+
+
+def payload_of(spec: GameSpec) -> Dict[str, Any]:
+    """The canonical content-hash payload of one game.
+
+    Includes everything that determines the game's outcome — adversary
+    name + params, victim, locality, step budget — and excludes run
+    plumbing (wall-clock timeout, worker count, journal/trace paths);
+    see :mod:`repro.analysis.store` for the rationale.
+    """
+    return {
+        "adversary": spec.adversary,
+        "params": dict(spec.params),
+        "victim": spec.victim,
+        "locality": spec.locality,
+        "step_budget": spec.policy.step_budget,
+    }
+
+
+def hash_of(spec: GameSpec) -> str:
+    """The content address of one game spec."""
+    return spec_hash(payload_of(spec))
+
+
+def _expand_localities(value: Any) -> Tuple[int, ...]:
+    """A locality dimension: a list of ints, or a range object
+    ``{"start": a, "stop": b[, "step": s]}`` (stop inclusive)."""
+    if isinstance(value, Mapping):
+        extra = set(value) - {"start", "stop", "step"}
+        if extra or "start" not in value or "stop" not in value:
+            raise CampaignError(
+                f"locality ranges take start/stop[/step], got {dict(value)!r}"
+            )
+        step = int(value.get("step", 1))
+        if step < 1:
+            raise CampaignError(f"locality range step must be >= 1, got {step}")
+        return tuple(range(int(value["start"]), int(value["stop"]) + 1, step))
+    if isinstance(value, int):
+        return (value,)
+    try:
+        return tuple(int(item) for item in value)
+    except (TypeError, ValueError):
+        raise CampaignError(f"bad locality dimension {value!r}") from None
+
+
+def _resolve_victims(
+    victims: Optional[Sequence[str]], include_faulty: bool
+) -> Tuple[str, ...]:
+    names = tuple(victims) if victims is not None else DEFAULT_VICTIMS
+    if include_faulty:
+        names = names + tuple(
+            name for name in FAULTY_VICTIM_NAMES if name not in names
+        )
+    return names
+
+
+def _resolve_adversaries(
+    adversaries: Optional[Sequence[Any]],
+) -> Tuple[AdversaryRef, ...]:
+    entries = (
+        adversaries if adversaries is not None else DEFAULT_ADVERSARIES
+    )
+    return tuple(AdversaryRef.of(entry) for entry in entries)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative grid-sweep campaign.
+
+    Dimensions expand in deterministic order — locality-major, then
+    adversary (registration order of the default lineup), then victim —
+    so the same spec always yields the same game list and the same
+    content hashes.
+    """
+
+    name: str = "campaign"
+    adversaries: Tuple[AdversaryRef, ...] = ()
+    victims: Tuple[str, ...] = ()
+    localities: Tuple[int, ...] = (1,)
+    step_budget: Optional[int] = None
+    timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "adversaries", _resolve_adversaries(self.adversaries or None)
+        )
+        object.__setattr__(
+            self, "victims", tuple(self.victims) or DEFAULT_VICTIMS
+        )
+        object.__setattr__(
+            self, "localities", _expand_localities(self.localities)
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        known = {
+            "kind", "name", "adversaries", "victims", "localities",
+            "include_faulty", "step_budget", "timeout",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise CampaignError(
+                f"unknown campaign spec fields {sorted(extra)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(
+            name=str(payload.get("name", "campaign")),
+            adversaries=_resolve_adversaries(payload.get("adversaries")),
+            victims=_resolve_victims(
+                payload.get("victims"), bool(payload.get("include_faulty"))
+            ),
+            localities=_expand_localities(payload.get("localities", [1])),
+            step_budget=payload.get("step_budget"),
+            timeout=payload.get("timeout", 30.0),
+        )
+
+    @classmethod
+    def tournament(
+        cls, locality: int = 1, include_faulty: bool = False
+    ) -> "CampaignSpec":
+        """The pre-baked campaign ``run_tournament()`` is a thin wrapper
+        over: the default portfolios at one locality."""
+        return cls(
+            name=f"tournament(T={locality})",
+            adversaries=_resolve_adversaries(None),
+            victims=_resolve_victims(None, include_faulty),
+            localities=(locality,),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The manifest payload (JSON-able, canonical)."""
+        return {
+            "kind": "sweep",
+            "name": self.name,
+            "adversaries": [ref.to_config() for ref in self.adversaries],
+            "victims": list(self.victims),
+            "localities": list(self.localities),
+            "step_budget": self.step_budget,
+            "timeout": self.timeout,
+        }
+
+    def policy(self) -> GamePolicy:
+        return GamePolicy(step_budget=self.step_budget, timeout=self.timeout)
+
+    # -- expansion ------------------------------------------------------
+    def expand(
+        self,
+        journal_path: Optional[str] = None,
+        trace_path: Optional[str] = None,
+    ) -> List[GameSpec]:
+        """The campaign's full work list, in deterministic order."""
+        policy = self.policy()
+        specs: List[GameSpec] = []
+        for locality in self.localities:
+            for ref in self.adversaries:
+                if adversary_is_fixed(ref.name):
+                    victims: Tuple[str, ...] = (FIXED_VICTIM,)
+                else:
+                    victims = self.victims
+                for victim in victims:
+                    specs.append(
+                        GameSpec(
+                            adversary=ref.name,
+                            victim=victim,
+                            locality=locality,
+                            policy=policy,
+                            journal_path=journal_path,
+                            trace_path=trace_path,
+                            params=ref.params,
+                        )
+                    )
+        return specs
+
+    def validate(self) -> None:
+        """Resolve every name now, so bad specs fail before any game."""
+        for ref in self.adversaries:
+            get_adversary(ref.name)
+        for victim in self.victims:
+            get_victim(victim)
+
+
+@dataclass(frozen=True)
+class ThresholdSearchSpec:
+    """An adaptive campaign: per (adversary, victim), binary-search the
+    smallest locality in ``[low, high]`` at which the victim survives.
+
+    ``None`` thresholds mean the adversary won at every probed locality
+    up to ``high`` — for the paper's adversaries that is the expected
+    outcome at any feasible range, and the table records how far the
+    lower bound was verified.
+    """
+
+    name: str = "threshold-search"
+    adversaries: Tuple[AdversaryRef, ...] = ()
+    victims: Tuple[str, ...] = ()
+    low: int = 0
+    high: int = 4
+    step_budget: Optional[int] = None
+    timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "adversaries", _resolve_adversaries(self.adversaries or None)
+        )
+        object.__setattr__(
+            self, "victims", tuple(self.victims) or DEFAULT_VICTIMS
+        )
+        if self.low < 0 or self.high < self.low:
+            raise CampaignError(
+                f"need 0 <= low <= high, got [{self.low}, {self.high}]"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ThresholdSearchSpec":
+        known = {
+            "kind", "name", "adversaries", "victims", "low", "high",
+            "include_faulty", "step_budget", "timeout",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise CampaignError(
+                f"unknown threshold spec fields {sorted(extra)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(
+            name=str(payload.get("name", "threshold-search")),
+            adversaries=_resolve_adversaries(payload.get("adversaries")),
+            victims=_resolve_victims(
+                payload.get("victims"), bool(payload.get("include_faulty"))
+            ),
+            low=int(payload.get("low", 0)),
+            high=int(payload.get("high", 4)),
+            step_budget=payload.get("step_budget"),
+            timeout=payload.get("timeout", 30.0),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": "threshold",
+            "name": self.name,
+            "adversaries": [ref.to_config() for ref in self.adversaries],
+            "victims": list(self.victims),
+            "low": self.low,
+            "high": self.high,
+            "step_budget": self.step_budget,
+            "timeout": self.timeout,
+        }
+
+    def policy(self) -> GamePolicy:
+        return GamePolicy(step_budget=self.step_budget, timeout=self.timeout)
+
+    def combos(self) -> List[Tuple[AdversaryRef, str]]:
+        """The (adversary, victim) pairs searched, in deterministic
+        order; fixed-victim adversaries contribute one pair."""
+        out: List[Tuple[AdversaryRef, str]] = []
+        for ref in self.adversaries:
+            if adversary_is_fixed(ref.name):
+                out.append((ref, FIXED_VICTIM))
+            else:
+                out.extend((ref, victim) for victim in self.victims)
+        return out
+
+    def game(self, ref: AdversaryRef, victim: str, locality: int) -> GameSpec:
+        return GameSpec(
+            adversary=ref.name,
+            victim=victim,
+            locality=locality,
+            policy=self.policy(),
+            params=ref.params,
+        )
+
+    def validate(self) -> None:
+        for ref in self.adversaries:
+            get_adversary(ref.name)
+        for victim in self.victims:
+            get_victim(victim)
+
+
+AnyCampaign = Union[CampaignSpec, ThresholdSearchSpec]
+
+
+def campaign_from_dict(payload: Mapping[str, Any]) -> AnyCampaign:
+    """Build a campaign from a spec payload; ``kind`` selects the class
+    (``"sweep"`` — the default — or ``"threshold"``)."""
+    kind = payload.get("kind", "sweep")
+    if kind == "sweep":
+        return CampaignSpec.from_dict(payload)
+    if kind == "threshold":
+        return ThresholdSearchSpec.from_dict(payload)
+    raise CampaignError(
+        f"unknown campaign kind {kind!r}; choose from ['sweep', 'threshold']"
+    )
+
+
+def load_campaign(path) -> AnyCampaign:
+    """Load a campaign spec from a ``.json`` or ``.toml`` file."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise CampaignError(f"no campaign spec at {path!r}")
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py<3.11 fallback
+            raise CampaignError(
+                "TOML campaign specs need Python 3.11+ (tomllib); "
+                "use JSON instead"
+            ) from None
+        with open(path, "rb") as handle:
+            payload = tomllib.load(handle)
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CampaignError(f"bad JSON in {path!r}: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise CampaignError(f"campaign spec {path!r} must be an object")
+    return campaign_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# The sharded work-queue scheduler
+# ----------------------------------------------------------------------
+
+
+def _play_with_retry(spec: GameSpec, retries: int, backoff: float) -> WorkerResult:
+    """``play_spec`` with exponential-backoff retries for exceptions that
+    escape the supervisor boundary (victim failures never do — they come
+    back as forfeit rows)."""
+    attempt = 0
+    while True:
+        try:
+            return play_spec(spec)
+        except Exception:
+            attempt += 1
+            if attempt > retries:
+                raise
+            get_registry().inc("campaign_game_retries")
+            time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _store_row(outcome: WorkerResult, digest: str) -> Dict[str, Any]:
+    row = asdict(outcome.row)
+    row[HASH_FIELD] = digest
+    return row
+
+
+def _campaign_worker(
+    task_queue: "multiprocessing.queues.Queue",
+    result_queue: "multiprocessing.queues.Queue",
+    store_root: str,
+    retries: int,
+    backoff: float,
+) -> None:
+    """Worker loop: steal (hash, spec) items until the ``None`` sentinel.
+
+    Each finished row is fsynced into this worker's store shard *before*
+    the result is reported, so a kill — of the worker or the parent —
+    never loses an acknowledged game.
+    """
+    store = ResultStore(store_root)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            result_queue.put(("exit", os.getpid(), None, None))
+            return
+        digest, spec = item
+        try:
+            outcome = _play_with_retry(spec, retries, backoff)
+        except Exception as exc:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            result_queue.put(("error", digest, detail, None))
+            continue
+        row = _store_row(outcome, digest)
+        store.add(row)
+        result_queue.put(("done", digest, row, outcome.metrics))
+
+
+class CampaignScheduler:
+    """Drain game specs through the store-deduped work queue.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ResultStore` consulted before dispatch (games whose
+        hash is present are *deduped* — served from disk, never
+        replayed) and written by the workers.
+    workers:
+        Worker process count; 1 plays inline with no pool, the identical
+        code path otherwise.
+    retries, backoff:
+        Per-game retry budget and base backoff (seconds) for exceptions
+        escaping the supervisor.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        retries: int = 1,
+        backoff: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+
+    def run(
+        self,
+        specs: Sequence[GameSpec],
+        max_games: Optional[int] = None,
+    ) -> Tuple[Dict[str, Dict[str, Any]], int, List[Dict[str, Any]]]:
+        """Play every spec not already stored; returns
+        ``(played_rows_by_hash, deduped_count, errors)``.
+
+        ``max_games`` caps the number of games *played* this call (not
+        the deduped ones) — budgeted incremental runs; the store picks
+        up where the budget stopped on the next call.
+        """
+        index = self.store.index()
+        registry = get_registry()
+        work: List[Tuple[str, GameSpec]] = []
+        seen: set = set()
+        deduped = 0
+        for spec in specs:
+            digest = hash_of(spec)
+            if digest in index:
+                deduped += 1
+                continue
+            if digest in seen:
+                continue
+            seen.add(digest)
+            work.append((digest, spec))
+        if max_games is not None:
+            work = work[:max_games]
+        registry.inc("campaign_games_deduped", deduped)
+        if not work:
+            return {}, deduped, []
+
+        if self.workers == 1:
+            rows, errors = self._run_serial(work)
+        else:
+            rows, errors = self._run_pool(work)
+        registry.inc("campaign_games_played", len(rows))
+        registry.inc("campaign_game_errors", len(errors))
+        return rows, deduped, errors
+
+    def _run_serial(
+        self, work: List[Tuple[str, GameSpec]]
+    ) -> Tuple[Dict[str, Dict[str, Any]], List[Dict[str, Any]]]:
+        rows: Dict[str, Dict[str, Any]] = {}
+        errors: List[Dict[str, Any]] = []
+        for digest, spec in work:
+            try:
+                outcome = _play_with_retry(spec, self.retries, self.backoff)
+            except Exception as exc:
+                errors.append(_error_entry(digest, spec, repr(exc)))
+                continue
+            row = _store_row(outcome, digest)
+            self.store.add(row)
+            rows[digest] = row
+        return rows, errors
+
+    def _run_pool(
+        self, work: List[Tuple[str, GameSpec]]
+    ) -> Tuple[Dict[str, Dict[str, Any]], List[Dict[str, Any]]]:
+        ctx = _pool_context()
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        pool_size = min(self.workers, len(work))
+        procs = [
+            ctx.Process(
+                target=_campaign_worker,
+                args=(
+                    task_queue,
+                    result_queue,
+                    self.store.root,
+                    self.retries,
+                    self.backoff,
+                ),
+                daemon=True,
+            )
+            for _ in range(pool_size)
+        ]
+        for proc in procs:
+            proc.start()
+        for item in work:
+            task_queue.put(item)
+        for _ in procs:
+            task_queue.put(None)
+
+        by_digest = dict(work)
+        rows: Dict[str, Dict[str, Any]] = {}
+        errors: List[Dict[str, Any]] = []
+        ambient = get_registry()
+        pending = len(work)
+        exited = 0
+        while pending > 0 or exited < len(procs):
+            try:
+                kind, digest, payload, metrics = result_queue.get(timeout=1.0)
+            except _queue.Empty:
+                if not any(proc.is_alive() for proc in procs):
+                    raise CampaignError(
+                        f"campaign worker pool died with {pending} games "
+                        f"unaccounted for; re-run to resume from the store"
+                    ) from None
+                continue
+            if kind == "exit":
+                exited += 1
+                continue
+            pending -= 1
+            if kind == "error":
+                errors.append(
+                    _error_entry(digest, by_digest[digest], payload)
+                )
+                continue
+            rows[digest] = payload
+            if metrics:
+                ambient.merge(metrics)
+        for proc in procs:
+            proc.join()
+        return rows, errors
+
+
+def _error_entry(digest: str, spec: GameSpec, detail: str) -> Dict[str, Any]:
+    return {
+        HASH_FIELD: digest,
+        "adversary": spec.adversary,
+        "victim": spec.victim,
+        "locality": spec.locality,
+        "error": detail,
+    }
+
+
+# ----------------------------------------------------------------------
+# Campaign drivers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignOutcome:
+    """What one campaign run did and found.
+
+    ``rows`` maps content hash → row for every game the campaign covers
+    that is now in the store (played this run *or* deduped from earlier
+    runs); ``played``/``deduped`` count this run's split, which is what
+    ``campaign status`` surfaces to demonstrate zero replay.
+    """
+
+    name: str
+    total: int
+    played: int
+    deduped: int
+    rows: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _finish_trace(trace_path) -> None:
+    if trace_path is None:
+        return
+    merge_trace_shards(trace_path)
+    recorder = JsonlTraceRecorder(trace_path)
+    recorder.write(
+        {"type": "metrics", "snapshot": get_registry().snapshot()}
+    )
+    recorder.close()
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store_dir,
+    *,
+    workers: Optional[int] = None,
+    max_games: Optional[int] = None,
+    retries: int = 1,
+    trace_path=None,
+) -> CampaignOutcome:
+    """Run (or resume — the same thing) a grid-sweep campaign.
+
+    Every expanded game already present in ``store_dir`` is deduped;
+    the rest are drained through the work-queue scheduler.  Returns the
+    outcome with every covered row that is now on disk.
+    """
+    campaign.validate()
+    store = ResultStore(store_dir)
+    store.record_manifest(campaign.to_payload())
+    specs = campaign.expand(trace_path=(
+        None if trace_path is None else os.fspath(trace_path)
+    ))
+    scheduler = CampaignScheduler(
+        store, workers=resolve_workers(workers), retries=retries
+    )
+    with TRACER.span("campaign", name=campaign.name, campaign_kind="sweep") as span:
+        played, deduped, errors = scheduler.run(specs, max_games=max_games)
+        span.note(
+            total=len(specs),
+            played=len(played),
+            deduped=deduped,
+            errors=len(errors),
+        )
+    _finish_trace(trace_path)
+    index = store.index()
+    rows = {}
+    for spec in specs:
+        digest = hash_of(spec)
+        if digest in index:
+            rows[digest] = index[digest]
+    outcome = CampaignOutcome(
+        name=campaign.name,
+        total=len(specs),
+        played=len(played),
+        deduped=deduped,
+        rows=rows,
+        errors=errors,
+    )
+    store.record_run(_run_summary(outcome, kind="sweep", max_games=max_games))
+    return outcome
+
+
+def _run_summary(
+    outcome: CampaignOutcome, kind: str, max_games: Optional[int]
+) -> Dict[str, Any]:
+    return {
+        "campaign": outcome.name,
+        "kind": kind,
+        "total": outcome.total,
+        "played": outcome.played,
+        "deduped": outcome.deduped,
+        "errors": len(outcome.errors),
+        "max_games": max_games,
+    }
+
+
+# ----------------------------------------------------------------------
+# Adaptive threshold search
+# ----------------------------------------------------------------------
+
+
+class _Bisection:
+    """Incremental form of
+    :func:`repro.analysis.experiments.threshold_locality`: the driver
+    asks for the next probe, feeds back whether the victim survived, and
+    the invariant (survive at T ⇒ survive at T' > T) pins the smallest
+    surviving locality in O(log(high-low)) probes."""
+
+    __slots__ = ("lo", "hi", "phase", "done", "threshold")
+
+    def __init__(self, low: int, high: int) -> None:
+        self.lo = low
+        self.hi = high
+        self.phase = "check-high"
+        self.done = False
+        self.threshold: Optional[int] = None
+
+    def next_probe(self) -> Optional[int]:
+        if self.done:
+            return None
+        if self.phase == "check-high":
+            return self.hi
+        return (self.lo + self.hi) // 2
+
+    def feed(self, locality: int, survives: bool) -> None:
+        if self.phase == "check-high":
+            if not survives:
+                self.done = True
+                self.threshold = None
+                return
+            self.phase = "bisect"
+            if self.lo >= self.hi:
+                self.done = True
+                self.threshold = self.lo
+            return
+        if survives:
+            self.hi = locality
+        else:
+            self.lo = locality + 1
+        if self.lo >= self.hi:
+            self.done = True
+            self.threshold = self.lo
+
+
+@dataclass
+class ThresholdResult:
+    """One combo's search outcome.
+
+    ``threshold`` is the smallest locality in ``[low, high]`` where the
+    victim survived, or None when the adversary won through ``high``
+    (recorded in the table as ``>high`` — the lower bound held over the
+    whole range).  ``n`` is the adversary's instance size at the
+    decisive probe, when the adversary reports one.
+    """
+
+    adversary: str
+    victim: str
+    low: int
+    high: int
+    threshold: Optional[int]
+    probes: int
+    converged: bool = True
+    n: Optional[int] = None
+
+
+def run_threshold_search(
+    spec: ThresholdSearchSpec,
+    store_dir,
+    *,
+    workers: Optional[int] = None,
+    max_games: Optional[int] = None,
+    retries: int = 1,
+    trace_path=None,
+) -> Tuple[List[ThresholdResult], CampaignOutcome]:
+    """Run (or resume) the adaptive threshold-search campaign.
+
+    Probes are issued in waves — one pending probe per unconverged
+    (adversary, victim) combo — through the same scheduler/store as grid
+    sweeps, so probes dedupe against any earlier run (including grid
+    sweeps that happened to cover the same games) and a killed search
+    resumes by replaying *zero* games: bisection is deterministic, so
+    the resumed run re-derives the same probe sequence and finds every
+    already-answered probe in the store.
+    """
+    spec.validate()
+    store = ResultStore(store_dir)
+    store.record_manifest(spec.to_payload())
+    scheduler = CampaignScheduler(
+        store, workers=resolve_workers(workers), retries=retries
+    )
+    trace_path = None if trace_path is None else os.fspath(trace_path)
+
+    combos = spec.combos()
+    states = {combo: _Bisection(spec.low, spec.high) for combo in combos}
+    probes = {combo: 0 for combo in combos}
+    played_total = 0
+    deduped_total = 0
+    errors: List[Dict[str, Any]] = []
+    budget = max_games
+    rows: Dict[str, Dict[str, Any]] = {}
+
+    with TRACER.span("campaign", name=spec.name, campaign_kind="threshold") as span:
+        while True:
+            wave: List[Tuple[Tuple[AdversaryRef, str], int, GameSpec]] = []
+            for combo, state in states.items():
+                if state.done:
+                    continue
+                locality = state.next_probe()
+                ref, victim = combo
+                game = replace(
+                    spec.game(ref, victim, locality), trace_path=trace_path
+                )
+                wave.append((combo, locality, game))
+            if not wave or budget == 0:
+                break
+            wave_specs = [game for _, _, game in wave]
+            played, deduped, wave_errors = scheduler.run(
+                wave_specs, max_games=budget
+            )
+            if budget is not None:
+                budget -= len(played)
+            played_total += len(played)
+            deduped_total += deduped
+            errors.extend(wave_errors)
+            index = store.index()
+            progressed = False
+            for combo, locality, game in wave:
+                digest = hash_of(game)
+                row = index.get(digest)
+                if row is None:
+                    continue  # budget-capped or errored; retry next run
+                rows[digest] = row
+                probes[combo] += 1
+                states[combo].feed(locality, survives=not row["won"])
+                progressed = True
+            if not progressed:
+                break  # every remaining probe failed or ran out of budget
+        span.note(
+            combos=len(combos),
+            played=played_total,
+            deduped=deduped_total,
+            errors=len(errors),
+        )
+    _finish_trace(trace_path)
+
+    results = [
+        ThresholdResult(
+            adversary=ref.label(),
+            victim=victim,
+            low=spec.low,
+            high=spec.high,
+            threshold=states[(ref, victim)].threshold,
+            probes=probes[(ref, victim)],
+            converged=states[(ref, victim)].done,
+            n=_combo_n(rows, ref, victim),
+        )
+        for ref, victim in combos
+    ]
+    outcome = CampaignOutcome(
+        name=spec.name,
+        total=sum(probes.values()),
+        played=played_total,
+        deduped=deduped_total,
+        rows=rows,
+        errors=errors,
+    )
+    store.record_run(
+        _run_summary(outcome, kind="threshold", max_games=max_games)
+    )
+    return results, outcome
+
+
+def _combo_n(
+    rows: Mapping[str, Mapping[str, Any]], ref: AdversaryRef, victim: str
+) -> Optional[int]:
+    """The largest instance size this combo's probes reported."""
+    sizes = [
+        row.get("n")
+        for row in rows.values()
+        if row.get("adversary") == ref.name and row.get("victim") == victim
+        and row.get("n") is not None
+    ]
+    return max(sizes) if sizes else None
+
+
+def threshold_table(results: Sequence[ThresholdResult]) -> str:
+    """The EXPERIMENTS.md-ready table of threshold-search outcomes."""
+    def cell(result: ThresholdResult) -> str:
+        if not result.converged:
+            return "?"
+        if result.threshold is None:
+            return f">{result.high}"
+        return str(result.threshold)
+
+    return render_table(
+        ["adversary", "victim", "n", "range", "threshold T", "probes"],
+        [
+            [
+                result.adversary,
+                result.victim,
+                result.n if result.n is not None else "-",
+                f"[{result.low}, {result.high}]",
+                cell(result),
+                result.probes,
+            ]
+            for result in results
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Status (read-only progress report)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignStatus:
+    """Read-only progress of one manifest against a store."""
+
+    name: str
+    kind: str
+    done: int
+    total: Optional[int]  # None for adaptive campaigns (open-ended)
+    detail: str = ""
+
+
+def campaign_status(store_dir) -> Tuple[List[CampaignStatus], List[Dict[str, Any]]]:
+    """Progress of every campaign recorded in a store, plus the run
+    ledger (whose played/deduped split is the zero-replay evidence)."""
+    store = ResultStore(store_dir)
+    index = store.index()
+    statuses: List[CampaignStatus] = []
+    for payload in store.manifests():
+        try:
+            campaign = campaign_from_dict(payload)
+        except (CampaignError, ReproError) as exc:
+            statuses.append(
+                CampaignStatus(
+                    name=str(payload.get("name", "?")),
+                    kind=str(payload.get("kind", "?")),
+                    done=0,
+                    total=None,
+                    detail=f"unreadable manifest: {exc}",
+                )
+            )
+            continue
+        if isinstance(campaign, CampaignSpec):
+            specs = campaign.expand()
+            done = sum(1 for spec in specs if hash_of(spec) in index)
+            statuses.append(
+                CampaignStatus(
+                    name=campaign.name,
+                    kind="sweep",
+                    done=done,
+                    total=len(specs),
+                )
+            )
+        else:
+            results, answered = _replay_threshold(campaign, index)
+            converged = sum(1 for result in results if result.converged)
+            statuses.append(
+                CampaignStatus(
+                    name=campaign.name,
+                    kind="threshold",
+                    done=answered,
+                    total=None,
+                    detail=(
+                        f"{converged}/{len(results)} combos converged"
+                    ),
+                )
+            )
+    return statuses, store.runs()
+
+
+def _replay_threshold(
+    spec: ThresholdSearchSpec, index: Mapping[str, Mapping[str, Any]]
+) -> Tuple[List[ThresholdResult], int]:
+    """Re-derive threshold-search progress from stored rows alone — the
+    deterministic bisection means the store *is* the search state."""
+    answered = 0
+    results: List[ThresholdResult] = []
+    for ref, victim in spec.combos():
+        state = _Bisection(spec.low, spec.high)
+        probes = 0
+        while not state.done:
+            locality = state.next_probe()
+            row = index.get(hash_of(spec.game(ref, victim, locality)))
+            if row is None:
+                break
+            probes += 1
+            answered += 1
+            state.feed(locality, survives=not row["won"])
+        results.append(
+            ThresholdResult(
+                adversary=ref.label(),
+                victim=victim,
+                low=spec.low,
+                high=spec.high,
+                threshold=state.threshold,
+                probes=probes,
+                converged=state.done,
+            )
+        )
+    return results, answered

@@ -5,10 +5,9 @@ this module fans the same games out over a ``multiprocessing`` worker
 pool.  The unit of distribution is a :class:`GameSpec` — a *picklable
 description* of one game (adversary name, victim name, locality,
 policy), never a live adversary or algorithm object.  Each worker
-rebuilds the standard portfolios from the names
-(:func:`~repro.analysis.tournament.default_adversaries` /
-:func:`~repro.analysis.tournament.default_victims` plus the
-fault-injection family), plays the game inside the usual
+resolves the names through the factory registries
+(:mod:`repro.registry` — builtins plus anything third-party code
+registered before the pool forked), plays the game inside the usual
 :class:`~repro.robustness.supervisor.SupervisedGame` boundary, and ships
 the finished :class:`~repro.analysis.tournament.TournamentRow` back.
 
@@ -78,11 +77,20 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 @dataclass(frozen=True)
 class GameSpec:
-    """A picklable description of one tournament game.
+    """A picklable description of one tournament/campaign game.
 
-    ``victim`` is :data:`~repro.analysis.tournament.FIXED_VICTIM` for
-    fixed-victim entries (the Theorem 5 reduction chain), whose victim is
-    built by the adversary itself.
+    ``adversary`` and ``victim`` are registry names
+    (:mod:`repro.registry`); ``victim`` is
+    :data:`~repro.registry.FIXED_VICTIM` for fixed-victim entries (the
+    Theorem 5 reduction chain), whose victim is built by the adversary
+    itself.  ``params`` carries extra adversary-factory keyword
+    arguments as a sorted, hashable ``((key, value), ...)`` tuple —
+    campaign specs use it to sweep instance-size knobs (``k``, ``side``,
+    ``length``) without registering a name per configuration.
+
+    ``include_faulty`` is kept for spec compatibility; victims resolve
+    through the registry (which always knows the fault-injection
+    family), so the flag no longer gates the lookup.
     """
 
     adversary: str
@@ -92,6 +100,7 @@ class GameSpec:
     include_faulty: bool = False
     journal_path: Optional[str] = None
     trace_path: Optional[str] = None
+    params: tuple = ()
 
 
 @dataclass
@@ -108,24 +117,25 @@ def play_spec(spec: GameSpec) -> WorkerResult:
     """Play one game described by ``spec``; returns a :class:`WorkerResult`.
 
     Runs inside a worker process (also callable inline, which is how the
-    serial path and the tests exercise it).  Rebuilds the standard
-    portfolios by name, so it only supports the default lineup — custom
-    callables cannot cross a process boundary and stay on the serial
-    path in ``run_tournament``.
+    serial path and the tests exercise it).  Adversary and victim are
+    resolved by name through :mod:`repro.registry`, so anything
+    registered — builtin or third-party — can cross the process
+    boundary; only raw callables (custom ``victims=``/``adversaries=``
+    dicts passed to ``run_tournament``) cannot, and stay on the serial
+    path there.
 
     The game plays under a fresh scoped metrics registry whose snapshot
     is returned with the row.  When ``spec.trace_path`` is set (and no
     tracer is already active in this process), trace records go to this
     process's shard file for the caller to merge.
     """
-    from repro.analysis.tournament import (
+    from repro.analysis.tournament import _row_from_result
+    from repro.registry import (
         FIXED_VICTIM,
         FixedVictimGame,
-        _row_from_result,
-        default_adversaries,
-        default_victims,
+        get_adversary,
+        get_victim,
     )
-    from repro.robustness.faults import faulty_victims
 
     activated = False
     if spec.trace_path is not None and not TRACER.enabled:
@@ -135,8 +145,9 @@ def play_spec(spec: GameSpec) -> WorkerResult:
         activated = True
     try:
         with scoped_registry() as registry:
-            adversaries = default_adversaries(spec.locality)
-            entry = adversaries[spec.adversary]
+            entry = get_adversary(spec.adversary)(
+                spec.locality, **dict(spec.params)
+            )
             labels = {"adversary": spec.adversary}
             if isinstance(entry, FixedVictimGame):
                 if spec.victim != FIXED_VICTIM:
@@ -149,10 +160,7 @@ def play_spec(spec: GameSpec) -> WorkerResult:
                 )
                 result = game.run(None)
             else:
-                victims = default_victims()
-                if spec.include_faulty:
-                    victims.update(faulty_victims())
-                factory = victims[spec.victim]
+                factory = get_victim(spec.victim)
                 result = SupervisedGame(
                     entry, spec.policy, labels=labels
                 ).run(factory())

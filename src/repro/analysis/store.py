@@ -1,0 +1,171 @@
+"""Content-addressed result store: kill-safe progress for campaigns.
+
+A :class:`ResultStore` is a directory of append-only JSON-lines shards
+holding one row per *finished* game, keyed by :func:`spec_hash` — the
+SHA-256 of the game's canonical spec payload.  Content addressing is
+what generalizes :meth:`SweepJournal <repro.robustness.journal.SweepJournal>`
+resume from one journal file to a store directory:
+
+* **Re-running a campaign replays nothing** — every expanded game whose
+  hash is already in the store is served from disk, whoever wrote it.
+* **Overlapping campaigns dedupe automatically** — two specs that expand
+  to the same game hash to the same key, so a threshold search reuses
+  the grid sweep's rows (and vice versa) without coordination.
+* **Kills lose at most the in-flight game** — each writer process
+  appends to its own ``rows-<pid>.jsonl`` shard with the journal's
+  flush-and-fsync discipline; partial trailing lines from a kill
+  mid-write are skipped on load and repaired on the next append.
+
+What goes into the hash is the *semantic* identity of a game: adversary
+name + parameters, victim name, locality, and the step budget (which
+changes outcomes deterministically).  The wall-clock timeout is
+deliberately excluded — it is a property of the machine, not the game —
+as are run-level settings (worker count, journal/trace paths).
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.robustness.journal import SweepJournal
+
+#: The row field carrying the content address.
+HASH_FIELD = "spec_hash"
+
+#: Result rows are keyed by their content address alone.
+RESULT_KEY_FIELDS = (HASH_FIELD,)
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """The canonical serialization hashed by :func:`spec_hash`: sorted
+    keys, no whitespace, non-JSON values via ``str`` — so logically equal
+    payloads always serialize identically."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def spec_hash(payload: Mapping[str, Any]) -> str:
+    """The content address of a game spec payload (SHA-256 hex)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A directory of content-addressed result rows plus campaign
+    manifests and a run ledger.
+
+    Layout::
+
+        <root>/rows-<pid>.jsonl       finished rows, one writer per file
+        <root>/manifest-<hash>.json   campaign specs that ran here
+        <root>/runs.jsonl             one summary line per run (ledger)
+
+    Rows are plain dicts carrying at least :data:`HASH_FIELD`; loading
+    tolerates partial trailing lines (a kill mid-write), exactly like
+    the sweep journal whose machinery this reuses.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def writer(self, writer_id: Optional[int] = None) -> SweepJournal:
+        """This process's append-only row shard (``rows-<pid>.jsonl``)."""
+        if writer_id is None:
+            writer_id = os.getpid()
+        return SweepJournal(
+            os.path.join(self.root, f"rows-{writer_id}.jsonl"),
+            RESULT_KEY_FIELDS,
+        )
+
+    def row_files(self) -> List[str]:
+        """Every row shard on disk, in sorted (deterministic) order."""
+        return sorted(
+            _glob.glob(os.path.join(_glob.escape(self.root), "rows-*.jsonl"))
+        )
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every complete row across all shards (file order, then append
+        order within a file)."""
+        out: List[Dict[str, Any]] = []
+        for path in self.row_files():
+            out.extend(SweepJournal(path, RESULT_KEY_FIELDS).load())
+        return out
+
+    def index(self) -> Dict[str, Dict[str, Any]]:
+        """Rows keyed by content address (later writes win)."""
+        return {
+            row[HASH_FIELD]: row for row in self.rows() if HASH_FIELD in row
+        }
+
+    def add(self, row: Mapping[str, Any]) -> None:
+        """Record one finished row (must carry :data:`HASH_FIELD`),
+        flushed and fsynced before returning."""
+        if HASH_FIELD not in row:
+            raise ValueError(f"result rows must carry {HASH_FIELD!r}")
+        os.makedirs(self.root, exist_ok=True)
+        self.writer().append(dict(row))
+
+    def __contains__(self, spec_hash_value: object) -> bool:
+        return spec_hash_value in self.index()
+
+    def __len__(self) -> int:
+        return len(self.index())
+
+    # ------------------------------------------------------------------
+    # Manifests
+    # ------------------------------------------------------------------
+    def record_manifest(self, campaign_payload: Mapping[str, Any]) -> str:
+        """Persist a campaign spec payload (idempotent; content-addressed
+        like the rows); returns its hash."""
+        digest = spec_hash(campaign_payload)
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, f"manifest-{digest}.json")
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp-{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(dict(campaign_payload), handle, sort_keys=True,
+                          indent=2, default=str)
+                handle.write("\n")
+            os.replace(tmp, path)
+        return digest
+
+    def manifests(self) -> List[Dict[str, Any]]:
+        """Every campaign spec recorded in this store, sorted by hash."""
+        out: List[Dict[str, Any]] = []
+        pattern = os.path.join(_glob.escape(self.root), "manifest-*.json")
+        for path in sorted(_glob.glob(pattern)):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):  # pragma: no cover
+                continue
+            if isinstance(payload, dict):
+                out.append(payload)
+        return out
+
+    # ------------------------------------------------------------------
+    # Run ledger
+    # ------------------------------------------------------------------
+    def record_run(self, summary: Mapping[str, Any]) -> None:
+        """Append one run-summary line to the ledger (kill-safe append)."""
+        os.makedirs(self.root, exist_ok=True)
+        ledger = SweepJournal(
+            os.path.join(self.root, "runs.jsonl"), ("seq",)
+        )
+        entry = dict(summary)
+        entry["seq"] = len(ledger.load())
+        ledger.append(entry)
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """The run ledger, in append order."""
+        ledger = SweepJournal(
+            os.path.join(self.root, "runs.jsonl"), ("seq",)
+        )
+        return ledger.load()

@@ -30,31 +30,26 @@ from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Union
 
-from repro.adversaries.gadget import GadgetAdversary
-from repro.adversaries.grid import GridAdversary
-from repro.adversaries.reduction import reduce_to_grid
 from repro.adversaries.result import AdversaryResult
-from repro.adversaries.torus import TorusAdversary
 from repro.analysis.executor import resolve_workers
-from repro.core.akbari import AkbariBipartiteColoring
-from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
-from repro.core.unify import UnifyColoring
 from repro.models.base import OnlineAlgorithm
-from repro.models.simulation import LocalAsOnline
 from repro.observability.metrics import get_registry
 from repro.observability.trace import (
     JsonlTraceRecorder,
     merge_trace_shards,
     tracing,
 )
-from repro.oracles import CliqueChainOracle
+from repro.registry import (
+    DEFAULT_ADVERSARIES,
+    DEFAULT_VICTIMS,
+    FIXED_VICTIM,
+    FixedVictimGame,
+    get_adversary,
+    get_victim,
+)
 from repro.robustness.faults import faulty_victims
 from repro.robustness.journal import SweepJournal
 from repro.robustness.supervisor import GamePolicy, SupervisedGame
-
-#: Victim column used for fixed-victim games (their victim is determined
-#: by construction, not by the sweep).
-FIXED_VICTIM = "(fixed)"
 
 #: Journal fields identifying a game for resume purposes.
 JOURNAL_KEY_FIELDS = ("adversary", "victim", "locality")
@@ -81,20 +76,9 @@ class TournamentRow:
     detail: str = ""
     error_type: str = ""
     failed_at_step: Optional[int] = None
-
-
-@dataclass(frozen=True)
-class FixedVictimGame:
-    """A tournament entry whose victim is fixed by construction.
-
-    The Theorem 5 reduction chain builds its own victim (the reduced
-    hierarchy colorer); sweeping it against the victim portfolio would
-    replay the identical game once per victim.  Wrapping the play in
-    this marker makes ``run_tournament`` play it exactly once, recorded
-    under the :data:`FIXED_VICTIM` column.
-    """
-
-    play: Callable[[], AdversaryResult]
+    #: Declared instance size, when the adversary reports one (campaign
+    #: threshold tables key on it; None for adversaries that don't).
+    n: Optional[int] = None
 
 
 AdversaryEntry = Union[
@@ -103,37 +87,16 @@ AdversaryEntry = Union[
 
 
 def default_victims() -> Dict[str, Callable[[], OnlineAlgorithm]]:
-    """The standard (honest) victim portfolio."""
-    return {
-        "greedy": GreedyOnlineColorer,
-        "akbari": AkbariBipartiteColoring,
-        "local-canonical": lambda: LocalAsOnline(CanonicalLocalColorer()),
-    }
+    """The standard (honest) victim portfolio, resolved through
+    :mod:`repro.registry` (registration replaces the old dict literal)."""
+    return {name: get_victim(name) for name in DEFAULT_VICTIMS}
 
 
 def default_adversaries(locality: int) -> Dict[str, AdversaryEntry]:
-    """The standard adversary lineup at the given victim locality."""
+    """The standard adversary lineup at the given victim locality,
+    resolved through :mod:`repro.registry`."""
     return {
-        "theorem1-grid": lambda victim: GridAdversary(locality=locality).run(
-            victim
-        ),
-        "theorem2-torus": lambda victim: TorusAdversary(
-            locality=locality, topology="torus"
-        ).run(victim),
-        "theorem2-cylinder": lambda victim: TorusAdversary(
-            locality=locality, topology="cylinder"
-        ).run(victim),
-        "theorem3-gadget(2k-2)": lambda victim: GadgetAdversary(
-            k=3, locality=locality
-        ).run(victim),
-        "corollary13-gadget(k+1)": lambda victim: GadgetAdversary(
-            k=3, locality=locality, colors=4
-        ).run(victim),
-        "theorem5-reduction": FixedVictimGame(
-            lambda: GridAdversary(locality=locality).run(
-                reduce_to_grid(UnifyColoring(CliqueChainOracle(3, 3)), k=3)
-            )
-        ),
+        name: get_adversary(name)(locality) for name in DEFAULT_ADVERSARIES
     }
 
 
@@ -159,6 +122,7 @@ def _row_from_result(
         detail=detail,
         error_type=error_type,
         failed_at_step=failed_at_step,
+        n=result.stats.get("declared_n"),
     )
 
 
@@ -173,6 +137,7 @@ def _row_from_journal(entry: dict) -> TournamentRow:
         detail=entry.get("detail", ""),
         error_type=entry.get("error_type", ""),
         failed_at_step=entry.get("failed_at_step"),
+        n=entry.get("n"),
     )
 
 
@@ -301,21 +266,22 @@ def _run_parallel(
 ) -> List[TournamentRow]:
     """The parallel sweep over the default portfolios.
 
-    Builds picklable :class:`~repro.analysis.executor.GameSpec` entries
-    in the serial sweep's exact order and reassembles worker results by
-    index, so the returned rows are identical to a serial run.  Worker
-    trace shards are merged into ``trace_path`` when the pool drains,
-    followed by a ``metrics`` record of the parent's registry (which by
-    then holds every worker's folded snapshot).
+    The game list is the pre-baked tournament campaign's expansion
+    (:meth:`repro.analysis.campaign.CampaignSpec.tournament`) — picklable
+    :class:`~repro.analysis.executor.GameSpec` entries in the serial
+    sweep's exact order, reassembled by index, so the returned rows are
+    identical to a serial run.  Worker trace shards are merged into
+    ``trace_path`` when the pool drains, followed by a ``metrics``
+    record of the parent's registry (which by then holds every worker's
+    folded snapshot).
     """
+    from dataclasses import replace as _replace
+
+    from repro.analysis.campaign import CampaignSpec
     from repro.analysis.executor import GameSpec, ParallelSweep
 
     if trace_path is not None and os.path.exists(os.fspath(trace_path)):
         os.remove(os.fspath(trace_path))
-    victims = default_victims()
-    if include_faulty:
-        victims.update(faulty_victims())
-    adversaries = default_adversaries(locality)
     journal = (
         SweepJournal(journal_path, JOURNAL_KEY_FIELDS)
         if journal_path is not None
@@ -325,28 +291,17 @@ def _run_parallel(
         journal.merge_shards()
     done = journal.completed() if (journal is not None and resume) else {}
 
-    specs: List[GameSpec] = []
-    for adversary_name, entry in adversaries.items():
-        if isinstance(entry, FixedVictimGame):
-            pairings = [FIXED_VICTIM]
-        else:
-            pairings = list(victims)
-        for victim_name in pairings:
-            specs.append(
-                GameSpec(
-                    adversary=adversary_name,
-                    victim=victim_name,
-                    locality=locality,
-                    policy=policy,
-                    include_faulty=include_faulty,
-                    journal_path=(
-                        None if journal is None else journal.path
-                    ),
-                    trace_path=(
-                        None if trace_path is None else os.fspath(trace_path)
-                    ),
-                )
-            )
+    campaign = CampaignSpec.tournament(locality, include_faulty=include_faulty)
+    specs: List[GameSpec] = [
+        _replace(
+            spec,
+            policy=policy,
+            include_faulty=include_faulty,
+            journal_path=None if journal is None else journal.path,
+            trace_path=None if trace_path is None else os.fspath(trace_path),
+        )
+        for spec in campaign.expand()
+    ]
     precomputed = {}
     for index, spec in enumerate(specs):
         key = (spec.adversary, spec.victim, spec.locality)

@@ -1,0 +1,209 @@
+"""The stable public API facade.
+
+``repro.api`` is the one import that examples, benchmarks, and
+third-party code should need: it re-exports the supported entry points
+under their canonical names and keeps them stable across internal
+refactors (the implementation modules move; this surface does not).
+
+Entry points
+------------
+:func:`run_game`
+    Play one adversary-vs-victim game by registry name.
+:func:`run_tournament`
+    The pre-baked full-portfolio sweep (see
+    :mod:`repro.analysis.tournament`).
+:func:`run_campaign` / :func:`run_threshold_search`
+    Declarative campaigns over the sharded work-queue scheduler with a
+    content-addressed result store (see :mod:`repro.analysis.campaign`).
+:func:`verify_coloring` / :func:`is_proper`
+    Machine-check a coloring against a graph.
+Registries
+    ``register_adversary`` / ``register_victim`` / ``register_family``
+    and their ``get_*`` / ``list_*`` companions extend every surface at
+    once (tournament, campaigns, CLI).
+
+Spec dataclasses (:class:`GameSpec`, :class:`GamePolicy`,
+:class:`CampaignSpec`, :class:`ThresholdSearchSpec`,
+:class:`TournamentRow`, :class:`CampaignOutcome`,
+:class:`ThresholdResult`) and the store (:class:`ResultStore`,
+:func:`spec_hash`) ride along for typed callers.
+
+Symbols that predate the facade and moved during the PR 5 redesign are
+served through deprecation shims: importing them from here works but
+emits a :class:`DeprecationWarning` naming the canonical location.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+from repro.analysis.campaign import (
+    AdversaryRef,
+    CampaignError,
+    CampaignOutcome,
+    CampaignSpec,
+    CampaignStatus,
+    ThresholdResult,
+    ThresholdSearchSpec,
+    campaign_from_dict,
+    campaign_status,
+    load_campaign,
+    run_campaign,
+    run_threshold_search,
+    threshold_table,
+)
+from repro.analysis.executor import GameSpec, play_spec
+from repro.analysis.store import ResultStore, spec_hash
+from repro.analysis.tournament import (
+    TournamentRow,
+    clean_sweep,
+    honest_rows,
+    run_tournament,
+)
+from repro.registry import (
+    FIXED_VICTIM,
+    FixedVictimGame,
+    Registry,
+    RegistryError,
+    get_adversary,
+    get_family,
+    get_victim,
+    list_adversaries,
+    list_families,
+    list_victims,
+    register_adversary,
+    register_family,
+    register_victim,
+)
+from repro.robustness.supervisor import GamePolicy
+from repro.verify.coloring import assert_proper, is_proper
+
+__all__ = [
+    # play
+    "run_game",
+    "run_tournament",
+    "run_campaign",
+    "run_threshold_search",
+    "clean_sweep",
+    "honest_rows",
+    # verify
+    "verify_coloring",
+    "is_proper",
+    # specs and results
+    "GamePolicy",
+    "GameSpec",
+    "TournamentRow",
+    "AdversaryRef",
+    "CampaignSpec",
+    "ThresholdSearchSpec",
+    "CampaignOutcome",
+    "CampaignStatus",
+    "ThresholdResult",
+    "campaign_from_dict",
+    "campaign_status",
+    "load_campaign",
+    "threshold_table",
+    # store
+    "ResultStore",
+    "spec_hash",
+    # registries
+    "Registry",
+    "RegistryError",
+    "register_adversary",
+    "register_victim",
+    "register_family",
+    "get_adversary",
+    "get_victim",
+    "get_family",
+    "list_adversaries",
+    "list_victims",
+    "list_families",
+    "FIXED_VICTIM",
+    "FixedVictimGame",
+    "CampaignError",
+]
+
+#: Canonical verifier under the facade's name: raises
+#: :class:`~repro.robustness.errors.ProtocolViolation` subclasses on an
+#: improper or over-budget coloring, returns None on success.
+verify_coloring = assert_proper
+
+
+def run_game(
+    adversary: str,
+    victim: str = "greedy",
+    locality: int = 1,
+    *,
+    policy: Optional[GamePolicy] = None,
+    **params: Any,
+) -> TournamentRow:
+    """Play one supervised game by registry names; returns its row.
+
+    ``params`` are forwarded to the adversary factory (``k``, ``side``,
+    ``topology``, ...).  Fixed-victim adversaries (the Theorem 5
+    reduction) ignore ``victim`` and play under the
+    :data:`FIXED_VICTIM` column.
+
+    >>> row = run_game("theorem1-grid", "greedy", locality=1)
+    >>> row.won
+    True
+    """
+    entry = get_adversary(adversary)(locality, **params)
+    if isinstance(entry, FixedVictimGame):
+        victim = FIXED_VICTIM
+    else:
+        get_victim(victim)  # fail fast with the registry's error message
+    spec = GameSpec(
+        adversary=adversary,
+        victim=victim,
+        locality=locality,
+        policy=policy if policy is not None else GamePolicy(timeout=30.0),
+        params=tuple(sorted(params.items())),
+    )
+    return play_spec(spec).row
+
+
+#: Moved symbols served with a deprecation warning: importing them from
+#: ``repro.api`` works, but the canonical home is what the warning names.
+_MOVED = {
+    "default_victims": (
+        "repro.analysis.tournament", "default_victims",
+        "resolve portfolios through repro.registry instead",
+    ),
+    "default_adversaries": (
+        "repro.analysis.tournament", "default_adversaries",
+        "resolve portfolios through repro.registry instead",
+    ),
+    "SweepJournal": (
+        "repro.robustness.journal", "SweepJournal",
+        "import it from repro.robustness.journal",
+    ),
+    "ParallelSweep": (
+        "repro.analysis.executor", "ParallelSweep",
+        "import it from repro.analysis.executor",
+    ),
+    "faulty_victims": (
+        "repro.robustness.faults", "faulty_victims",
+        "faulty victims are registered in repro.registry",
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _MOVED:
+        module_name, attr, hint = _MOVED[name]
+        warnings.warn(
+            f"repro.api.{name} is deprecated; {hint} "
+            f"(canonical location: {module_name}.{attr})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_MOVED) | set(globals()))

@@ -2,25 +2,38 @@
 
 Subcommands
 -----------
-``demo``
-    Run one of the example scenarios (quickstart rendering, adversary
-    duel, ...), printing the same output as the scripts in examples/.
 ``adversary``
-    Run a lower-bound adversary (theorem1/theorem2/theorem3/theorem5)
-    against a chosen victim at a chosen locality.
+    Run a lower-bound adversary against a chosen victim at a chosen
+    locality.  Accepts any registered adversary name
+    (:mod:`repro.registry`) plus the short aliases ``theorem1`` /
+    ``theorem2`` / ``theorem3`` / ``theorem5``.
 ``upper-bound``
     Run an upper-bound algorithm (akbari/unify) on a chosen family at
     the paper's locality budget and verify the coloring.
+``tournament``
+    Run every registered adversary against every registered victim.
+``campaign``
+    Run declarative campaigns (``campaign run SPEC --store DIR``),
+    resume one after a kill (``campaign resume``), or report store
+    progress and the run ledger (``campaign status``).  See
+    :mod:`repro.analysis.campaign` for the spec format.
 ``report``
     Regenerate EXPERIMENTS.md content on stdout.
 ``stats``
     Summarize a trace recorded with ``--trace`` (event counts, games by
     adversary, reveal totals, cache hit rate).
 
-The game-playing subcommands (``adversary``, ``upper-bound``,
-``tournament``) accept ``--trace FILE`` to record a structured
-JSON-lines trace and ``--metrics`` to print the metrics-registry totals
-after the run.
+Shared run flags
+----------------
+Every game-playing subcommand (``adversary``, ``upper-bound``,
+``tournament``, ``campaign run``/``resume``) takes the same five flags
+from one parent parser: ``--trace FILE`` records a structured JSON-lines
+trace, ``--metrics`` prints the metrics-registry totals after the run,
+``--workers N`` parallelizes sweeps (single-game commands reject N > 1),
+and ``--journal PATH`` / ``--resume`` checkpoint completed games to a
+JSON-lines journal and skip them on the next run.  Campaigns persist to
+their result store instead of a journal, so they reject ``--journal``
+and treat ``--resume`` as the no-op it is (every campaign run resumes).
 
 Exit statuses: 0 success, 1 structured failure (an adversary survived,
 a harness error), 2 bad invocation (reported as ``repro: error: ...``).
@@ -28,11 +41,14 @@ a harness error), 2 bad invocation (reported as ``repro: error: ...``).
 Examples::
 
     python -m repro.cli adversary theorem1 --victim akbari --locality 2
-    python -m repro.cli adversary theorem1 --victim greedy --locality 2 \\
+    python -m repro.cli adversary theorem2-cylinder --locality 1 \\
         --trace /tmp/t.jsonl
     python -m repro.cli stats /tmp/t.jsonl
     python -m repro.cli upper-bound akbari --side 24
-    python -m repro.cli upper-bound unify-triangular --side 14
+    python -m repro.cli tournament --locality 1 --workers 4
+    python -m repro.cli campaign run examples/campaigns/smoke.json \\
+        --store /tmp/store --workers 4
+    python -m repro.cli campaign status --store /tmp/store
     python -m repro.cli report
 """
 
@@ -43,23 +59,24 @@ import math
 import os
 import sys
 from contextlib import nullcontext
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.adversaries.gadget import GadgetAdversary
-from repro.adversaries.grid import GridAdversary
-from repro.adversaries.reduction import reduce_to_grid
-from repro.adversaries.torus import TorusAdversary
 from repro.core.akbari import AkbariBipartiteColoring
-from repro.core.baselines import CanonicalLocalColorer, GreedyOnlineColorer
 from repro.core.unify import UnifyColoring, recommended_locality
 from repro.families.grids import SimpleGrid
 from repro.families.random_graphs import scattered_reveal_order
 from repro.families.triangular import TriangularGrid
 from repro.models.online_local import OnlineLocalSimulator
-from repro.models.simulation import LocalAsOnline
 from repro.observability.metrics import get_registry
 from repro.observability.trace import TRACER, tracing
-from repro.oracles import CliqueChainOracle, TriangularOracle
+from repro.oracles import TriangularOracle
+from repro.registry import (
+    FIXED_VICTIM,
+    FixedVictimGame,
+    RegistryError,
+    get_adversary,
+    get_victim,
+)
 from repro.robustness.errors import ReproError
 from repro.robustness.retry import retry_with_reseed
 from repro.robustness.supervisor import call_with_timeout
@@ -80,47 +97,98 @@ def _print_metrics() -> None:
 
 
 def _make_victim(name: str):
-    factories = {
-        "greedy": GreedyOnlineColorer,
-        "akbari": AkbariBipartiteColoring,
-        "local-canonical": lambda: LocalAsOnline(CanonicalLocalColorer()),
-    }
-    if name not in factories:
+    """A fresh victim instance by registry name (CLI error on unknown)."""
+    try:
+        return get_victim(name)()
+    except RegistryError as exc:
+        raise UserError(str(exc)) from None
+
+
+def _require_serial(args: argparse.Namespace, command: str) -> None:
+    if args.workers != 1:
         raise UserError(
-            f"unknown victim {name!r}; choose from {sorted(factories)}"
+            f"{command} plays a single game; --workers applies to "
+            "tournament and campaign runs"
         )
-    return factories[name]()
+
+
+def _journal_for(args: argparse.Namespace):
+    """The single-game journal named by ``--journal``, if any."""
+    from repro.analysis.tournament import JOURNAL_KEY_FIELDS
+    from repro.robustness.journal import SweepJournal
+
+    if args.resume and args.journal is None:
+        raise UserError(
+            "--resume needs --journal PATH (there is no journal to "
+            "resume from)"
+        )
+    if args.journal is None:
+        return None
+    return SweepJournal(args.journal, JOURNAL_KEY_FIELDS)
+
+
+#: Short aliases kept from the pre-registry CLI; everything else in the
+#: ``adversary`` positional is resolved through the adversary registry.
+_ADVERSARY_ALIASES = {
+    "theorem1": "theorem1-grid",
+    "theorem3": "theorem3-gadget(2k-2)",
+    "theorem5": "theorem5-reduction",
+}
+
+
+def _resolve_adversary(args: argparse.Namespace) -> Tuple[str, dict]:
+    """(registry name, factory params) for the ``adversary`` positional."""
+    name = args.adversary
+    if name == "theorem2":
+        return f"theorem2-{args.topology}", {}
+    if name in _ADVERSARY_ALIASES:
+        resolved = _ADVERSARY_ALIASES[name]
+        params = {"k": args.k} if "theorem1" not in resolved else {}
+        return resolved, params
+    return name, {}
 
 
 def cmd_adversary(args: argparse.Namespace) -> int:
-    victim = _make_victim(args.victim)
+    _require_serial(args, "adversary")
+    name, params = _resolve_adversary(args)
+    try:
+        entry = get_adversary(name)(args.locality, **params)
+    except RegistryError as exc:
+        raise UserError(str(exc)) from None
+    fixed = isinstance(entry, FixedVictimGame)
+    victim_name = FIXED_VICTIM if fixed else args.victim
+
+    journal = _journal_for(args)
+    key_row = {
+        "adversary": name, "victim": victim_name, "locality": args.locality
+    }
+    if journal is not None and args.resume:
+        done = journal.completed().get(journal.key_of(key_row))
+        if done is not None:
+            verdict = "DEFEATED" if done.get("won") else "survived"
+            print(
+                f"{name} vs {victim_name} at T={args.locality}: {verdict} "
+                "(from journal; game skipped)"
+            )
+            return 0 if done.get("won") else 1
+
+    victim = None if fixed else _make_victim(args.victim)
     trace = tracing(args.trace) if args.trace else nullcontext()
     with trace:
-        with TRACER.span(
-            "game", adversary=args.theorem, victim=args.victim
-        ) as span:
-            if args.theorem == "theorem1":
-                result = GridAdversary(locality=args.locality).run(victim)
-            elif args.theorem == "theorem2":
-                result = TorusAdversary(
-                    locality=args.locality, topology=args.topology
-                ).run(victim)
-            elif args.theorem == "theorem3":
-                result = GadgetAdversary(
-                    k=args.k, locality=args.locality
-                ).run(victim)
-            elif args.theorem == "theorem5":
-                inner = UnifyColoring(CliqueChainOracle(args.k, args.k))
-                result = GridAdversary(locality=args.locality).run(
-                    reduce_to_grid(inner, k=args.k)
-                )
-            else:  # pragma: no cover - argparse restricts choices
-                raise UserError(f"unknown theorem {args.theorem!r}")
+        with TRACER.span("game", adversary=name, victim=victim_name) as span:
+            result = entry.play() if fixed else entry(victim)
             span.note(
                 reason=result.reason, won=result.won, forfeit=result.forfeit
             )
+    if journal is not None:
+        journal.append({
+            **key_row,
+            "won": result.won,
+            "reason": result.reason,
+            "forfeit": result.forfeit,
+        })
     verdict = "DEFEATED" if result.won else "survived"
-    print(f"{args.theorem} vs {args.victim} at T={args.locality}: {verdict}")
+    print(f"{name} vs {victim_name} at T={args.locality}: {verdict}")
     print(f"  how: {result.reason}")
     if result.improper_edge is not None:
         print(f"  witness edge: {result.improper_edge}")
@@ -132,6 +200,7 @@ def cmd_adversary(args: argparse.Namespace) -> int:
 
 
 def cmd_upper_bound(args: argparse.Namespace) -> int:
+    _require_serial(args, "upper-bound")
     if args.algorithm == "akbari":
         grid = SimpleGrid(args.side, args.side)
         graph = grid.graph
@@ -148,6 +217,21 @@ def cmd_upper_bound(args: argparse.Namespace) -> int:
         colors = 4
     else:  # pragma: no cover - argparse restricts choices
         raise UserError(f"unknown algorithm {args.algorithm!r}")
+
+    journal = _journal_for(args)
+    key_row = {
+        "adversary": f"upper-bound/{args.algorithm}",
+        "victim": f"side={args.side}",
+        "locality": budget,
+    }
+    if journal is not None and args.resume:
+        done = journal.completed().get(journal.key_of(key_row))
+        if done is not None:
+            print(
+                f"{args.algorithm}: proper {colors}-coloring of {n} nodes "
+                f"at T={budget} (from journal; run skipped)"
+            )
+            return 0
 
     # Randomized reveal orders can fail for seed-specific reasons (an
     # order that strands the oracle); retry with fresh seeds rather than
@@ -176,6 +260,10 @@ def cmd_upper_bound(args: argparse.Namespace) -> int:
                 ),
             )
             span.note(seed=used_seed, locality=budget)
+    if journal is not None:
+        journal.append({
+            **key_row, "won": True, "reason": "proper", "seed": used_seed
+        })
     print(
         f"{args.algorithm}: proper {colors}-coloring of {n} nodes at "
         f"T={budget} under an adversarial order (seed {used_seed})"
@@ -249,6 +337,96 @@ def cmd_tournament(args: argparse.Namespace) -> int:
     return 0 if swept and all(r.won for r in rows) else 1
 
 
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import (
+        CampaignError,
+        CampaignSpec,
+        load_campaign,
+        run_campaign,
+        run_threshold_search,
+        threshold_table,
+    )
+
+    if args.journal is not None:
+        raise UserError(
+            "campaigns persist to the result store; use --store DIR "
+            "instead of --journal"
+        )
+    if args.require_store and not os.path.isdir(args.store):
+        raise UserError(
+            f"nothing to resume: no result store at {args.store!r} "
+            "(start one with 'campaign run')"
+        )
+    if not os.path.exists(args.spec):
+        raise UserError(f"no campaign spec at {args.spec!r}")
+    try:
+        spec = load_campaign(args.spec)
+    except CampaignError as exc:
+        raise UserError(str(exc)) from None
+
+    if isinstance(spec, CampaignSpec):
+        outcome = run_campaign(
+            spec,
+            args.store,
+            workers=args.workers,
+            max_games=args.max_games,
+            retries=args.retries,
+            trace_path=args.trace,
+        )
+    else:
+        results, outcome = run_threshold_search(
+            spec,
+            args.store,
+            workers=args.workers,
+            max_games=args.max_games,
+            retries=args.retries,
+            trace_path=args.trace,
+        )
+        print(threshold_table(results))
+        print()
+    print(
+        f"campaign {outcome.name}: {len(outcome.rows)}/{outcome.total} "
+        f"games in store (played {outcome.played}, deduped "
+        f"{outcome.deduped}, errors {len(outcome.errors)})"
+    )
+    for error in outcome.errors:
+        print(f"  error: {error}")
+    if args.metrics:
+        _print_metrics()
+    return 0 if not outcome.errors else 1
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import campaign_status
+
+    if not os.path.isdir(args.store):
+        raise UserError(f"no result store at {args.store!r}")
+    statuses, runs = campaign_status(args.store)
+    print("campaigns:")
+    if not statuses:
+        print("  (no manifests recorded)")
+    for status in statuses:
+        if status.total is not None:
+            progress = f"{status.done}/{status.total} games done"
+        else:
+            progress = f"{status.done} probes answered"
+        line = f"  {status.name} [{status.kind}]: {progress}"
+        if status.detail:
+            line += f" ({status.detail})"
+        print(line)
+    print("runs:")
+    if not runs:
+        print("  (no runs recorded)")
+    for run in runs:
+        print(
+            f"  #{run.get('seq', '?')} {run.get('kind', '?')} "
+            f"{run.get('campaign', '?')}: played {run.get('played', '?')}, "
+            f"deduped {run.get('deduped', '?')}, "
+            f"errors {run.get('errors', '?')}"
+        )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.observability.stats import aggregate_file, render_stats
 
@@ -265,6 +443,38 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _run_flags() -> argparse.ArgumentParser:
+    """The shared parent parser: every game-playing subcommand takes the
+    same five run flags, declared exactly once."""
+    flags = argparse.ArgumentParser(add_help=False)
+    group = flags.add_argument_group("run flags")
+    group.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines game trace to FILE (inspect with the "
+        "stats subcommand)",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics-registry totals after the run",
+    )
+    group.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="worker processes for sweeps (default 1 = serial; "
+        "single-game commands reject N > 1)",
+    )
+    group.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append completed games to a JSON-lines journal "
+        "(campaigns use --store instead)",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="skip games already recorded in --journal "
+        "(requires --journal; campaigns always resume from --store)",
+    )
+    return flags
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,11 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
         "grid-coloring lower bounds.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    flags = _run_flags()
 
-    adversary = sub.add_parser("adversary", help="run a lower-bound adversary")
+    adversary = sub.add_parser(
+        "adversary", parents=[flags], help="run a lower-bound adversary"
+    )
     adversary.add_argument(
-        "theorem",
-        choices=["theorem1", "theorem2", "theorem3", "theorem5"],
+        "adversary", metavar="ADVERSARY",
+        help="a registered adversary name (see repro.registry) or one of "
+        "the aliases theorem1/theorem2/theorem3/theorem5",
     )
     adversary.add_argument("--victim", default="greedy")
     adversary.add_argument("--locality", type=int, default=1)
@@ -285,7 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     adversary.add_argument("--k", type=int, default=3)
     adversary.set_defaults(func=cmd_adversary)
 
-    upper = sub.add_parser("upper-bound", help="run an upper-bound algorithm")
+    upper = sub.add_parser(
+        "upper-bound", parents=[flags], help="run an upper-bound algorithm"
+    )
     upper.add_argument("algorithm", choices=["akbari", "unify-triangular"])
     upper.add_argument("--side", type=int, default=16)
     upper.add_argument("--locality", type=int, default=None)
@@ -304,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=cmd_report)
 
     tournament = sub.add_parser(
-        "tournament", help="run every adversary against every victim"
+        "tournament", parents=[flags],
+        help="run every adversary against every victim",
     )
     tournament.add_argument("--locality", type=int, default=1)
     tournament.add_argument(
@@ -319,31 +536,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="wall-clock budget per game in seconds (default 30)",
     )
-    tournament.add_argument(
-        "--journal", default=None, metavar="PATH",
-        help="append completed games to a JSON-lines journal",
-    )
-    tournament.add_argument(
-        "--resume", action="store_true",
-        help="skip games already recorded in --journal (requires --journal)",
-    )
-    tournament.add_argument(
-        "--workers", type=_positive_int, default=1, metavar="N",
-        help="worker processes for the sweep (default 1 = serial; rows "
-        "come back in the same order either way)",
-    )
     tournament.set_defaults(func=cmd_tournament)
 
-    for command in (adversary, upper, tournament):
-        command.add_argument(
-            "--trace", default=None, metavar="FILE",
-            help="record a JSON-lines game trace to FILE (inspect with "
-            "the stats subcommand)",
+    campaign = sub.add_parser(
+        "campaign", help="run declarative campaigns against a result store"
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+    for name, require_store, chelp in (
+        ("run", False,
+         "run a campaign spec (resumes automatically if the store exists)"),
+        ("resume", True,
+         "resume an interrupted campaign (requires an existing store)"),
+    ):
+        cmd = csub.add_parser(name, parents=[flags], help=chelp)
+        cmd.add_argument(
+            "spec", metavar="SPEC", help="campaign spec file (.json or .toml)"
         )
-        command.add_argument(
-            "--metrics", action="store_true",
-            help="print the metrics-registry totals after the run",
+        cmd.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="content-addressed result store directory",
         )
+        cmd.add_argument(
+            "--max-games", type=_positive_int, default=None, metavar="N",
+            help="stop after playing N new games (dedupes don't count)",
+        )
+        cmd.add_argument(
+            "--retries", type=_positive_int, default=1,
+            help="supervised attempts per game before recording an error "
+            "(default 1)",
+        )
+        cmd.set_defaults(func=cmd_campaign_run, require_store=require_store)
+    status = csub.add_parser(
+        "status", help="report store progress and the run ledger"
+    )
+    status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store directory",
+    )
+    status.set_defaults(func=cmd_campaign_status)
 
     stats = sub.add_parser(
         "stats", help="summarize a trace recorded with --trace"

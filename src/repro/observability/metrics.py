@@ -28,6 +28,10 @@ Instrument names used across the harness (see ``docs/observability.md``):
 ``slocal_steps_total``      SLOCAL sequential steps served
 ``gkm_emulations_total``    GKM ball emulations executed
 ``game_wall_seconds``       histogram of supervised game durations
+``campaign_games_played``   campaign games actually played this run
+``campaign_games_deduped``  campaign games answered from the result store
+``campaign_game_retries``   supervised re-attempts inside campaign games
+``campaign_game_errors``    campaign games that exhausted their retries
 ==========================  ============================================
 
 The process-local default registry is reached through

@@ -1,0 +1,389 @@
+"""Tests for the campaign engine: spec expansion, store dedupe,
+kill-and-resume, and the adaptive threshold search."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.analysis.campaign import (
+    AdversaryRef,
+    CampaignError,
+    CampaignSpec,
+    ThresholdSearchSpec,
+    _Bisection,
+    campaign_from_dict,
+    campaign_status,
+    hash_of,
+    load_campaign,
+    run_campaign,
+    run_threshold_search,
+    threshold_table,
+)
+from repro.analysis.store import ResultStore
+from repro.registry import FIXED_VICTIM
+
+#: A two-adversary, two-victim, two-locality sweep: 8 fast games.
+SMALL = dict(
+    name="small",
+    adversaries=("theorem1-grid", "theorem2-cylinder"),
+    victims=("greedy", "akbari"),
+    localities=(0, 1),
+)
+
+
+# ----------------------------------------------------------------------
+# Spec construction and expansion
+# ----------------------------------------------------------------------
+
+
+def test_expansion_is_deterministic():
+    one = CampaignSpec(**SMALL).expand()
+    two = CampaignSpec(**SMALL).expand()
+    assert [hash_of(s) for s in one] == [hash_of(s) for s in two]
+    assert len(one) == 8
+    # Locality-major, then adversary, then victim.
+    assert [(s.locality, s.adversary, s.victim) for s in one[:3]] == [
+        (0, "theorem1-grid", "greedy"),
+        (0, "theorem1-grid", "akbari"),
+        (0, "theorem2-cylinder", "greedy"),
+    ]
+
+
+def test_expansion_plays_fixed_victim_once():
+    spec = CampaignSpec(
+        adversaries=("theorem5-reduction",), victims=("greedy", "akbari")
+    )
+    games = spec.expand()
+    assert len(games) == 1
+    assert games[0].victim == FIXED_VICTIM
+
+
+def test_tournament_is_a_prebaked_campaign():
+    spec = CampaignSpec.tournament(locality=1)
+    games = spec.expand()
+    assert spec.name == "tournament(T=1)"
+    assert all(game.locality == 1 for game in games)
+
+
+def test_from_dict_round_trips_through_payload():
+    spec = CampaignSpec(**SMALL)
+    again = campaign_from_dict(spec.to_payload())
+    assert again == spec
+    assert [hash_of(s) for s in again.expand()] == [
+        hash_of(s) for s in spec.expand()
+    ]
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(CampaignError, match="unknown campaign spec fields"):
+        CampaignSpec.from_dict({"name": "x", "adversarys": []})
+    with pytest.raises(CampaignError, match="unknown campaign kind"):
+        campaign_from_dict({"kind": "mystery"})
+
+
+def test_locality_range_expansion():
+    spec = CampaignSpec.from_dict(
+        {"localities": {"start": 0, "stop": 6, "step": 2}}
+    )
+    assert spec.localities == (0, 2, 4, 6)
+    with pytest.raises(CampaignError, match="locality range"):
+        CampaignSpec.from_dict({"localities": {"start": 0}})
+
+
+def test_adversary_ref_forms():
+    assert AdversaryRef.of("theorem1-grid") == AdversaryRef("theorem1-grid")
+    ref = AdversaryRef.of(
+        {"name": "theorem3-gadget(2k-2)", "params": {"k": 4}}
+    )
+    assert ref.params == (("k", 4),)
+    assert ref.label() == "theorem3-gadget(2k-2)[k=4]"
+    with pytest.raises(CampaignError):
+        AdversaryRef.of({"params": {"k": 4}})
+
+
+def test_validate_rejects_unknown_names():
+    with pytest.raises(Exception, match="unknown adversary"):
+        CampaignSpec(adversaries=("nope",)).validate()
+
+
+def test_load_campaign_json(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(
+        '{"kind": "threshold", "adversaries": ["theorem1-grid"], '
+        '"victims": ["greedy"], "low": 0, "high": 3}'
+    )
+    spec = load_campaign(path)
+    assert isinstance(spec, ThresholdSearchSpec)
+    assert (spec.low, spec.high) == (0, 3)
+    with pytest.raises(CampaignError, match="no campaign spec"):
+        load_campaign(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# Hash semantics
+# ----------------------------------------------------------------------
+
+
+def test_hash_excludes_run_plumbing():
+    """Timeout and journal/trace paths are machine properties, not game
+    identity — changing them must not invalidate stored rows."""
+    fast = CampaignSpec(**SMALL, timeout=1.0).expand()
+    slow = CampaignSpec(**SMALL, timeout=99.0).expand(
+        journal_path="j.jsonl", trace_path="t.jsonl"
+    )
+    assert [hash_of(s) for s in fast] == [hash_of(s) for s in slow]
+
+
+def test_hash_includes_step_budget_and_params():
+    plain = CampaignSpec(**SMALL).expand()
+    budgeted = CampaignSpec(**SMALL, step_budget=10).expand()
+    assert hash_of(plain[0]) != hash_of(budgeted[0])
+    small_k = ThresholdSearchSpec(
+        adversaries=(AdversaryRef.of(
+            {"name": "theorem3-gadget(2k-2)", "params": {"k": 3}}
+        ),),
+        victims=("greedy",),
+    )
+    big_k = ThresholdSearchSpec(
+        adversaries=(AdversaryRef.of(
+            {"name": "theorem3-gadget(2k-2)", "params": {"k": 4}}
+        ),),
+        victims=("greedy",),
+    )
+    assert hash_of(
+        small_k.game(small_k.adversaries[0], "greedy", 1)
+    ) != hash_of(big_k.game(big_k.adversaries[0], "greedy", 1))
+
+
+# ----------------------------------------------------------------------
+# Store dedupe and budgeted resume
+# ----------------------------------------------------------------------
+
+
+def test_second_run_plays_nothing(tmp_path):
+    spec = CampaignSpec(**SMALL)
+    first = run_campaign(spec, tmp_path / "store")
+    assert (first.played, first.deduped) == (8, 0)
+    assert not first.errors
+    second = run_campaign(spec, tmp_path / "store")
+    assert (second.played, second.deduped) == (0, 8)
+    assert second.rows == first.rows
+
+
+def test_overlapping_campaigns_share_rows(tmp_path):
+    """A different spec covering some of the same games dedupes them."""
+    run_campaign(CampaignSpec(**SMALL), tmp_path / "store")
+    overlap = CampaignSpec(
+        name="overlap",
+        adversaries=("theorem1-grid",),
+        victims=("greedy", "akbari", "local-canonical"),
+        localities=(1,),
+    )
+    outcome = run_campaign(overlap, tmp_path / "store")
+    assert outcome.deduped == 2  # greedy/akbari at T=1 came from `small`
+    assert outcome.played == 1  # only local-canonical was new
+
+
+def test_budgeted_runs_converge_to_uninterrupted(tmp_path):
+    """Stopping after max_games and re-running reaches the exact store an
+    uninterrupted run produces, with zero games replayed."""
+    spec = CampaignSpec(**SMALL)
+    reference = run_campaign(spec, tmp_path / "ref")
+
+    partial = run_campaign(spec, tmp_path / "store", max_games=3)
+    assert (partial.played, partial.deduped) == (3, 0)
+    resumed = run_campaign(spec, tmp_path / "store", max_games=None)
+    assert (resumed.played, resumed.deduped) == (5, 3)
+    assert resumed.rows == reference.rows
+
+    store = ResultStore(tmp_path / "store")
+    hashes = [row["spec_hash"] for row in store.rows()]
+    assert len(hashes) == len(set(hashes))  # no game ever stored twice
+
+
+def test_worker_pool_matches_serial(tmp_path):
+    spec = CampaignSpec(**SMALL)
+    serial = run_campaign(spec, tmp_path / "serial")
+    parallel = run_campaign(spec, tmp_path / "parallel", workers=2)
+    assert parallel.rows == serial.rows
+    assert (parallel.played, parallel.deduped) == (8, 0)
+
+
+def test_errors_are_reported_not_stored(tmp_path):
+    """A game whose factory blows up lands in errors and is retried by
+    the next run, never recorded as a row."""
+    from repro.registry import ADVERSARIES
+
+    @ADVERSARIES.register("test-broken")
+    def _broken(locality, **params):
+        raise RuntimeError("rigged to fail")
+
+    try:
+        spec = CampaignSpec(
+            name="broken", adversaries=("test-broken",), victims=("greedy",)
+        )
+        outcome = run_campaign(spec, tmp_path / "store", retries=0)
+        assert outcome.played == 0
+        assert len(outcome.errors) == 1
+        assert "rigged to fail" in outcome.errors[0]["error"]
+        assert len(ResultStore(tmp_path / "store")) == 0
+    finally:
+        ADVERSARIES.unregister("test-broken")
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume (the acceptance scenario)
+# ----------------------------------------------------------------------
+
+_KILL_SCRIPT = """
+import sys
+from repro.analysis.campaign import ThresholdSearchSpec, run_threshold_search
+
+spec = ThresholdSearchSpec(
+    name="kill-test",
+    adversaries=("theorem1-grid", "theorem2-cylinder"),
+    victims=("greedy", "akbari", "local-canonical"),
+    low=0,
+    high=1,
+)
+run_threshold_search(spec, sys.argv[1], workers=2)
+"""
+
+
+def _kill_spec() -> ThresholdSearchSpec:
+    return ThresholdSearchSpec(
+        name="kill-test",
+        adversaries=("theorem1-grid", "theorem2-cylinder"),
+        victims=("greedy", "akbari", "local-canonical"),
+        low=0,
+        high=1,
+    )
+
+
+def _store_snapshot(root):
+    """Store contents as a comparable value: hash -> full row."""
+    return ResultStore(root).index()
+
+
+@pytest.mark.slow
+def test_sigkill_mid_campaign_resumes_with_zero_replays(tmp_path):
+    """SIGKILL a threshold-search campaign at a random point; the resumed
+    run must (a) replay zero stored games and (b) end with a store
+    row-for-row identical to an uninterrupted run's."""
+    import random
+
+    reference_results, _ = run_threshold_search(_kill_spec(), tmp_path / "ref")
+
+    store_dir = tmp_path / "killed"
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _KILL_SCRIPT, os.fspath(store_dir)], env=env
+    )
+    try:
+        # Wait until at least one game is durably stored, then kill at a
+        # random moment while the campaign is (most likely) still going.
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if len(_store_snapshot(store_dir)) >= 1:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        time.sleep(random.uniform(0.0, 0.3))
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait()
+
+    stored_before = _store_snapshot(store_dir)
+    assert len(stored_before) >= 1, "kill landed before any game was stored"
+
+    results, outcome = run_threshold_search(_kill_spec(), store_dir)
+    assert not outcome.errors
+    # Zero replays: everything already on disk was deduped, not replayed.
+    assert outcome.deduped >= len(stored_before)
+    assert all(digest in outcome.rows for digest in stored_before)
+
+    assert _store_snapshot(store_dir) == _store_snapshot(tmp_path / "ref")
+    assert results == reference_results
+
+    # And the run ledger shows the played/deduped split.
+    statuses, runs = campaign_status(store_dir)
+    assert any(status.kind == "threshold" for status in statuses)
+    assert runs[-1]["played"] + runs[-1]["deduped"] >= len(stored_before)
+
+
+# ----------------------------------------------------------------------
+# Adaptive bisection
+# ----------------------------------------------------------------------
+
+
+def _drive(bisection, survives_at):
+    probes = []
+    while not bisection.done:
+        probe = bisection.next_probe()
+        probes.append(probe)
+        bisection.feed(probe, survives=survives_at(probe))
+    return probes
+
+
+def test_bisection_adversary_wins_everywhere():
+    b = _Bisection(0, 4)
+    probes = _drive(b, lambda t: False)
+    assert probes == [4]
+    assert b.threshold is None
+
+
+def test_bisection_finds_exact_threshold():
+    for true_threshold in range(0, 5):
+        b = _Bisection(0, 4)
+        _drive(b, lambda t, k=true_threshold: t >= k)
+        assert b.threshold == true_threshold, true_threshold
+
+
+def test_bisection_probe_count_is_logarithmic():
+    b = _Bisection(0, 1024)
+    probes = _drive(b, lambda t: t >= 700)
+    assert b.threshold == 700
+    assert len(probes) <= 12  # 1 (check-high) + log2(1024) + 1
+
+
+def test_threshold_search_end_to_end(tmp_path):
+    spec = ThresholdSearchSpec(
+        adversaries=("theorem1-grid",), victims=("greedy",), low=0, high=2
+    )
+    results, outcome = run_threshold_search(spec, tmp_path / "store")
+    (result,) = results
+    assert result.converged
+    assert result.threshold is None  # the lower bound held through high
+    assert result.probes == 1  # losing at high decides immediately
+    assert result.n is not None
+    table = threshold_table(results)
+    assert ">2" in table and "theorem1-grid" in table
+
+    # A rerun derives the identical answer from the store alone.
+    again, outcome2 = run_threshold_search(spec, tmp_path / "store")
+    assert again == results
+    assert (outcome2.played, outcome2.deduped) == (0, 1)
+
+
+def test_campaign_status_reports_progress(tmp_path):
+    spec = CampaignSpec(**SMALL)
+    run_campaign(spec, tmp_path / "store", max_games=3)
+    statuses, runs = campaign_status(tmp_path / "store")
+    (status,) = statuses
+    assert (status.done, status.total) == (3, 8)
+    assert runs[0]["played"] == 3
+    run_campaign(spec, tmp_path / "store")
+    statuses, runs = campaign_status(tmp_path / "store")
+    assert (statuses[0].done, statuses[0].total) == (8, 8)
+    assert (runs[-1]["played"], runs[-1]["deduped"]) == (5, 3)

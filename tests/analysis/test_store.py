@@ -1,0 +1,93 @@
+"""Tests for the content-addressed result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.store import (
+    HASH_FIELD,
+    ResultStore,
+    canonical_json,
+    spec_hash,
+)
+
+
+def test_canonical_json_is_key_order_independent():
+    a = {"victim": "greedy", "adversary": "theorem1-grid", "locality": 1}
+    b = {"locality": 1, "adversary": "theorem1-grid", "victim": "greedy"}
+    assert canonical_json(a) == canonical_json(b)
+    assert spec_hash(a) == spec_hash(b)
+
+
+def test_spec_hash_distinguishes_values():
+    base = {"adversary": "theorem1-grid", "locality": 1}
+    assert spec_hash(base) != spec_hash({**base, "locality": 2})
+    assert spec_hash(base) != spec_hash({**base, "params": [["k", 3]]})
+
+
+def test_add_requires_hash_field(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with pytest.raises(ValueError, match=HASH_FIELD):
+        store.add({"won": True})
+
+
+def test_add_and_index_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "aaa", "won": True})
+    store.add({HASH_FIELD: "bbb", "won": False})
+    assert "aaa" in store and "bbb" in store and "ccc" not in store
+    assert len(store) == 2
+    index = store.index()
+    assert index["aaa"]["won"] is True
+    assert index["bbb"]["won"] is False
+
+
+def test_later_writes_win(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "aaa", "won": False})
+    store.add({HASH_FIELD: "aaa", "won": True})
+    assert store.index()["aaa"]["won"] is True
+    assert len(store) == 1
+
+
+def test_multiple_writer_shards_merge(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    os.makedirs(store.root, exist_ok=True)
+    store.writer(writer_id=111).append({HASH_FIELD: "aaa", "won": True})
+    store.writer(writer_id=222).append({HASH_FIELD: "bbb", "won": True})
+    assert len(store.row_files()) == 2
+    assert set(store.index()) == {"aaa", "bbb"}
+
+
+def test_partial_trailing_line_tolerated(tmp_path):
+    """A kill mid-write leaves a partial last line; loading skips it and
+    the next append repairs the file."""
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "aaa", "won": True})
+    shard = store.row_files()[0]
+    with open(shard, "a", encoding="utf-8") as handle:
+        handle.write('{"spec_hash": "bbb", "wo')  # killed mid-write
+    assert set(store.index()) == {"aaa"}
+    store.add({HASH_FIELD: "ccc", "won": False})
+    assert set(store.index()) == {"aaa", "ccc"}
+
+
+def test_manifest_idempotent(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    payload = {"kind": "sweep", "name": "m", "localities": [1, 2]}
+    digest_one = store.record_manifest(payload)
+    digest_two = store.record_manifest(dict(reversed(list(payload.items()))))
+    assert digest_one == digest_two
+    assert store.manifests() == [payload]
+    path = os.path.join(store.root, f"manifest-{digest_one}.json")
+    assert json.load(open(path)) == payload
+
+
+def test_run_ledger_sequences(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.record_run({"campaign": "a", "played": 3})
+    store.record_run({"campaign": "a", "played": 0})
+    runs = store.runs()
+    assert [run["seq"] for run in runs] == [0, 1]
+    assert [run["played"] for run in runs] == [3, 0]

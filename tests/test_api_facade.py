@@ -1,0 +1,67 @@
+"""Tests for the stable ``repro.api`` facade."""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+
+
+def test_all_exports_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_run_game_by_names():
+    row = api.run_game("theorem1-grid", "greedy", locality=1)
+    assert row.won
+    assert row.adversary == "theorem1-grid"
+    assert row.victim == "greedy"
+
+
+def test_run_game_fixed_victim_ignores_victim_arg():
+    row = api.run_game("theorem5-reduction", "akbari", locality=1, k=3)
+    assert row.victim == api.FIXED_VICTIM
+    assert row.won
+
+
+def test_run_game_unknown_names_raise_registry_error():
+    with pytest.raises(api.RegistryError, match="unknown adversary"):
+        api.run_game("nope", "greedy")
+    with pytest.raises(api.RegistryError, match="unknown victim"):
+        api.run_game("theorem1-grid", "nope")
+
+
+def test_verify_coloring_is_assert_proper():
+    from repro.verify.coloring import assert_proper
+
+    assert api.verify_coloring is assert_proper
+
+
+def test_deprecation_shims_warn_and_resolve():
+    from repro.analysis.executor import ParallelSweep
+    from repro.robustness.journal import SweepJournal
+
+    expected = {
+        "SweepJournal": SweepJournal,
+        "ParallelSweep": ParallelSweep,
+    }
+    for name, target in expected.items():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolved = getattr(api, name)
+        assert resolved is target
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert name in str(caught[0].message)
+
+
+def test_shims_appear_in_dir():
+    listing = dir(api)
+    assert "SweepJournal" in listing
+    assert "run_campaign" in listing
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        api.definitely_not_a_symbol

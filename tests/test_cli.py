@@ -148,3 +148,92 @@ def test_tournament_parallel_matches_serial_output(capsys, tmp_path):
 def test_tournament_workers_rejects_non_positive():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["tournament", "--workers", "0"])
+
+
+def test_adversary_registry_name_and_alias_agree(capsys):
+    code = main(["adversary", "theorem1-grid", "--locality", "1"])
+    assert code == 0
+    direct = capsys.readouterr().out
+    code = main(["adversary", "theorem1", "--locality", "1"])
+    assert code == 0
+    assert capsys.readouterr().out == direct
+
+
+def test_adversary_rejects_parallel_workers(capsys):
+    code = main(["adversary", "theorem1", "--workers", "2"])
+    assert code == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_adversary_journal_resume_skips_replay(capsys, tmp_path):
+    journal = str(tmp_path / "j.jsonl")
+    code = main(["adversary", "theorem1", "--journal", journal])
+    assert code == 0
+    capsys.readouterr()
+    code = main(["adversary", "theorem1", "--journal", journal, "--resume"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "skipped" in out
+
+
+def _write_smoke_spec(tmp_path):
+    spec = tmp_path / "c.json"
+    spec.write_text(
+        '{"kind": "sweep", "name": "cli-smoke",'
+        ' "adversaries": ["theorem1-grid"], "victims": ["greedy"],'
+        ' "localities": [0, 1]}'
+    )
+    return str(spec)
+
+
+def test_campaign_run_resume_status(capsys, tmp_path):
+    spec = _write_smoke_spec(tmp_path)
+    store = str(tmp_path / "store")
+    code = main(["campaign", "run", spec, "--store", store])
+    assert code == 0
+    assert "played 2, deduped 0" in capsys.readouterr().out
+    code = main(["campaign", "resume", spec, "--store", store])
+    assert code == 0
+    assert "played 0, deduped 2" in capsys.readouterr().out
+    code = main(["campaign", "status", "--store", store])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cli-smoke [sweep]: 2/2 games done" in out
+    assert "played 0, deduped 2" in out  # the run ledger shows zero replays
+
+
+def test_campaign_rejects_journal_flag(capsys, tmp_path):
+    spec = _write_smoke_spec(tmp_path)
+    code = main(["campaign", "run", spec, "--store", str(tmp_path / "s"),
+                 "--journal", "j.jsonl"])
+    assert code == 2
+    assert "--store" in capsys.readouterr().err
+
+
+def test_campaign_resume_needs_existing_store(capsys, tmp_path):
+    spec = _write_smoke_spec(tmp_path)
+    code = main(["campaign", "resume", spec, "--store",
+                 str(tmp_path / "missing")])
+    assert code == 2
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_campaign_status_needs_existing_store(capsys, tmp_path):
+    code = main(["campaign", "status", "--store", str(tmp_path / "missing")])
+    assert code == 2
+    assert "no result store" in capsys.readouterr().err
+
+
+def test_campaign_threshold_spec_prints_table(capsys, tmp_path):
+    spec = tmp_path / "t.json"
+    spec.write_text(
+        '{"kind": "threshold", "name": "cli-threshold",'
+        ' "adversaries": ["theorem1-grid"], "victims": ["greedy"],'
+        ' "low": 0, "high": 1}'
+    )
+    code = main(["campaign", "run", str(spec), "--store",
+                 str(tmp_path / "store")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "threshold T" in out
+    assert ">1" in out

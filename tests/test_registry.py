@@ -1,0 +1,114 @@
+"""Tests for the string-keyed factory registries."""
+
+import pytest
+
+from repro.adversaries.result import AdversaryResult
+from repro.registry import (
+    ADVERSARIES,
+    DEFAULT_ADVERSARIES,
+    DEFAULT_VICTIMS,
+    FAULTY_VICTIM_NAMES,
+    FIXED_VICTIM,
+    FixedVictimGame,
+    Registry,
+    RegistryError,
+    adversary_is_fixed,
+    get_adversary,
+    get_victim,
+    list_adversaries,
+    list_families,
+    list_victims,
+    register_adversary,
+)
+
+
+def test_round_trip_register_get_list():
+    registry = Registry("widget")
+    sentinel = object()
+    registry.register("alpha", lambda: sentinel, flavor="test")
+    assert "alpha" in registry
+    assert registry.get("alpha")() is sentinel
+    assert registry.names() == ["alpha"]
+    assert registry.metadata("alpha") == {"flavor": "test"}
+    registry.register("beta", lambda: None)
+    assert registry.names() == ["alpha", "beta"]  # registration order
+    assert len(registry) == 2
+
+
+def test_decorator_registration():
+    registry = Registry("widget")
+
+    @registry.register("decorated", fixed_victim=True)
+    def factory():
+        return 42
+
+    assert registry.get("decorated") is factory
+    assert registry.metadata("decorated")["fixed_victim"] is True
+
+
+def test_duplicate_name_is_an_error():
+    registry = Registry("widget")
+    registry.register("dup", lambda: 1)
+    with pytest.raises(RegistryError, match="already registered"):
+        registry.register("dup", lambda: 2)
+    # replace=True is the explicit override path.
+    registry.register("dup", lambda: 3, replace=True)
+    assert registry.get("dup")() == 3
+
+
+def test_unknown_name_lists_choices():
+    registry = Registry("widget")
+    registry.register("only", lambda: 1)
+    with pytest.raises(RegistryError, match=r"unknown widget 'nope'.*only"):
+        registry.get("nope")
+
+
+def test_unregister():
+    registry = Registry("widget")
+    registry.register("gone", lambda: 1)
+    registry.unregister("gone")
+    assert "gone" not in registry
+    with pytest.raises(RegistryError):
+        registry.unregister("gone")
+
+
+def test_builtin_portfolios_are_registered():
+    for name in DEFAULT_ADVERSARIES:
+        assert name in ADVERSARIES
+    for name in DEFAULT_VICTIMS + FAULTY_VICTIM_NAMES:
+        assert get_victim(name) is not None
+    assert set(DEFAULT_ADVERSARIES) <= set(list_adversaries())
+    assert set(DEFAULT_VICTIMS) <= set(list_victims())
+    assert {"grid", "torus", "cylinder", "triangular"} <= set(list_families())
+
+
+def test_fixed_victim_metadata():
+    assert adversary_is_fixed("theorem5-reduction")
+    assert not adversary_is_fixed("theorem1-grid")
+    entry = get_adversary("theorem5-reduction")(1)
+    assert isinstance(entry, FixedVictimGame)
+    assert FIXED_VICTIM == "(fixed)"
+
+
+def test_builtin_adversary_plays_through_registry():
+    entry = get_adversary("theorem1-grid")(1)
+    result = entry(get_victim("greedy")())
+    assert isinstance(result, AdversaryResult)
+    assert result.won
+
+
+def test_third_party_registration_reaches_sweeps():
+    """A registered adversary is resolvable exactly like a builtin."""
+
+    @register_adversary("test-always-wins")
+    def _factory(locality, **params):
+        return lambda victim: AdversaryResult(
+            won=True, reason="rigged", stats={"locality": locality, **params}
+        )
+
+    try:
+        entry = get_adversary("test-always-wins")(3, bias=1)
+        result = entry(get_victim("greedy")())
+        assert result.won and result.stats == {"locality": 3, "bias": 1}
+    finally:
+        ADVERSARIES.unregister("test-always-wins")
