@@ -31,29 +31,37 @@ Two campaign kinds ship:
   through the same scheduler/store so a killed search resumes without
   replaying a single probe.
 
-Failure handling: games run inside the existing
-:class:`~repro.robustness.supervisor.SupervisedGame` boundary, so victim
-crashes/timeouts surface as forfeit *rows*, not errors.  Exceptions that
-escape the boundary (harness/adversary bugs, transient OS failures) are
-retried with exponential backoff (``retries``); a game that still fails
-is reported in :attr:`CampaignOutcome.errors` and — deliberately — *not*
-stored, so the next run retries it.
+Failure handling is layered.  *Game*-level failures run inside the
+existing :class:`~repro.robustness.supervisor.SupervisedGame` boundary,
+so victim crashes/timeouts surface as forfeit *rows*, not errors.
+Exceptions that escape the boundary (harness/adversary bugs, transient
+OS failures) are retried with capped, fully-jittered exponential
+backoff (``retries``); a game that still fails is reported in
+:attr:`CampaignOutcome.errors` and — deliberately — *not* stored, so
+the next run retries it.  *Process*-level failures (a SIGKILLed, OOM'd,
+or natively hung worker) are recovered by the supervised worker pool
+(:mod:`repro.analysis.worker_pool`): the lost in-flight game is
+requeued, a replacement worker is respawned under a restart budget,
+games that repeatedly kill workers are quarantined as structured
+``forfeit:poison`` rows, and an exhausted budget degrades the run to
+in-process serial execution instead of raising.
 
 Observability: the run is wrapped in a ``campaign`` trace span and
 counts ``campaign_games_played`` / ``campaign_games_deduped`` /
-``campaign_game_retries`` / ``campaign_game_errors`` in the metrics
-registry; worker metric snapshots fold into the parent exactly as in
+``campaign_game_retries`` / ``campaign_game_errors`` (plus the pool's
+``campaign_worker_restarts`` / ``campaign_lease_expirations`` /
+``campaign_games_requeued`` / ``campaign_games_quarantined`` /
+``campaign_pool_degradations``) in the metrics registry; worker metric
+snapshots fold into the parent exactly as in
 :class:`~repro.analysis.executor.ParallelSweep`.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing.queues
 import os
-import queue as _queue
+import random
 import time
-import traceback
 from dataclasses import asdict, dataclass, field, replace
 from typing import (
     Any,
@@ -69,12 +77,20 @@ from typing import (
 from repro.analysis.executor import (
     GameSpec,
     WorkerResult,
-    _pool_context,
     play_spec,
     resolve_workers,
 )
-from repro.analysis.store import HASH_FIELD, ResultStore, spec_hash
+from repro.analysis.store import (
+    HASH_FIELD,
+    QUARANTINE_CAUSE,
+    ResultStore,
+    spec_hash,
+)
 from repro.analysis.tables import render_table
+from repro.analysis.worker_pool import (
+    SupervisedWorkerPool,
+    _error_entry,
+)
 from repro.observability.metrics import get_registry
 from repro.observability.trace import (
     TRACER,
@@ -90,12 +106,18 @@ from repro.registry import (
     get_adversary,
     get_victim,
 )
+from repro.robustness.chaos import ChaosPolicy
 from repro.robustness.errors import ReproError
 from repro.robustness.supervisor import GamePolicy
 
 
 class CampaignError(ReproError):
-    """A campaign-level failure (bad spec file, dead worker pool)."""
+    """A campaign-level failure (bad spec file, malformed manifest).
+
+    Worker-process failures are *not* campaign errors any more: the
+    supervised pool (:mod:`repro.analysis.worker_pool`) requeues,
+    quarantines, or degrades to serial execution instead of raising.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -480,10 +502,37 @@ def load_campaign(path) -> AnyCampaign:
 # ----------------------------------------------------------------------
 
 
+#: Ceiling on one backoff sleep, so deep retry chains never stall a
+#: worker for minutes.
+BACKOFF_CAP_SECONDS = 2.0
+
+
+def _backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float = BACKOFF_CAP_SECONDS,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """The sleep before retry ``attempt`` (1-based): **full jitter** over
+    the capped exponential window.
+
+    ``uniform(0, min(cap, base × 2^(attempt-1)))`` — the AWS full-jitter
+    scheme: workers that fail simultaneously (a shared transient, a
+    thundering requeue after a pool respawn) spread their retries over
+    the whole window instead of stampeding in lockstep, and the cap
+    bounds the worst-case stall however deep the retry chain gets.
+    """
+    window = min(cap, base * (2 ** (attempt - 1)))
+    if window <= 0:
+        return 0.0
+    draw = rng.uniform if rng is not None else random.uniform
+    return draw(0.0, window)
+
+
 def _play_with_retry(spec: GameSpec, retries: int, backoff: float) -> WorkerResult:
-    """``play_spec`` with exponential-backoff retries for exceptions that
-    escape the supervisor boundary (victim failures never do — they come
-    back as forfeit rows)."""
+    """``play_spec`` with capped, fully-jittered exponential-backoff
+    retries for exceptions that escape the supervisor boundary (victim
+    failures never do — they come back as forfeit rows)."""
     attempt = 0
     while True:
         try:
@@ -493,46 +542,13 @@ def _play_with_retry(spec: GameSpec, retries: int, backoff: float) -> WorkerResu
             if attempt > retries:
                 raise
             get_registry().inc("campaign_game_retries")
-            time.sleep(backoff * (2 ** (attempt - 1)))
+            time.sleep(_backoff_delay(attempt, backoff))
 
 
 def _store_row(outcome: WorkerResult, digest: str) -> Dict[str, Any]:
     row = asdict(outcome.row)
     row[HASH_FIELD] = digest
     return row
-
-
-def _campaign_worker(
-    task_queue: "multiprocessing.queues.Queue",
-    result_queue: "multiprocessing.queues.Queue",
-    store_root: str,
-    retries: int,
-    backoff: float,
-) -> None:
-    """Worker loop: steal (hash, spec) items until the ``None`` sentinel.
-
-    Each finished row is fsynced into this worker's store shard *before*
-    the result is reported, so a kill — of the worker or the parent —
-    never loses an acknowledged game.
-    """
-    store = ResultStore(store_root)
-    while True:
-        item = task_queue.get()
-        if item is None:
-            result_queue.put(("exit", os.getpid(), None, None))
-            return
-        digest, spec = item
-        try:
-            outcome = _play_with_retry(spec, retries, backoff)
-        except Exception as exc:
-            detail = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
-            result_queue.put(("error", digest, detail, None))
-            continue
-        row = _store_row(outcome, digest)
-        store.add(row)
-        result_queue.put(("done", digest, row, outcome.metrics))
 
 
 class CampaignScheduler:
@@ -549,7 +565,18 @@ class CampaignScheduler:
         code path otherwise.
     retries, backoff:
         Per-game retry budget and base backoff (seconds) for exceptions
-        escaping the supervisor.
+        escaping the supervisor (the actual sleeps are capped and fully
+        jittered; see :func:`_backoff_delay`).
+    max_worker_restarts, poison_threshold, lease_grace:
+        Supervision knobs forwarded to
+        :class:`~repro.analysis.worker_pool.SupervisedWorkerPool`: the
+        pool-wide worker respawn budget (None = the pool default), how
+        many workers one game may kill or hang before it is quarantined,
+        and the lease-deadline multiplier over the spec's timeout.
+    chaos:
+        Optional :class:`~repro.robustness.chaos.ChaosPolicy` shipped to
+        workers (defaults to the ``REPRO_CHAOS`` environment; the
+        parent process never applies chaos).
     """
 
     def __init__(
@@ -558,6 +585,10 @@ class CampaignScheduler:
         workers: int = 1,
         retries: int = 1,
         backoff: float = 0.05,
+        max_worker_restarts: Optional[int] = None,
+        poison_threshold: int = 3,
+        lease_grace: float = 3.0,
+        chaos: Optional["ChaosPolicy"] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -565,6 +596,10 @@ class CampaignScheduler:
         self.workers = workers
         self.retries = retries
         self.backoff = backoff
+        self.max_worker_restarts = max_worker_restarts
+        self.poison_threshold = poison_threshold
+        self.lease_grace = lease_grace
+        self.chaos = chaos
 
     def run(
         self,
@@ -625,72 +660,36 @@ class CampaignScheduler:
     def _run_pool(
         self, work: List[Tuple[str, GameSpec]]
     ) -> Tuple[Dict[str, Dict[str, Any]], List[Dict[str, Any]]]:
-        ctx = _pool_context()
-        task_queue = ctx.Queue()
-        result_queue = ctx.Queue()
-        pool_size = min(self.workers, len(work))
-        procs = [
-            ctx.Process(
-                target=_campaign_worker,
-                args=(
-                    task_queue,
-                    result_queue,
-                    self.store.root,
-                    self.retries,
-                    self.backoff,
-                ),
-                daemon=True,
+        """Drain ``work`` through the supervised worker pool.
+
+        Dead workers and expired leases are recovered inside the pool
+        (requeue, respawn, quarantine); the only pool failure that
+        reaches this level is an exhausted restart budget, and that
+        *degrades* — the remaining queue finishes in-process serially —
+        rather than raising.
+        """
+        pool = SupervisedWorkerPool(
+            store=self.store,
+            workers=self.workers,
+            retries=self.retries,
+            backoff=self.backoff,
+            max_worker_restarts=self.max_worker_restarts,
+            poison_threshold=self.poison_threshold,
+            lease_grace=self.lease_grace,
+            chaos=self.chaos,
+        )
+        outcome = pool.run(work)
+        rows, errors = outcome.rows, outcome.errors
+        if outcome.leftover:
+            TRACER.event(
+                "campaign-degraded",
+                remaining=len(outcome.leftover),
+                restarts=outcome.restarts,
             )
-            for _ in range(pool_size)
-        ]
-        for proc in procs:
-            proc.start()
-        for item in work:
-            task_queue.put(item)
-        for _ in procs:
-            task_queue.put(None)
-
-        by_digest = dict(work)
-        rows: Dict[str, Dict[str, Any]] = {}
-        errors: List[Dict[str, Any]] = []
-        ambient = get_registry()
-        pending = len(work)
-        exited = 0
-        while pending > 0 or exited < len(procs):
-            try:
-                kind, digest, payload, metrics = result_queue.get(timeout=1.0)
-            except _queue.Empty:
-                if not any(proc.is_alive() for proc in procs):
-                    raise CampaignError(
-                        f"campaign worker pool died with {pending} games "
-                        f"unaccounted for; re-run to resume from the store"
-                    ) from None
-                continue
-            if kind == "exit":
-                exited += 1
-                continue
-            pending -= 1
-            if kind == "error":
-                errors.append(
-                    _error_entry(digest, by_digest[digest], payload)
-                )
-                continue
-            rows[digest] = payload
-            if metrics:
-                ambient.merge(metrics)
-        for proc in procs:
-            proc.join()
+            serial_rows, serial_errors = self._run_serial(outcome.leftover)
+            rows.update(serial_rows)
+            errors.extend(serial_errors)
         return rows, errors
-
-
-def _error_entry(digest: str, spec: GameSpec, detail: str) -> Dict[str, Any]:
-    return {
-        HASH_FIELD: digest,
-        "adversary": spec.adversary,
-        "victim": spec.victim,
-        "locality": spec.locality,
-        "error": detail,
-    }
 
 
 # ----------------------------------------------------------------------
@@ -735,6 +734,8 @@ def run_campaign(
     max_games: Optional[int] = None,
     retries: int = 1,
     trace_path=None,
+    max_worker_restarts: Optional[int] = None,
+    poison_threshold: int = 3,
 ) -> CampaignOutcome:
     """Run (or resume — the same thing) a grid-sweep campaign.
 
@@ -749,7 +750,11 @@ def run_campaign(
         None if trace_path is None else os.fspath(trace_path)
     ))
     scheduler = CampaignScheduler(
-        store, workers=resolve_workers(workers), retries=retries
+        store,
+        workers=resolve_workers(workers),
+        retries=retries,
+        max_worker_restarts=max_worker_restarts,
+        poison_threshold=poison_threshold,
     )
     with TRACER.span("campaign", name=campaign.name, campaign_kind="sweep") as span:
         played, deduped, errors = scheduler.run(specs, max_games=max_games)
@@ -869,6 +874,8 @@ def run_threshold_search(
     max_games: Optional[int] = None,
     retries: int = 1,
     trace_path=None,
+    max_worker_restarts: Optional[int] = None,
+    poison_threshold: int = 3,
 ) -> Tuple[List[ThresholdResult], CampaignOutcome]:
     """Run (or resume) the adaptive threshold-search campaign.
 
@@ -884,7 +891,11 @@ def run_threshold_search(
     store = ResultStore(store_dir)
     store.record_manifest(spec.to_payload())
     scheduler = CampaignScheduler(
-        store, workers=resolve_workers(workers), retries=retries
+        store,
+        workers=resolve_workers(workers),
+        retries=retries,
+        max_worker_restarts=max_worker_restarts,
+        poison_threshold=poison_threshold,
     )
     trace_path = None if trace_path is None else os.fspath(trace_path)
 
@@ -1013,13 +1024,20 @@ def threshold_table(results: Sequence[ThresholdResult]) -> str:
 
 @dataclass
 class CampaignStatus:
-    """Read-only progress of one manifest against a store."""
+    """Read-only progress of one manifest against a store.
+
+    ``quarantined`` counts covered games answered by a poison-game
+    quarantine row (``cause="poison"``) rather than an actual play —
+    they count as *done* (resume will not replay them) but deserve the
+    operator's eye.
+    """
 
     name: str
     kind: str
     done: int
     total: Optional[int]  # None for adaptive campaigns (open-ended)
     detail: str = ""
+    quarantined: int = 0
 
 
 def campaign_status(store_dir) -> Tuple[List[CampaignStatus], List[Dict[str, Any]]]:
@@ -1044,13 +1062,22 @@ def campaign_status(store_dir) -> Tuple[List[CampaignStatus], List[Dict[str, Any
             continue
         if isinstance(campaign, CampaignSpec):
             specs = campaign.expand()
-            done = sum(1 for spec in specs if hash_of(spec) in index)
+            covered = [
+                index[hash_of(spec)]
+                for spec in specs
+                if hash_of(spec) in index
+            ]
             statuses.append(
                 CampaignStatus(
                     name=campaign.name,
                     kind="sweep",
-                    done=done,
+                    done=len(covered),
                     total=len(specs),
+                    quarantined=sum(
+                        1
+                        for row in covered
+                        if row.get("cause") == QUARANTINE_CAUSE
+                    ),
                 )
             )
         else:

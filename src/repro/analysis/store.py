@@ -29,7 +29,7 @@ import glob as _glob
 import hashlib
 import json
 import os
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.robustness.journal import SweepJournal
 
@@ -38,6 +38,15 @@ HASH_FIELD = "spec_hash"
 
 #: Result rows are keyed by their content address alone.
 RESULT_KEY_FIELDS = (HASH_FIELD,)
+
+#: The ``cause`` value marking rows written by the supervised pool's
+#: poison-game quarantine (:mod:`repro.analysis.worker_pool`): the game
+#: repeatedly killed or hung its worker, so a structured forfeit row is
+#: stored in its place and resume never replays it.
+QUARANTINE_CAUSE = "poison"
+
+#: The forfeit reason quarantine rows carry.
+QUARANTINE_REASON = "forfeit:poison"
 
 
 def canonical_json(payload: Mapping[str, Any]) -> str:
@@ -111,6 +120,16 @@ class ResultStore:
             raise ValueError(f"result rows must carry {HASH_FIELD!r}")
         os.makedirs(self.root, exist_ok=True)
         self.writer().append(dict(row))
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        """Every quarantine row in the store (``cause="poison"``) —
+        games the supervised pool gave up replaying because they
+        repeatedly killed or hung their workers."""
+        return [
+            row
+            for row in self.index().values()
+            if row.get("cause") == QUARANTINE_CAUSE
+        ]
 
     def __contains__(self, spec_hash_value: object) -> bool:
         return spec_hash_value in self.index()

@@ -1,0 +1,670 @@
+"""Supervised campaign worker pool: leases, crash recovery, quarantine.
+
+The PR-5 campaign scheduler fanned games out over bare ``ctx.Process``
+workers sharing one task queue.  That survives the failures *games*
+survive (victim crashes become forfeit rows inside the worker) but not
+the failures *processes* suffer: a SIGKILLed, OOM'd, or natively hung
+worker silently lost its in-flight game, and the parent's drain loop
+only noticed once **every** worker was dead.  This module replaces the
+fan-out with a supervised pool:
+
+* **Leases** — the parent dispatches exactly one game to one worker at
+  a time and records a :class:`Lease` (digest, pid, attempt, monotonic
+  deadline derived from the spec's ``GamePolicy`` timeout × a grace
+  factor).  Work-stealing is preserved: the next pending game goes to a
+  worker the moment it reports its last one.
+* **Crash recovery** — the drain loop detects dead workers via
+  ``Process.is_alive()``/``exitcode`` and hung workers via expired
+  leases, SIGKILLs and reaps the offender, respawns a replacement
+  (while the restart budget lasts), and requeues the leased game with
+  its retry count.
+* **Isolated channels** — each worker talks to the parent over its own
+  duplex pipe (tasks down, results up) instead of one shared result
+  queue.  A ``multiprocessing.Queue`` ack travels through a feeder
+  thread holding a lock shared by *every* worker, so a SIGKILL landing
+  mid-write would deadlock or garble all the survivors' acks; with
+  per-worker pipes a torn write poisons only the dead worker's channel,
+  which the parent already treats as worker death (any receive failure
+  marks the worker broken and its lease lost).
+* **Poison quarantine** — a game that kills or hangs its worker
+  ``poison_threshold`` times is quarantined: written to the
+  :class:`~repro.analysis.store.ResultStore` as a structured forfeit
+  row (``reason="forfeit:poison"``, ``cause="poison"``) so resume never
+  replays it forever, and surfaced by ``campaign status``.
+* **Graceful degradation** — when the restart budget is exhausted the
+  pool stops, hands the un-played remainder back to the scheduler, and
+  the scheduler finishes **in-process serially** instead of raising.
+
+Observability: the drain runs inside a ``worker-pool`` trace span;
+worker lifecycle transitions are trace events (``worker-spawned``,
+``worker-died``, ``lease-expired``, ``game-requeued``,
+``game-quarantined``, ``pool-degraded``) and the counters
+``campaign_worker_restarts`` / ``campaign_lease_expirations`` /
+``campaign_games_requeued`` / ``campaign_games_quarantined`` /
+``campaign_pool_degradations`` fold through the ordinary registry.
+
+Chaos: workers consult an optional
+:class:`~repro.robustness.chaos.ChaosPolicy` (normally passed via the
+``REPRO_CHAOS`` environment) before each game — kill-self, stall,
+corrupt-result-row, slow-start — which is how the tests and the CI
+chaos job inject process-level faults the way
+:class:`~repro.robustness.faults.FaultyAlgorithm` injects game-level
+ones.  The parent never applies chaos, so the degraded serial path
+always completes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.executor import GameSpec, _pool_context
+from repro.analysis.store import (
+    HASH_FIELD,
+    QUARANTINE_CAUSE,
+    QUARANTINE_REASON,
+    ResultStore,
+)
+from repro.observability.metrics import get_registry
+from repro.observability.trace import TRACER
+from repro.robustness.chaos import ChaosPolicy, inject_corrupt_row
+
+#: One work item as the scheduler hands it over: (content hash, spec).
+WorkItem = Tuple[str, GameSpec]
+
+
+@dataclass
+class Lease:
+    """One dispatched game, tracked in the parent until acknowledged.
+
+    ``deadline`` is a monotonic-clock instant derived from the spec's
+    wall-clock timeout × the pool's grace factor (plus a constant slack
+    for process startup); ``None`` when the policy has no timeout, in
+    which case only worker death — not expiry — can end the lease.
+    """
+
+    digest: str
+    spec: GameSpec
+    attempt: int
+    pid: Optional[int]
+    started: float
+    deadline: Optional[float]
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle on one worker process and its duplex pipe.
+
+    ``broken`` is set when the parent fails to send to or receive from
+    the pipe — a torn write from a mid-ack SIGKILL, an EOF, anything —
+    and is treated exactly like process death by the health sweep.
+    """
+
+    index: int
+    process: Any
+    conn: Any
+    lease: Optional[Lease] = None
+    broken: bool = False
+
+
+@dataclass
+class PoolOutcome:
+    """What one pool drain produced.
+
+    ``leftover`` is non-empty exactly when the pool degraded: the
+    restart budget ran out and these games must be finished in-process
+    by the caller.  ``quarantined`` digests also appear in ``rows`` (as
+    their structured forfeit rows), so callers count them as covered.
+    """
+
+    rows: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    leftover: List[WorkItem] = field(default_factory=list)
+    restarts: int = 0
+    lease_expirations: int = 0
+    requeues: int = 0
+    degraded: bool = False
+
+
+def quarantine_row(digest: str, spec: GameSpec, losses: int) -> Dict[str, Any]:
+    """The structured forfeit row a poison game is stored under.
+
+    Shaped like an ordinary tournament row (so tables, status, and
+    dedupe treat it uniformly) plus ``cause="poison"`` — the marker
+    :meth:`ResultStore.quarantined` and ``campaign status`` key on.
+    """
+    return {
+        HASH_FIELD: digest,
+        "adversary": spec.adversary,
+        "victim": spec.victim,
+        "locality": spec.locality,
+        "won": True,
+        "reason": QUARANTINE_REASON,
+        "forfeit": True,
+        "detail": (
+            f"game killed or hung {losses} worker processes; "
+            "quarantined by the supervised pool"
+        ),
+        "error_type": "PoisonGame",
+        "failed_at_step": None,
+        "n": None,
+        "cause": QUARANTINE_CAUSE,
+    }
+
+
+def _error_entry(digest: str, spec: GameSpec, detail: str) -> Dict[str, Any]:
+    return {
+        HASH_FIELD: digest,
+        "adversary": spec.adversary,
+        "victim": spec.victim,
+        "locality": spec.locality,
+        "error": detail,
+    }
+
+
+def _pool_worker(
+    index: int,
+    conn,
+    store_root: str,
+    retries: int,
+    backoff: float,
+    chaos: Optional[ChaosPolicy],
+) -> None:
+    """Worker loop: serve one leased game per pipe round-trip until the
+    ``None`` sentinel.
+
+    Each finished row is fsynced into this worker's store shard
+    *before* the result is acknowledged, so a kill — of the worker or
+    the parent — never loses an acknowledged game.  Store write
+    failures (disk full, chaos-injected torn writes) are reported as
+    structured errors, never fatal: the game is simply not acknowledged
+    and the next run retries it.  Pipe sends are synchronous (no feeder
+    thread): once ``conn.send`` returns, the ack is in the kernel
+    buffer and survives this process's death.
+    """
+    # Imported here (not at module top) because campaign.py imports this
+    # module; the worker body only runs in child processes.
+    from repro.analysis.campaign import _play_with_retry, _store_row
+
+    store = ResultStore(store_root)
+    if chaos is not None:
+        chaos.apply_slow_start(index)
+    # Parent-death detection cannot rely on pipe EOF alone: under fork,
+    # a worker inherits duplicate fds of earlier workers' parent-side
+    # pipe ends, so a SIGKILLed parent leaves those pipes open and a
+    # blocking recv would orphan the whole fleet forever.  A reparented
+    # process sees its ppid change — poll for that instead.
+    parent_pid = os.getppid()
+    while True:
+        try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+            item = conn.recv()
+        except (EOFError, OSError):  # parent gone
+            return
+        if item is None:
+            try:
+                conn.send(("exit", index, None, None))
+            except OSError:  # pragma: no cover - parent gone
+                pass
+            return
+        digest, spec, attempt = item
+        action = None
+        if chaos is not None:
+            action = chaos.action_for(digest, attempt)
+            if action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif action == "stall":
+                # The parent's lease expiry is expected to SIGKILL us
+                # long before this loop finishes; bail out if the
+                # parent itself dies so a stalled worker never
+                # outlives it as an orphan.
+                deadline = time.monotonic() + chaos.stall_seconds
+                while time.monotonic() < deadline:
+                    if os.getppid() != parent_pid:
+                        return
+                    time.sleep(0.2)
+        try:
+            outcome = _play_with_retry(spec, retries, backoff)
+        except Exception as exc:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            try:
+                conn.send(("error", digest, detail, None))
+            except OSError:  # pragma: no cover - parent gone
+                return
+            continue
+        row = _store_row(outcome, digest)
+        try:
+            if action == "corrupt":
+                inject_corrupt_row(store.root, os.getpid())
+            store.add(row)
+        except OSError as exc:
+            try:
+                conn.send(
+                    ("error", digest, f"result store write failed: {exc}", None)
+                )
+            except OSError:  # pragma: no cover - parent gone
+                return
+            continue
+        try:
+            conn.send(("done", digest, row, outcome.metrics))
+        except OSError:  # pragma: no cover - parent gone
+            return
+
+
+class SupervisedWorkerPool:
+    """Drain campaign work through leased, supervised worker processes.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ResultStore` workers write rows into and the parent
+        writes quarantine rows into.
+    workers:
+        Worker process count (the pool spawns at most ``len(work)``).
+    retries, backoff:
+        Per-game in-worker retry budget and base backoff, as in
+        :class:`~repro.analysis.campaign.CampaignScheduler`.
+    max_worker_restarts:
+        Total worker respawns across the drain before the pool degrades
+        to the caller's serial path.  ``None`` means ``max(8, 2 ×
+        workers)``.
+    poison_threshold:
+        Worker losses (deaths + lease expirations) one game may cause
+        before it is quarantined.
+    lease_grace, lease_slack:
+        A lease expires ``timeout × lease_grace + lease_slack`` seconds
+        after dispatch (no expiry when the spec has no timeout).
+    heartbeat:
+        The drain loop's poll interval — how often worker health and
+        lease deadlines are checked while no results arrive.
+    chaos:
+        Fault-injection policy shipped to workers; defaults to
+        :meth:`ChaosPolicy.from_env` (i.e. the ``REPRO_CHAOS``
+        environment), which resolves to None in ordinary runs.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int,
+        retries: int = 1,
+        backoff: float = 0.05,
+        max_worker_restarts: Optional[int] = None,
+        poison_threshold: int = 3,
+        lease_grace: float = 3.0,
+        lease_slack: float = 1.0,
+        heartbeat: float = 0.1,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {poison_threshold}"
+            )
+        self.store = store
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.max_worker_restarts = (
+            max_worker_restarts
+            if max_worker_restarts is not None
+            else max(8, 2 * workers)
+        )
+        self.poison_threshold = poison_threshold
+        self.lease_grace = lease_grace
+        self.lease_slack = lease_slack
+        self.heartbeat = heartbeat
+        self.chaos = chaos if chaos is not None else ChaosPolicy.from_env()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def run(self, work: List[WorkItem]) -> PoolOutcome:
+        """Play every work item; returns the :class:`PoolOutcome`.
+
+        Never raises on worker failure: lost games are requeued or
+        quarantined, and a exhausted restart budget surfaces as
+        ``leftover`` work for the caller's serial path.
+        """
+        ctx = _pool_context()
+        self._specs = dict(work)
+        registry = get_registry()
+        outcome = PoolOutcome()
+        pending: Deque[WorkItem] = deque(work)
+        attempts: Dict[str, int] = {}
+        losses: Dict[str, int] = {}
+        pool_size = min(self.workers, len(work))
+        fleet: List[_Worker] = [
+            self._spawn(ctx, index) for index in range(pool_size)
+        ]
+
+        with TRACER.span("worker-pool", workers=pool_size) as span:
+            while True:
+                for worker in fleet:
+                    if worker.lease is None:
+                        self._dispatch(worker, pending, outcome.rows, attempts)
+                busy = any(worker.lease is not None for worker in fleet)
+                remaining = any(d not in outcome.rows for d, _ in pending)
+                if not busy and not remaining:
+                    break
+                if not fleet:
+                    # Every worker slot is gone and the budget with it.
+                    self._degrade(outcome, pending, fleet, registry)
+                    break
+                self._drain_one(fleet, outcome, registry)
+                if not self._sweep_health(
+                    ctx, fleet, pending, outcome, attempts, losses, registry
+                ):
+                    self._degrade(outcome, pending, fleet, registry)
+                    break
+            self._shutdown(fleet)
+            span.note(
+                restarts=outcome.restarts,
+                lease_expirations=outcome.lease_expirations,
+                requeues=outcome.requeues,
+                quarantined=len(outcome.quarantined),
+                degraded=outcome.degraded,
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, index: int) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(
+                index,
+                child_conn,
+                self.store.root,
+                self.retries,
+                self.backoff,
+                self.chaos,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the child end so a dead worker reads
+        # as EOF instead of a silent hang.
+        child_conn.close()
+        TRACER.event("worker-spawned", worker=index, pid=process.pid)
+        return _Worker(index=index, process=process, conn=parent_conn)
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        pending: Deque[WorkItem],
+        rows: Dict[str, Dict[str, Any]],
+        attempts: Dict[str, int],
+    ) -> None:
+        while pending:
+            digest, spec = pending.popleft()
+            if digest in rows:
+                continue  # answered while waiting (stale-done race)
+            attempt = attempts.get(digest, 0) + 1
+            attempts[digest] = attempt
+            timeout = spec.policy.timeout
+            now = time.monotonic()
+            deadline = (
+                None
+                if timeout is None
+                else now + timeout * self.lease_grace + self.lease_slack
+            )
+            worker.lease = Lease(
+                digest=digest,
+                spec=spec,
+                attempt=attempt,
+                pid=worker.process.pid,
+                started=now,
+                deadline=deadline,
+            )
+            try:
+                worker.conn.send((digest, spec, attempt))
+            except OSError:
+                # Worker already dead: undo the dispatch (keeping the
+                # attempt numbering aligned with actual plays) and let
+                # the health sweep reap it.
+                worker.lease = None
+                worker.broken = True
+                attempts[digest] = attempt - 1
+                pending.appendleft((digest, spec))
+            return
+
+    def _drain_one(
+        self, fleet: List[_Worker], outcome: PoolOutcome, registry
+    ) -> None:
+        by_conn = {
+            worker.conn: worker
+            for worker in fleet
+            if worker.conn is not None and not worker.broken
+        }
+        if not by_conn:
+            time.sleep(self.heartbeat)
+            return
+        for conn in _connection_wait(list(by_conn), timeout=self.heartbeat):
+            worker = by_conn[conn]
+            try:
+                message = conn.recv()
+            except Exception:
+                # EOF (dead worker) or a torn/garbled ack: only this
+                # worker's channel is poisoned.  The sweep reaps it.
+                worker.broken = True
+                continue
+            self._handle_message(worker, message, outcome, registry)
+
+    def _handle_message(
+        self, worker: _Worker, message, outcome: PoolOutcome, registry
+    ) -> None:
+        try:
+            kind, digest, payload, metrics = message
+        except (TypeError, ValueError):  # pragma: no cover - malformed
+            worker.broken = True
+            return
+        if kind == "exit":
+            return
+        if worker.lease is not None and worker.lease.digest == digest:
+            worker.lease = None
+        if kind == "error":
+            outcome.errors.append(
+                _error_entry(digest, self._specs[digest], payload)
+            )
+            return
+        if digest not in outcome.rows:
+            outcome.rows[digest] = payload
+        if metrics:
+            registry.merge(metrics)
+
+    def _salvage(
+        self, worker: _Worker, outcome: PoolOutcome, registry
+    ) -> None:
+        """Recover intact acks buffered in a dead worker's pipe.
+
+        A worker may finish (fsync + ack) and then die before the drain
+        reads the ack; the bytes survive in the kernel buffer, so read
+        until EOF or the first tear rather than discarding them.
+        """
+        if worker.conn is None:
+            return
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                message = worker.conn.recv()
+            except Exception:
+                return
+            self._handle_message(worker, message, outcome, registry)
+
+    def _sweep_health(
+        self,
+        ctx,
+        fleet: List[_Worker],
+        pending: Deque[WorkItem],
+        outcome: PoolOutcome,
+        attempts: Dict[str, int],
+        losses: Dict[str, int],
+        registry,
+    ) -> bool:
+        """Reap dead workers and expired leases; respawn replacements.
+
+        Returns False when a replacement is needed but the restart
+        budget is exhausted — the signal to degrade.
+        """
+        now = time.monotonic()
+        for worker in list(fleet):
+            dead = worker.broken or not worker.process.is_alive()
+            expired = (
+                not dead
+                and worker.lease is not None
+                and worker.lease.deadline is not None
+                and now > worker.lease.deadline
+            )
+            if not dead and not expired:
+                continue
+            if expired:
+                outcome.lease_expirations += 1
+                registry.inc("campaign_lease_expirations")
+                TRACER.event(
+                    "lease-expired",
+                    worker=worker.index,
+                    pid=worker.process.pid,
+                    digest=worker.lease.digest,
+                    attempt=worker.lease.attempt,
+                )
+            worker.process.kill()
+            worker.process.join()
+            TRACER.event(
+                "worker-died",
+                worker=worker.index,
+                pid=worker.process.pid,
+                exitcode=worker.process.exitcode,
+                cause="lease-expired" if expired else "worker-death",
+            )
+            self._salvage(worker, outcome, registry)
+            self._close_conn(worker.conn)
+            fleet.remove(worker)
+            if worker.lease is not None:
+                self._account_loss(
+                    worker.lease, pending, outcome, losses, registry
+                )
+            if outcome.restarts >= self.max_worker_restarts:
+                return False
+            outcome.restarts += 1
+            registry.inc("campaign_worker_restarts")
+            fleet.append(self._spawn(ctx, worker.index))
+        return True
+
+    def _account_loss(
+        self,
+        lease: Lease,
+        pending: Deque[WorkItem],
+        outcome: PoolOutcome,
+        losses: Dict[str, int],
+        registry,
+    ) -> None:
+        """Requeue a lost in-flight game, or quarantine a poison one."""
+        digest = lease.digest
+        if digest in outcome.rows:
+            return  # acknowledged just before the worker was lost
+        losses[digest] = losses.get(digest, 0) + 1
+        if losses[digest] >= self.poison_threshold:
+            row = quarantine_row(digest, lease.spec, losses[digest])
+            self.store.add(row)
+            outcome.rows[digest] = row
+            outcome.quarantined.append(digest)
+            registry.inc("campaign_games_quarantined")
+            TRACER.event(
+                "game-quarantined",
+                digest=digest,
+                adversary=lease.spec.adversary,
+                victim=lease.spec.victim,
+                locality=lease.spec.locality,
+                losses=losses[digest],
+            )
+            return
+        pending.append((digest, lease.spec))
+        outcome.requeues += 1
+        registry.inc("campaign_games_requeued")
+        TRACER.event(
+            "game-requeued",
+            digest=digest,
+            attempt=lease.attempt,
+            losses=losses[digest],
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation and shutdown
+    # ------------------------------------------------------------------
+    def _degrade(
+        self,
+        outcome: PoolOutcome,
+        pending: Deque[WorkItem],
+        fleet: List[_Worker],
+        registry,
+    ) -> None:
+        """Restart budget exhausted: stop the pool, hand work back."""
+        outcome.degraded = True
+        leftover: List[WorkItem] = []
+        seen = set()
+        for worker in fleet:
+            worker.process.kill()
+            worker.process.join()
+            self._salvage(worker, outcome, registry)
+            self._close_conn(worker.conn)
+            if worker.lease is not None:
+                lease = worker.lease
+                if lease.digest not in outcome.rows:
+                    leftover.append((lease.digest, lease.spec))
+                    seen.add(lease.digest)
+                worker.lease = None
+        fleet.clear()
+        for digest, spec in pending:
+            if digest not in outcome.rows and digest not in seen:
+                leftover.append((digest, spec))
+                seen.add(digest)
+        pending.clear()
+        outcome.leftover = leftover
+        registry.inc("campaign_pool_degradations")
+        TRACER.event(
+            "pool-degraded",
+            remaining=len(leftover),
+            restarts=outcome.restarts,
+            budget=self.max_worker_restarts,
+        )
+
+    def _shutdown(self, fleet: List[_Worker]) -> None:
+        """Retire the surviving workers (sentinel, join, kill stragglers)."""
+        for worker in fleet:
+            if worker.process.is_alive() and not worker.broken:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):  # pragma: no cover - closed
+                    pass
+        deadline = time.monotonic() + 5.0
+        for worker in fleet:
+            remaining = max(0.0, deadline - time.monotonic())
+            worker.process.join(timeout=remaining)
+            if worker.process.is_alive():  # pragma: no cover - straggler
+                worker.process.kill()
+                worker.process.join()
+            self._close_conn(worker.conn)
+        fleet.clear()
+
+    @staticmethod
+    def _close_conn(conn) -> None:
+        try:
+            conn.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass

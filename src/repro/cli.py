@@ -372,6 +372,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             max_games=args.max_games,
             retries=args.retries,
             trace_path=args.trace,
+            max_worker_restarts=args.max_worker_restarts,
+            poison_threshold=args.poison_threshold,
         )
     else:
         results, outcome = run_threshold_search(
@@ -381,14 +383,25 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             max_games=args.max_games,
             retries=args.retries,
             trace_path=args.trace,
+            max_worker_restarts=args.max_worker_restarts,
+            poison_threshold=args.poison_threshold,
         )
         print(threshold_table(results))
         print()
+    quarantined = [
+        row for row in outcome.rows.values() if row.get("cause") == "poison"
+    ]
     print(
         f"campaign {outcome.name}: {len(outcome.rows)}/{outcome.total} "
         f"games in store (played {outcome.played}, deduped "
-        f"{outcome.deduped}, errors {len(outcome.errors)})"
+        f"{outcome.deduped}, errors {len(outcome.errors)}, "
+        f"quarantined {len(quarantined)})"
     )
+    for row in quarantined:
+        print(
+            f"  quarantined: {row.get('adversary')} vs {row.get('victim')} "
+            f"at T={row.get('locality')} ({row.get('detail', '')})"
+        )
     for error in outcome.errors:
         print(f"  error: {error}")
     if args.metrics:
@@ -398,6 +411,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import campaign_status
+    from repro.analysis.store import ResultStore
 
     if not os.path.isdir(args.store):
         raise UserError(f"no result store at {args.store!r}")
@@ -411,9 +425,19 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         else:
             progress = f"{status.done} probes answered"
         line = f"  {status.name} [{status.kind}]: {progress}"
+        if status.quarantined:
+            line += f", {status.quarantined} quarantined"
         if status.detail:
             line += f" ({status.detail})"
         print(line)
+    quarantined = ResultStore(args.store).quarantined()
+    if quarantined:
+        print(f"quarantined games ({len(quarantined)}, cause=poison):")
+        for row in quarantined:
+            print(
+                f"  {row.get('adversary')} vs {row.get('victim')} "
+                f"at T={row.get('locality')}"
+            )
     print("runs:")
     if not runs:
         print("  (no runs recorded)")
@@ -564,6 +588,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--retries", type=_positive_int, default=1,
             help="supervised attempts per game before recording an error "
             "(default 1)",
+        )
+        cmd.add_argument(
+            "--max-worker-restarts", type=int, default=None, metavar="N",
+            help="worker respawns before the pool degrades to in-process "
+            "serial execution (default: max(8, 2×workers))",
+        )
+        cmd.add_argument(
+            "--poison-threshold", type=_positive_int, default=3, metavar="N",
+            help="worker kills/hangs one game may cause before it is "
+            "quarantined as a forfeit:poison row (default 3)",
         )
         cmd.set_defaults(func=cmd_campaign_run, require_store=require_store)
     status = csub.add_parser(

@@ -32,6 +32,11 @@ Instrument names used across the harness (see ``docs/observability.md``):
 ``campaign_games_deduped``  campaign games answered from the result store
 ``campaign_game_retries``   supervised re-attempts inside campaign games
 ``campaign_game_errors``    campaign games that exhausted their retries
+``campaign_worker_restarts``    pool workers respawned after a death/hang
+``campaign_lease_expirations``  leases expired (hung worker SIGKILLed)
+``campaign_games_requeued``     in-flight games requeued after worker loss
+``campaign_games_quarantined``  poison games stored as forfeit rows
+``campaign_pool_degradations``  pools that fell back to serial execution
 ==========================  ============================================
 
 The process-local default registry is reached through

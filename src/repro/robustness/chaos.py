@@ -1,0 +1,217 @@
+"""Process-level chaos injection: deterministic, seed-driven faults.
+
+:mod:`repro.robustness.faults` injects failures *inside* a game — a
+victim that crashes, stalls, or cheats — and the supervisor converts
+them into structured forfeits.  This module injects failures one layer
+down, at the *process* level, where no in-process supervisor can help:
+a worker that SIGKILLs itself mid-game, stalls past every deadline,
+corrupts its result shard, or starts slowly.  The supervised worker
+pool (:mod:`repro.analysis.worker_pool`) is the machinery that must
+survive these; a :class:`ChaosPolicy` is how tests and the CI chaos job
+prove it does.
+
+Every decision is a **deterministic function of (seed, mode, key)** —
+no ambient randomness — so a chaos run is exactly reproducible: the
+same policy, seed, and work list produce the same kills, stalls, and
+corruptions on every machine.  Game-level draws are keyed by
+``(digest, attempt)``, so a game killed on its first dispatch redraws
+on the requeue — which is how a sub-1.0 kill rate lets replays succeed
+while a 1.0 rate drives the poison-quarantine path.
+
+Workers consult the policy via an environment-passed spec::
+
+    REPRO_CHAOS="kill:0.2,stall:0.1" REPRO_CHAOS_SEED=7 \\
+        python -m repro.cli campaign run spec.json --store DIR --workers 2
+
+Modes
+-----
+``kill``
+    SIGKILL the worker's own process immediately before playing the
+    drawn game (the in-flight game is lost; the pool must requeue it).
+``stall``
+    Sleep far past any lease deadline instead of playing (the pool must
+    expire the lease and reap the worker).
+``corrupt``
+    Play the game, then write a truncated, newline-less junk line to
+    the worker's result shard and raise :class:`OSError` instead of
+    acknowledging — simulating a failed fsync / torn write.  The worker
+    must report a structured error and the shard must stay parseable.
+``slow-start``
+    Sleep ``slow_start_seconds`` when the worker boots (keyed by worker
+    index, not game), exercising dispatch against a lagging pool.
+
+The parent process never applies chaos: only worker processes consult
+the policy, so the degraded in-process serial path always completes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.robustness.errors import ReproError
+
+#: Environment knob naming the chaos spec (``"kill:0.2,stall:0.1"``).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Environment knob for the deterministic draw seed (default 0).
+CHAOS_SEED_ENV_VAR = "REPRO_CHAOS_SEED"
+
+#: Recognized fault modes, in the order they are drawn per game.
+CHAOS_MODES = ("kill", "stall", "corrupt", "slow-start")
+
+
+class ChaosSpecError(ReproError):
+    """A malformed chaos spec string (unknown mode, bad rate)."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A deterministic process-fault policy.
+
+    Attributes
+    ----------
+    rates:
+        ``((mode, probability), ...)`` — sorted, hashable; probabilities
+        in ``[0, 1]``.
+    seed:
+        The draw seed; distinct seeds give independent fault patterns.
+    stall_seconds:
+        How long a ``stall`` draw sleeps — far longer than any lease so
+        the pool, not the worker, ends the stall.
+    slow_start_seconds:
+        The boot delay a ``slow-start`` draw imposes.
+    """
+
+    rates: Tuple[Tuple[str, float], ...]
+    seed: int = 0
+    stall_seconds: float = 3600.0
+    slow_start_seconds: float = 0.25
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ChaosPolicy":
+        """Build a policy from a spec string like ``"kill:0.2,stall:0.1"``."""
+        rates = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            mode, colon, rate_text = part.partition(":")
+            mode = mode.strip()
+            if mode not in CHAOS_MODES:
+                raise ChaosSpecError(
+                    f"unknown chaos mode {mode!r}; choose from "
+                    f"{list(CHAOS_MODES)}"
+                )
+            if not colon:
+                raise ChaosSpecError(
+                    f"chaos entries are 'mode:rate', got {part!r}"
+                )
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise ChaosSpecError(
+                    f"bad chaos rate {rate_text!r} for mode {mode!r}"
+                ) from None
+            if not 0.0 <= rate <= 1.0:
+                raise ChaosSpecError(
+                    f"chaos rate for {mode!r} must be in [0, 1], got {rate}"
+                )
+            rates[mode] = rate
+        if not rates:
+            raise ChaosSpecError(f"empty chaos spec {text!r}")
+        return cls(rates=tuple(sorted(rates.items())), seed=seed)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["ChaosPolicy"]:
+        """The policy named by :data:`CHAOS_ENV_VAR`, or None when unset."""
+        environ = environ if environ is not None else os.environ
+        text = environ.get(CHAOS_ENV_VAR, "").strip()
+        if not text:
+            return None
+        seed = int(environ.get(CHAOS_SEED_ENV_VAR, "0"))
+        return cls.parse(text, seed=seed)
+
+    def to_string(self) -> str:
+        """The spec-string form (round-trips through :meth:`parse`)."""
+        return ",".join(f"{mode}:{rate:g}" for mode, rate in self.rates)
+
+    def rate(self, mode: str) -> float:
+        for name, rate in self.rates:
+            if name == mode:
+                return rate
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Deterministic draws
+    # ------------------------------------------------------------------
+    def roll(self, mode: str, key: str) -> bool:
+        """Whether ``mode`` fires for ``key`` — a pure function of
+        ``(seed, mode, key)``, uniform over ``[0, 1)``."""
+        rate = self.rate(mode)
+        if rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}:{mode}:{key}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < rate
+
+    def action_for(self, digest: str, attempt: int) -> Optional[str]:
+        """The fault (if any) drawn for one dispatched game.
+
+        Keyed by ``(digest, attempt)``: the same game redraws on every
+        requeue, so sub-1.0 rates let replays through while rate-1.0
+        modes reproduce the fault until quarantine.  ``slow-start`` is a
+        worker-boot mode and never fires here.
+        """
+        key = f"{digest}:{attempt}"
+        for mode in ("kill", "stall", "corrupt"):
+            if self.roll(mode, key):
+                return mode
+        return None
+
+    # ------------------------------------------------------------------
+    # Worker-side application
+    # ------------------------------------------------------------------
+    def apply_slow_start(self, worker_index: int) -> bool:
+        """Sleep the boot delay if ``slow-start`` fires for this worker
+        slot; returns whether it fired."""
+        if self.roll("slow-start", f"worker:{worker_index}"):
+            time.sleep(self.slow_start_seconds)
+            return True
+        return False
+
+    def stall(self) -> None:
+        """Serve a ``stall`` draw: sleep far past any lease deadline.
+
+        Interruptible only by a signal — which is the point: the pool's
+        lease expiry must SIGKILL this worker to end the stall.
+        """
+        time.sleep(self.stall_seconds)
+
+
+def inject_corrupt_row(store_root: str, writer_id: int) -> None:
+    """Serve a ``corrupt`` draw against a result-store shard.
+
+    Appends a truncated, newline-less junk fragment to the worker's own
+    ``rows-<pid>.jsonl`` shard — the on-disk signature of a torn write /
+    failed fsync — then raises :class:`OSError` so the caller takes its
+    store-failure path.  The shard must remain loadable: the journal's
+    tolerant loader skips the partial trailing line and the next append
+    repairs it.
+    """
+    path = os.path.join(os.fspath(store_root), f"rows-{writer_id}.jsonl")
+    os.makedirs(os.fspath(store_root), exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"spec_hash": "chaos-torn-wr')
+        handle.flush()
+    raise OSError("chaos: injected result-row corruption (torn write)")

@@ -10,6 +10,8 @@ with successive seeds, retrying only on *structured* failures
 
 from __future__ import annotations
 
+import random
+import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.robustness.errors import ReproError
@@ -28,6 +30,9 @@ def retry_with_reseed(
     attempts: int = 3,
     retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    backoff: float = 0.0,
+    max_backoff: float = 30.0,
+    rng: Optional[random.Random] = None,
 ) -> T:
     """Run ``attempt(seed)``, reseeding with ``seed+1, seed+2, ...`` on failure.
 
@@ -46,6 +51,17 @@ def retry_with_reseed(
     on_retry:
         Observer called with ``(failed_seed, exception)`` before each
         reseed — CLI paths use it to narrate the recovery.
+    backoff:
+        Base delay (seconds) slept before each reseeded attempt, grown
+        exponentially with **full jitter**: retry ``k`` (1-based) sleeps
+        ``uniform(0, min(max_backoff, backoff × 2^(k-1)))``, so many
+        workers retrying the same transient never stampede in lockstep.
+        The default 0 keeps the historical sleep-free behavior.
+    max_backoff:
+        Cap on one sleep, bounding the worst-case stall.
+    rng:
+        Randomness source for the jitter draw (tests inject a seeded
+        one; defaults to the module-level :mod:`random`).
 
     Raises
     ------
@@ -54,9 +70,13 @@ def retry_with_reseed(
     """
     if attempts < 1:
         raise ValueError(f"attempts must be positive, got {attempts}")
+    draw = rng.uniform if rng is not None else random.uniform
     last: Optional[BaseException] = None
     for offset in range(attempts):
         current = seed + offset
+        if offset and backoff > 0:
+            window = min(max_backoff, backoff * (2 ** (offset - 1)))
+            time.sleep(draw(0.0, window))
         try:
             return attempt(current)
         except retry_on as exc:

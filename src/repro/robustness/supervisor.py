@@ -70,6 +70,13 @@ def alarm_guard(timeout: Optional[float]) -> Iterator[None]:
     per-step deadline check in :class:`SupervisedAlgorithm` still
     applies).  The preemptive path is what rescues games from victims
     that never return from a single ``step`` call.
+
+    Nests correctly: if an ``ITIMER_REAL`` timer was already armed (an
+    outer guard — e.g. a scheduler-level budget around a supervised
+    game), exiting the inner guard restores the outer timer with its
+    *remaining* time rather than zeroing it, so the outer deadline
+    still fires.  An outer deadline that elapsed entirely inside the
+    inner guard is re-armed to fire immediately.
     """
     usable = (
         timeout is not None
@@ -85,12 +92,22 @@ def alarm_guard(timeout: Optional[float]) -> Iterator[None]:
         raise GameTimeout(f"wall-clock budget of {timeout}s exhausted")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    outer_delay, outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, timeout
+    )
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - armed_at)
+            # An outer deadline that passed while we ran must still
+            # fire — as soon as possible — not be silently cancelled.
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+            )
 
 
 class SupervisedAlgorithm(OnlineAlgorithm):

@@ -387,3 +387,27 @@ def test_campaign_status_reports_progress(tmp_path):
     statuses, runs = campaign_status(tmp_path / "store")
     assert (statuses[0].done, statuses[0].total) == (8, 8)
     assert (runs[-1]["played"], runs[-1]["deduped"]) == (5, 3)
+
+
+def test_backoff_delay_full_jitter_windows_and_cap():
+    from repro.analysis.campaign import BACKOFF_CAP_SECONDS, _backoff_delay
+
+    class Rng:
+        def __init__(self):
+            self.windows = []
+
+        def uniform(self, low, high):
+            self.windows.append((low, high))
+            return high
+
+    rng = Rng()
+    delays = [_backoff_delay(attempt, 0.5, rng=rng) for attempt in (1, 2, 3, 4)]
+    assert delays == [0.5, 1.0, 2.0, 2.0]  # doubles, then clamps at the cap
+    assert rng.windows == [(0.0, 0.5), (0.0, 1.0), (0.0, 2.0), (0.0, 2.0)]
+    assert BACKOFF_CAP_SECONDS == 2.0
+    # Zero base means zero delay and no draw at all.
+    before = list(rng.windows)
+    assert _backoff_delay(5, 0.0, rng=rng) == 0.0
+    assert rng.windows == before
+    # A custom cap clamps tighter.
+    assert _backoff_delay(10, 1.0, cap=0.3, rng=rng) == 0.3

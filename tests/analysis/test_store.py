@@ -91,3 +91,32 @@ def test_run_ledger_sequences(tmp_path):
     runs = store.runs()
     assert [run["seq"] for run in runs] == [0, 1]
     assert [run["played"] for run in runs] == [3, 0]
+
+
+def test_add_failure_leaves_store_usable(tmp_path, monkeypatch):
+    """A disk-full style OSError mid-append surfaces to the caller, and
+    the shard stays parseable for both reads and later appends."""
+    import repro.robustness.journal as journal_mod
+
+    store = ResultStore(tmp_path)
+    store.add({HASH_FIELD: "aaa", "won": True})
+
+    real_fsync = journal_mod.os.fsync
+    fail = {"on": True}
+
+    def flaky_fsync(fd):
+        if fail["on"]:
+            raise OSError(28, "No space left on device")
+        real_fsync(fd)
+
+    monkeypatch.setattr(journal_mod.os, "fsync", flaky_fsync)
+    with pytest.raises(OSError, match="No space left"):
+        store.add({HASH_FIELD: "bbb", "won": False})
+
+    fail["on"] = False
+    # Reads skip over whatever state the failed append left behind.
+    assert "aaa" in store.index()
+    store.add({HASH_FIELD: "ccc", "won": True})
+    index = store.index()
+    assert {"aaa", "ccc"} <= set(index)
+    assert all(isinstance(row, dict) for row in index.values())

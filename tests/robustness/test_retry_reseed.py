@@ -58,3 +58,53 @@ def test_exhaustion_raises_structured_error_with_cause():
 def test_attempts_must_be_positive():
     with pytest.raises(ValueError):
         retry_with_reseed(lambda seed: seed, attempts=0)
+
+
+class _RecordingRng:
+    """Deterministic jitter source that reports each draw window."""
+
+    def __init__(self):
+        self.windows = []
+
+    def uniform(self, low, high):
+        self.windows.append((low, high))
+        return high  # worst case: sleep the full window
+
+
+def test_backoff_windows_double_under_full_jitter(monkeypatch):
+    import repro.robustness.retry as retry_mod
+
+    sleeps = []
+    monkeypatch.setattr(retry_mod.time, "sleep", sleeps.append)
+    rng = _RecordingRng()
+    calls = []
+
+    def attempt(seed):
+        calls.append(seed)
+        if len(calls) < 4:
+            raise OracleError("transient")
+        return seed
+
+    result = retry_with_reseed(
+        attempt, seed=0, attempts=5, backoff=0.1, max_backoff=0.25, rng=rng
+    )
+    assert result == 3
+    # Windows double from the base and clamp at max_backoff; each draw
+    # spans [0, window] (full jitter), never a fixed delay.
+    assert rng.windows == [(0.0, 0.1), (0.0, 0.2), (0.0, 0.25)]
+    assert sleeps == [0.1, 0.2, 0.25]
+
+
+def test_zero_backoff_stays_sleep_free(monkeypatch):
+    import repro.robustness.retry as retry_mod
+
+    sleeps = []
+    monkeypatch.setattr(retry_mod.time, "sleep", sleeps.append)
+
+    def attempt(seed):
+        if seed < 2:
+            raise OracleError("transient")
+        return seed
+
+    assert retry_with_reseed(attempt, seed=0, attempts=3) == 2
+    assert sleeps == []

@@ -158,3 +158,41 @@ def test_call_with_timeout_passthrough_and_interrupt():
 
     with pytest.raises(GameTimeout):
         call_with_timeout(spin, timeout=0.3)
+
+
+def test_alarm_guard_inner_fires_under_an_outer_timer():
+    from repro.robustness.supervisor import alarm_guard
+
+    started = time.monotonic()
+    with alarm_guard(10.0):
+        with pytest.raises(GameTimeout):
+            with alarm_guard(0.2):
+                time.sleep(5.0)
+    assert time.monotonic() - started < 2.0
+
+
+def test_alarm_guard_restores_outer_timer_with_remaining_time():
+    from repro.robustness.supervisor import alarm_guard
+
+    started = time.monotonic()
+    with pytest.raises(GameTimeout):
+        with alarm_guard(0.4):
+            with alarm_guard(5.0):
+                time.sleep(0.05)  # inner exits cleanly, well under both
+            # Before the fix the inner guard's exit zeroed ITIMER_REAL,
+            # silently cancelling the outer 0.4s deadline — this sleep
+            # would then run its full 5 seconds.
+            time.sleep(5.0)
+    assert time.monotonic() - started < 2.0
+
+
+def test_alarm_guard_outer_deadline_elapsed_inside_inner_still_fires():
+    from repro.robustness.supervisor import alarm_guard
+
+    started = time.monotonic()
+    with pytest.raises(GameTimeout):
+        with alarm_guard(0.2):
+            with alarm_guard(5.0):
+                time.sleep(0.35)  # outer deadline passes in here
+            time.sleep(5.0)  # re-armed to fire (near) immediately
+    assert time.monotonic() - started < 2.0

@@ -237,3 +237,41 @@ def test_campaign_threshold_spec_prints_table(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "threshold T" in out
     assert ">1" in out
+
+
+def test_campaign_parser_accepts_pool_robustness_flags(tmp_path):
+    args = build_parser().parse_args(
+        ["campaign", "run", "spec.json", "--store", "s",
+         "--max-worker-restarts", "5", "--poison-threshold", "2"]
+    )
+    assert args.max_worker_restarts == 5
+    assert args.poison_threshold == 2
+    # Defaults: unlimited-by-policy restarts (pool picks), threshold 3.
+    args = build_parser().parse_args(["campaign", "resume", "spec.json",
+                                      "--store", "s"])
+    assert args.max_worker_restarts is None
+    assert args.poison_threshold == 3
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "run", "spec.json",
+                                   "--store", "s", "--poison-threshold", "0"])
+
+
+def test_campaign_status_reports_quarantined_games(capsys, tmp_path):
+    from repro.analysis.campaign import CampaignSpec, hash_of
+    from repro.analysis.store import ResultStore
+    from repro.analysis.worker_pool import quarantine_row
+
+    spec = _write_smoke_spec(tmp_path)
+    store = str(tmp_path / "store")
+    assert main(["campaign", "run", spec, "--store", store]) == 0
+    capsys.readouterr()
+    # Simulate a poison game by quarantining one finished row.
+    expanded = CampaignSpec.from_dict(
+        __import__("json").load(open(spec))
+    ).expand()
+    digest = hash_of(expanded[0])
+    ResultStore(store).add(quarantine_row(digest, expanded[0], losses=3))
+    assert main(["campaign", "status", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out
+    assert "cause=poison" in out
