@@ -37,6 +37,7 @@ from repro.analysis.tournament import (
     default_victims,
     run_tournament,
 )
+from repro.graphs.csr import get_graph_backend, set_graph_backend
 from repro.graphs.traversal import BallCache
 from repro.observability.metrics import get_registry
 from repro.robustness.supervisor import GamePolicy
@@ -89,6 +90,40 @@ def _timed_sweep(specs, workers):
     return rows, time.perf_counter() - start
 
 
+def run_backend_comparison(specs, repeats=3):
+    """Cold serial sweep wall-clock per traversal backend.
+
+    The ball pool is cleared before every pass so each one pays the full
+    miss-path extraction cost — the component the ``dict``/``csr``
+    backends actually differ on (warm passes are ~all hits and
+    backend-independent).  Rows must be byte-identical across backends.
+    """
+    timings = {}
+    baseline_rows = None
+    identical = True
+    for backend in ("dict", "csr"):
+        previous = set_graph_backend(backend)
+        try:
+            best = None
+            rows = None
+            for _ in range(repeats):
+                BallCache.reset()
+                rows, seconds = _timed_sweep(specs, 1)
+                best = seconds if best is None else min(best, seconds)
+        finally:
+            set_graph_backend(previous)
+        if baseline_rows is None:
+            baseline_rows = rows
+        else:
+            identical = identical and rows == baseline_rows
+        timings[backend] = best
+    return {
+        "cold_serial_seconds": timings,
+        "speedup": timings["dict"] / timings["csr"] if timings["csr"] else None,
+        "rows_identical_across_backends": identical,
+    }
+
+
 def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
     """Measure serial vs parallel wall-clock and cache hit rates.
 
@@ -121,12 +156,15 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
     if 1 not in results:
         results[1] = min(_timed_sweep(specs, 1)[1] for _ in range(repeats))
     session_cache = BallCache.global_stats()
+    backends = run_backend_comparison(specs, repeats=repeats)
 
     report = {
         "experiment": "tournament-parallel-executor",
         "localities": list(localities),
         "games": len(serial_rows),
         "repeats": repeats,
+        "graph_backend": get_graph_backend(),
+        "backends": backends,
         "serial_seconds": results[1],
         "workers": {
             str(workers): {
@@ -178,6 +216,12 @@ def main(argv=None):
           f"{session['evictions']} evictions, "
           f"{session['full_flushes']} full flushes")
     print(f"rows identical to serial: {report['rows_identical_to_serial']}")
+    backends = report["backends"]
+    cold = backends["cold_serial_seconds"]
+    print(f"cold serial sweep by backend: dict={cold['dict']:.3f}s "
+          f"csr={cold['csr']:.3f}s ({backends['speedup']:.2f}x), "
+          f"rows identical across backends: "
+          f"{backends['rows_identical_across_backends']}")
     print(f"wrote {args.out}")
     return 0
 

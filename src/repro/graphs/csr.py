@@ -1,0 +1,359 @@
+"""CSR flat-array adjacency kernel behind the :class:`~repro.graphs.graph.Graph` API.
+
+The reveal loop bottoms out in radius-``T`` ball extraction
+(:func:`repro.graphs.traversal.ball`).  The historical kernel walks the
+dict-of-sets adjacency map one node at a time, hashing a structured tuple
+label per visited edge.  This module compiles that map into **CSR form**
+(``indptr``/``indices`` flat arrays over dense int node ids) so the BFS
+inner loop touches only machine integers:
+
+* **Label interning** — node labels (grid ``(row, col)`` tuples, hierarchy
+  ``(layer, base)`` tuples, ...) are interned to dense ids in the graph's
+  insertion order, so the mapping is deterministic and stable under
+  :meth:`~repro.graphs.graph.Graph.copy` (which preserves insertion
+  order) and under incremental appends (new nodes get the next id).
+* **Incremental validity** — a compiled view is keyed to the graph's
+  generation counter and re-validated through the PR-4 structural change
+  log: ``"add"``-only deltas are *appended* (the touched rows are patched
+  in place, everything else stays packed); any removal, opaque bulk
+  record, log overflow, or an excessive patch load triggers a recompile.
+* **Zero runtime deps** — the canonical storage is :mod:`array`-module
+  flat arrays, mirrored per row as int tuples for the interpreter sweep
+  (CPython slices/boxes ``array('l')`` elements slowly; tuples of cached
+  small ints iterate at C speed) with a ``bytearray`` visited set cleared
+  output-sensitively.  When numpy is importable (a dev-only convenience,
+  never a requirement) a BFS level whose frontier outgrows
+  ``NUMPY_FRONTIER_MIN`` switches to a vectorized gather over the packed
+  arrays, sharing the visited bytes zero-copy.
+
+Backend selection is process-global: ``REPRO_GRAPH_BACKEND`` (``"csr"``,
+the default, or ``"dict"``) picks which kernel
+:func:`repro.graphs.traversal.bfs_distances` / ``ball`` route through;
+:func:`set_graph_backend` swaps it at runtime (benchmarks time both).
+See ``docs/performance.md`` ("The CSR kernel") for the design notes and
+the soundness argument w.r.t. scoped cache invalidation.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.graph import Graph
+
+try:  # optional fast path; the package itself has zero runtime deps
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+Node = Hashable
+
+#: Whether the vectorized large-frontier sweep is available.
+HAVE_NUMPY = _np is not None
+
+#: BFS levels with frontiers at least this large vectorize (when numpy is
+#: importable and the view has no patched rows).  Below it, per-call numpy
+#: dispatch overhead loses to the interpreter sweep — measured crossover
+#: on grid hosts is several hundred frontier nodes.
+NUMPY_FRONTIER_MIN = 512
+
+#: Patched rows tolerated before an incremental view recompiles:
+#: ``PATCH_BASE + n // PATCH_FRACTION``.
+PATCH_BASE = 64
+PATCH_FRACTION = 8
+
+_VALID_BACKENDS = ("dict", "csr")
+
+
+def _initial_backend() -> str:
+    value = os.environ.get("REPRO_GRAPH_BACKEND", "csr")
+    if value not in _VALID_BACKENDS:
+        raise ValueError(
+            f"REPRO_GRAPH_BACKEND={value!r} is not one of {_VALID_BACKENDS}"
+        )
+    return value
+
+
+_graph_backend = _initial_backend()
+
+
+def set_graph_backend(backend: str) -> str:
+    """Select the traversal kernel (``"dict"`` or ``"csr"``) process-wide.
+
+    Returns the previous backend so callers (tests, benchmarks) can
+    restore it.  Both kernels are answer-identical — the differential
+    property test in ``tests/graphs/test_csr.py`` pins that — so this
+    only chooses *how* balls are extracted, never what they contain.
+    """
+    global _graph_backend
+    if backend not in _VALID_BACKENDS:
+        raise ValueError(f"unknown graph backend {backend!r}; pick from {_VALID_BACKENDS}")
+    previous = _graph_backend
+    _graph_backend = backend
+    return previous
+
+
+def get_graph_backend() -> str:
+    """The kernel new traversal calls route through."""
+    return _graph_backend
+
+
+class CSRView:
+    """A compiled flat-array snapshot of one graph's adjacency.
+
+    Obtain instances through :func:`csr_view` (one cached view per graph,
+    revalidated lazily); construct directly only in tests.  The view
+    exposes id-space introspection (:meth:`id_of`, :meth:`label_of`) plus
+    the two traversal entry points the backend router consumes
+    (:meth:`ball_labels`, :meth:`distances`).
+    """
+
+    __slots__ = (
+        "graph",
+        "_generation",
+        "_ids",
+        "_labels",
+        "_indptr",
+        "_indices",
+        "_rows",
+        "_patched",
+        "_visited",
+        "_np_indptr",
+        "_np_indices",
+        "compiles",
+        "appends",
+    )
+
+    def __init__(self, graph: "Graph") -> None:
+        self.graph = graph
+        self.compiles = 0
+        self.appends = 0
+        self._recompile()
+
+    # ------------------------------------------------------------------
+    # Compilation and incremental sync
+    # ------------------------------------------------------------------
+    def _recompile(self) -> None:
+        """Pack the full adjacency map into fresh indptr/indices arrays."""
+        adj = self.graph.adjacency()
+        ids: Dict[Node, int] = {}
+        labels: List[Node] = []
+        for node in adj:
+            ids[node] = len(labels)
+            labels.append(node)
+        indptr = array("l", [0])
+        indices = array("l")
+        rows: List[Sequence[int]] = []
+        for node in labels:
+            row = tuple(ids[v] for v in adj[node])
+            rows.append(row)
+            indices.extend(row)
+            indptr.append(len(indices))
+        self._ids = ids
+        self._labels = labels
+        self._indptr = indptr
+        self._indices = indices
+        self._rows = rows
+        self._patched: Dict[int, List[int]] = {}
+        self._visited = bytearray(len(labels))
+        if _np is not None:
+            # frombuffer shares the arrays' memory: zero copy, and the
+            # packed arrays are never mutated in place (patches live in
+            # _patched; structural churn recompiles).
+            self._np_indptr = _np.frombuffer(indptr, dtype=_np.dtype("l"))
+            self._np_indices = (
+                _np.frombuffer(indices, dtype=_np.dtype("l"))
+                if len(indices)
+                else _np.empty(0, dtype=_np.dtype("l"))
+            )
+        else:
+            self._np_indptr = None
+            self._np_indices = None
+        self._generation = self.graph.generation
+        self.compiles += 1
+
+    def sync(self) -> "CSRView":
+        """Catch up with the graph: no-op, incremental append, or recompile.
+
+        Mirrors the :class:`~repro.graphs.traversal.BallCache` protocol:
+        an ``"add"``-only change-log delta patches exactly the touched
+        rows (an added edge only changes its two endpoints' rows; a new
+        node is itself touched, so one interning pass over the touched
+        set covers every id the patched rows need).  Anything else —
+        removal, bulk record, unknowable history — recompiles.
+        """
+        graph = self.graph
+        if graph.generation == self._generation:
+            return self
+        changes = graph.changes_since(self._generation)
+        if changes is None or any(kind != "add" for kind, _ in changes):
+            self._recompile()
+            return self
+        touched: Set[Node] = set()
+        for _, nodes in changes:
+            touched.update(nodes)
+        adj = graph.adjacency()
+        ids = self._ids
+        for node in touched:
+            if node not in ids:
+                ids[node] = len(self._labels)
+                self._labels.append(node)
+                self._visited.append(0)
+        for node in touched:
+            self._patched[ids[node]] = [ids[v] for v in adj[node]]
+        self.appends += 1
+        self._generation = graph.generation
+        if len(self._patched) > PATCH_BASE + len(self._labels) // PATCH_FRACTION:
+            self._recompile()
+        return self
+
+    # ------------------------------------------------------------------
+    # Id-space introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def id_of(self, label: Node) -> int:
+        """The dense int id interned for ``label`` (KeyError if absent)."""
+        return self._ids[label]
+
+    def label_of(self, node_id: int) -> Node:
+        """The label interned at ``node_id`` (IndexError if out of range)."""
+        return self._labels[node_id]
+
+    @property
+    def kernel(self) -> str:
+        """Which sweep answers packed queries: ``csr+numpy`` or ``csr``."""
+        return "csr+numpy" if _np is not None else "csr"
+
+    # ------------------------------------------------------------------
+    # Traversal kernels
+    # ------------------------------------------------------------------
+    def ball_labels(self, sources: Iterable[Node], radius: int) -> Set[Node]:
+        """The paper's B(U, T) as a set of labels; sources must be nodes."""
+        ids = self._ids
+        source_ids = [ids[s] for s in sources]
+        labels = self._labels
+        if radius <= 0 or not source_ids:
+            return {labels[i] for i in source_ids}
+        reached = self._ball_ids(source_ids, radius)
+        return {labels[i] for i in reached}
+
+    def _ball_ids(self, source_ids: List[int], radius: int) -> List[int]:
+        """Frontier sweep: interpreter row-view levels, vectorized when big.
+
+        The visited set is a ``bytearray`` cleared output-sensitively in
+        the ``finally`` block, so each call pays work proportional to the
+        ball it returns — no O(n) reinitialization.  A level whose
+        frontier reaches :data:`NUMPY_FRONTIER_MIN` (and an unpatched
+        packed view) runs as one numpy gather sharing the same visited
+        bytes zero-copy.
+        """
+        visited = self._visited
+        rows = self._rows
+        patched = self._patched
+        vectorize = _np is not None and not patched
+        np_visited = (
+            _np.frombuffer(visited, dtype=_np.uint8) if vectorize else None
+        )
+        out: List[int] = []
+        try:
+            for s in source_ids:
+                if not visited[s]:
+                    visited[s] = 1
+                    out.append(s)
+            frontier: List[int] = list(out)
+            for _ in range(radius):
+                if not frontier:
+                    break
+                if vectorize and len(frontier) >= NUMPY_FRONTIER_MIN:
+                    nxt = self._level_numpy(frontier, np_visited)
+                elif patched:
+                    nxt = []
+                    for u in frontier:
+                        row = patched.get(u)
+                        if row is None:
+                            row = rows[u]
+                        for v in row:
+                            if not visited[v]:
+                                visited[v] = 1
+                                nxt.append(v)
+                else:
+                    nxt = []
+                    for u in frontier:
+                        for v in rows[u]:
+                            if not visited[v]:
+                                visited[v] = 1
+                                nxt.append(v)
+                out.extend(nxt)
+                frontier = nxt
+            return out
+        finally:
+            for i in out:
+                visited[i] = 0
+
+    def _level_numpy(self, frontier: List[int], np_visited) -> List[int]:
+        """One BFS level as a vectorized gather over the packed arrays."""
+        np = _np
+        indptr = self._np_indptr
+        indices = self._np_indices
+        front = np.asarray(frontier, dtype=np.intp)
+        starts = indptr[front]
+        counts = indptr[front + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return []
+        ends = np.cumsum(counts)
+        gather = np.repeat(starts - (ends - counts), counts) + np.arange(total)
+        nbrs = indices[gather]
+        fresh = np.unique(nbrs[np_visited[nbrs] == 0])
+        np_visited[fresh] = 1
+        return fresh.tolist()
+
+    def distances(
+        self, sources: Iterable[Node], max_dist: Optional[int] = None
+    ) -> Dict[Node, int]:
+        """Multi-source BFS distances, same contract as ``bfs_distances``."""
+        ids = self._ids
+        labels = self._labels
+        rows = self._rows
+        patched = self._patched
+        dist_ids: Dict[int, int] = {}
+        frontier: List[int] = []
+        for s in sources:
+            i = ids[s]
+            if i not in dist_ids:
+                dist_ids[i] = 0
+                frontier.append(i)
+        d = 0
+        while frontier and (max_dist is None or d < max_dist):
+            d += 1
+            nxt: List[int] = []
+            for u in frontier:
+                row = patched.get(u)
+                if row is None:
+                    row = rows[u]
+                for v in row:
+                    if v not in dist_ids:
+                        dist_ids[v] = d
+                        nxt.append(v)
+            frontier = nxt
+        return {labels[i]: d for i, d in dist_ids.items()}
+
+
+def csr_view(graph: "Graph") -> CSRView:
+    """The (lazily compiled, generation-synced) CSR view of ``graph``.
+
+    One view is cached per graph instance; every access revalidates it
+    against the generation counter, so callers always see the current
+    structure.  This — not ``graph._adj`` — is the accessor traversal
+    code uses when the ``csr`` backend is active.
+    """
+    view = graph._csr
+    if view is None:
+        view = CSRView(graph)
+        graph._csr = view
+        return view
+    return view.sync()

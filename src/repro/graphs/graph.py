@@ -95,6 +95,7 @@ class Graph:
         "_batch_mutated",
         "_batch_removal",
         "_batch_touched",
+        "_csr",
     )
 
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
@@ -110,6 +111,7 @@ class Graph:
         self._batch_mutated = False
         self._batch_removal = False
         self._batch_touched: Optional[Set[Node]] = None
+        self._csr = None  # lazily compiled CSRView (see repro.graphs.csr)
         with self.batch():
             for node in nodes:
                 self.add_node(node)
@@ -152,6 +154,13 @@ class Graph:
         generation (and one change-log record) instead of O(n).  Blocks
         nest; only the outermost exit commits.  A block that performed no
         structural change commits nothing.
+
+        A block that raises after mutating still bumps the generation
+        (the mutations *did* apply — adjacency and fingerprint already
+        reflect them), but commits a conservative ``"remove"``/``"bulk"``
+        record instead of the scoped touched set: the caller aborted
+        mid-way, so consumers must treat the partial state as an opaque
+        change and flush wholesale.  The exception is re-raised.
         """
         self._batch_depth += 1
         if self._batch_depth == 1:
@@ -160,17 +169,23 @@ class Graph:
             self._batch_touched = set()
         try:
             yield self
-        finally:
+        except BaseException:
             self._batch_depth -= 1
             if self._batch_depth == 0 and self._batch_mutated:
                 self._generation += 1
-                if self._batch_removal:
-                    self._append_log("remove", ())
-                elif self._batch_touched is None:
-                    self._append_log("bulk", ())
-                else:
-                    self._append_log("add", tuple(self._batch_touched))
+                self._append_log("remove" if self._batch_removal else "bulk", ())
                 self._batch_touched = None
+            raise
+        self._batch_depth -= 1
+        if self._batch_depth == 0 and self._batch_mutated:
+            self._generation += 1
+            if self._batch_removal:
+                self._append_log("remove", ())
+            elif self._batch_touched is None:
+                self._append_log("bulk", ())
+            else:
+                self._append_log("add", tuple(self._batch_touched))
+            self._batch_touched = None
 
     def changes_since(self, generation: int) -> Optional[List[Tuple[str, Tuple[Node, ...]]]]:
         """The ``(kind, nodes)`` records after ``generation``, oldest first.
@@ -350,6 +365,18 @@ class Graph:
                     yield (u, v)
             seen.add(u)
 
+    def adjacency(self) -> Dict[Node, Set[Node]]:
+        """The raw adjacency mapping ``node -> set(neighbors)``.
+
+        The backend-neutral accessor traversal hot loops read instead of
+        reaching into ``_adj``: the dict BFS kernel walks this mapping
+        directly, and :func:`repro.graphs.csr.csr_view` compiles it into
+        flat arrays.  Treat the returned mapping (and its sets) as
+        **read-only** — mutating it bypasses the generation counter,
+        change log, and fingerprint that every cache keys on.
+        """
+        return self._adj
+
     def neighbors(self, node: Node) -> FrozenSet[Node]:
         """The neighbor set of ``node`` (memoized frozenset).
 
@@ -391,13 +418,19 @@ class Graph:
         Nodes not present in the graph are ignored silently; this matches
         the common idiom of inducing on a ball that was computed on the
         same graph.
+
+        Kept nodes are inserted in the parent graph's insertion order, so
+        derived structures keyed on node order (e.g. CSR label interning)
+        are deterministic functions of the parent, not of set iteration.
         """
-        keep = {node for node in nodes if node in self._adj}
+        requested = set(nodes)
+        keep = [node for node in self._adj if node in requested]
+        keepset = set(keep)
         edge_list: List[Edge] = []
         seen: Set[Node] = set()
         for u in keep:
             for v in self._adj[u]:
-                if v in keep and v not in seen:
+                if v in keepset and v not in seen:
                     edge_list.append((u, v))
             seen.add(u)
         return Graph(nodes=keep, edges=edge_list)

@@ -10,6 +10,11 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Union
 
+from repro.graphs.csr import (  # noqa: F401  (re-exported for callers)
+    csr_view,
+    get_graph_backend,
+    set_graph_backend,
+)
 from repro.graphs.graph import Graph
 from repro.observability.metrics import BoundCounter, get_registry
 
@@ -20,6 +25,7 @@ _BALL_MISSES = BoundCounter("ball_cache_misses")
 _BALL_EVICTIONS = BoundCounter("ball_cache_evictions")
 _SCOPED_FLUSHES = BoundCounter("ball_cache_scoped_flushes")
 _FULL_FLUSHES = BoundCounter("ball_cache_full_flushes")
+_BUCKET_REATTACHES = BoundCounter("ball_cache_bucket_reattach")
 
 #: Names of the registry counters the cache maintains, in reporting order.
 _CACHE_COUNTERS = (
@@ -28,6 +34,7 @@ _CACHE_COUNTERS = (
     "ball_cache_evictions",
     "ball_cache_scoped_flushes",
     "ball_cache_full_flushes",
+    "ball_cache_bucket_reattach",
 )
 
 _invalidation_policy = "scoped"
@@ -60,17 +67,28 @@ def _as_sources(sources: Union[Node, Iterable[Node]], graph: Graph) -> List[Node
     """Normalize a single node or an iterable of nodes into a list.
 
     Node labels may themselves be iterable (grid nodes are tuples), so a
-    hashable value that is a node of the graph is always treated as a
-    single source; only non-node values are expanded as collections.
+    value that is a node of the graph is always treated as a single
+    source.  A tuple or string that is *not* a node is a mistyped label,
+    never a source collection — expanding ``(50, 50)`` element-wise
+    either raises a baffling ``KeyError: 50`` or, on int-labeled
+    families, silently computes the wrong multi-source ball — so those
+    raise a :class:`KeyError` naming the missing node.  Only genuine
+    collections (lists, sets, generators, ...) are expanded.
     """
     try:
         if sources in graph:
             return [sources]
-        is_node_like = True
+        hashable = True
     except TypeError:
-        is_node_like = False
-    if is_node_like and not isinstance(sources, Iterable):
+        hashable = False
+    if isinstance(sources, (str, bytes, tuple)):
         raise KeyError(f"source node {sources!r} not in graph")
+    if not isinstance(sources, Iterable):
+        if hashable:
+            raise KeyError(f"source node {sources!r} not in graph")
+        raise TypeError(
+            f"sources must be a node or an iterable of nodes, got {sources!r}"
+        )
     candidates = list(sources)
     for node in candidates:
         if node not in graph:
@@ -100,16 +118,33 @@ def bfs_distances(
     -------
     dict
         ``node -> distance`` for every reached node (sources map to 0).
+        Key iteration order is unspecified (the two backends reach nodes
+        in different orders); no caller may rely on it.
     """
+    srcs = _as_sources(sources, graph)
+    if _graph_backend_is_csr():
+        return csr_view(graph).distances(srcs, max_dist)
+    return _dict_bfs(graph, srcs, max_dist)
+
+
+def _graph_backend_is_csr() -> bool:
+    return get_graph_backend() == "csr"
+
+
+def _dict_bfs(
+    graph: Graph, srcs: List[Node], max_dist: Optional[int]
+) -> Dict[Node, int]:
+    """The baseline kernel: BFS over the dict-of-sets adjacency map."""
     frontier = deque()
     dist: Dict[Node, int] = {}
-    for source in _as_sources(sources, graph):
+    for source in srcs:
         if source not in dist:
             dist[source] = 0
             frontier.append(source)
-    # Hot path: walk the raw adjacency map rather than the public
-    # neighbors() accessor — this loop dominates every simulator reveal.
-    adj = graph._adj
+    # Hot path: walk the adjacency map through the backend-neutral
+    # accessor rather than per-node neighbors() calls — this loop
+    # dominates every simulator reveal.
+    adj = graph.adjacency()
     while frontier:
         u = frontier.popleft()
         d = dist[u]
@@ -129,7 +164,10 @@ def ball(graph: Graph, sources: Union[Node, Iterable[Node]], radius: int) -> Set
     """
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
-    return set(bfs_distances(graph, sources, max_dist=radius))
+    srcs = _as_sources(sources, graph)
+    if _graph_backend_is_csr():
+        return csr_view(graph).ball_labels(srcs, radius)
+    return set(_dict_bfs(graph, srcs, max_dist=radius))
 
 
 class BallCache:
@@ -184,6 +222,7 @@ class BallCache:
         self.evictions = 0
         self.scoped_flushes = 0
         self.full_flushes = 0
+        self.bucket_reattaches = 0
         if self._policy == "scoped":
             self._key = graph.structural_key()
             self._balls = self._bucket_for(self._key)
@@ -205,6 +244,34 @@ class BallCache:
             store.move_to_end(key)
         return bucket
 
+    def _reattach_bucket(self) -> None:
+        """Repair a bucket orphaned by the pool's LRU eviction.
+
+        :meth:`_bucket_for` can evict a bucket a live cache still holds
+        as ``self._balls``; the orphan keeps serving *this* cache
+        correctly but new caches for the same structural key start
+        empty, silently losing cross-game sharing.  Called on every sync
+        and on every miss (one dict lookup, dwarfed by the BFS the miss
+        already pays): re-inserts the orphan — or, when another cache
+        already re-created the bucket, merges into and adopts the pooled
+        one — and counts the repair in ``ball_cache_bucket_reattach``.
+        """
+        store = type(self)._shared_store
+        pooled = store.get(self._key)
+        if pooled is self._balls:
+            return
+        if pooled is None:
+            store[self._key] = self._balls
+            if len(store) > self.SHARED_STORE_CAPACITY:
+                store.popitem(last=False)
+        else:
+            # Both tables hold sound balls for the same structure; fold
+            # the orphan's entries in and share the pooled dict from now on.
+            pooled.update(self._balls)
+            self._balls = pooled
+        self.bucket_reattaches += 1
+        _BUCKET_REATTACHES.inc()
+
     def _sync(self) -> None:
         """Catch up with the graph after a generation change."""
         generation = self.graph.generation
@@ -214,6 +281,7 @@ class BallCache:
             _FULL_FLUSHES.inc()
             self._generation = generation
             return
+        self._reattach_bucket()
         changes = self.graph.changes_since(self._generation)
         new_key = self.graph.structural_key()
         new_bucket = self._bucket_for(new_key)
@@ -263,6 +331,8 @@ class BallCache:
             return cached
         self.misses += 1
         _BALL_MISSES.inc()
+        if self._policy == "scoped":
+            self._reattach_bucket()
         result = frozenset(ball(self.graph, sources, radius))
         self._balls[key] = result
         return result
@@ -277,6 +347,7 @@ class BallCache:
             "evictions": self.evictions,
             "scoped_flushes": self.scoped_flushes,
             "full_flushes": self.full_flushes,
+            "bucket_reattaches": self.bucket_reattaches,
         }
 
     def __len__(self) -> int:
@@ -297,6 +368,7 @@ class BallCache:
             "evictions": registry.counter("ball_cache_evictions").value,
             "scoped_flushes": registry.counter("ball_cache_scoped_flushes").value,
             "full_flushes": registry.counter("ball_cache_full_flushes").value,
+            "bucket_reattaches": registry.counter("ball_cache_bucket_reattach").value,
         }
 
     @classmethod

@@ -1,0 +1,259 @@
+"""Tests for the CSR flat-array kernel (`repro.graphs.csr`).
+
+The headline property is differential: under any seeded interleaving of
+queries and mutations, the CSR kernel answers byte-identically to the
+dict kernel and to an uncached BFS.  Alongside it: interning stability
+across ``copy()``/``induced_subgraph``, the incremental-append vs
+recompile protocol, and the backend switch itself.
+"""
+
+import random
+
+import pytest
+
+from repro.families.grids import SimpleGrid, ToroidalGrid
+from repro.families.ktree import deterministic_ktree
+from repro.graphs import csr as csr_module
+from repro.graphs.csr import (
+    HAVE_NUMPY,
+    PATCH_BASE,
+    CSRView,
+    csr_view,
+    get_graph_backend,
+    set_graph_backend,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import _dict_bfs, ball, bfs_distances
+
+FAMILIES = {
+    "grid": lambda: SimpleGrid(5, 6).graph,
+    "torus": lambda: ToroidalGrid(5, 5).graph,
+    "ktree": lambda: deterministic_ktree(2, 14).graph,
+}
+
+#: Fixed per-family seed offsets (str hash is randomized per process).
+SEED_BASE = {"grid": 4_000, "torus": 5_000, "ktree": 6_000}
+
+INTERLEAVINGS = 40
+STEPS = 25
+
+
+@pytest.fixture
+def csr_backend():
+    previous = set_graph_backend("csr")
+    yield
+    set_graph_backend(previous)
+
+
+@pytest.fixture
+def dict_backend():
+    previous = set_graph_backend("dict")
+    yield
+    set_graph_backend(previous)
+
+
+def _mutate(graph, rng, spare_labels):
+    """One random structural mutation (removals deliberately rare so most
+    interleavings exercise the incremental-append path)."""
+    roll = rng.random()
+    nodes = list(graph.nodes())
+    if roll < 0.45:
+        u, v = rng.sample(nodes, 2)
+        if u != v:
+            graph.add_edge(u, v)
+    elif roll < 0.65:
+        label = ("new", next(spare_labels))
+        graph.add_edge(rng.choice(nodes), label)
+    elif roll < 0.80:
+        anchor = rng.choice(nodes)
+        with graph.batch():
+            for _ in range(rng.randrange(1, 4)):
+                label = ("bulk", next(spare_labels))
+                graph.add_edge(anchor, label)
+    elif roll < 0.90:
+        edges = list(graph.edges())
+        if edges:
+            u, v = rng.choice(edges)
+            graph.remove_edge(u, v)
+    else:
+        victim = rng.choice(nodes)
+        graph.remove_node(victim)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_csr_matches_dict_and_uncached(self, family):
+        """csr_bfs == dict_bfs == uncached ball over seeded interleavings."""
+        build = FAMILIES[family]
+        for seed in range(INTERLEAVINGS):
+            rng = random.Random(SEED_BASE[family] + seed)
+            graph = build()
+            spare_labels = iter(range(10_000))
+            for _ in range(STEPS):
+                if rng.random() < 0.55:
+                    nodes = list(graph.nodes())
+                    source = rng.choice(nodes)
+                    radius = rng.randrange(0, 4)
+                    view = csr_view(graph)
+                    from_csr = view.ball_labels([source], radius)
+                    from_dict = set(_dict_bfs(graph, [source], radius))
+                    assert from_csr == from_dict, (
+                        f"{family} seed={seed}: CSR B({source!r}, {radius}) "
+                        f"!= dict kernel"
+                    )
+                    csr_dist = view.distances([source], max_dist=radius)
+                    dict_dist = _dict_bfs(graph, [source], radius)
+                    assert csr_dist == dict_dist
+                else:
+                    _mutate(graph, rng, spare_labels)
+            # Final sweep through the public (backend-routed) entry points.
+            for node in list(graph.nodes())[:8]:
+                for radius in (0, 1, 2, 3):
+                    previous = set_graph_backend("csr")
+                    try:
+                        from_csr = ball(graph, node, radius)
+                        set_graph_backend("dict")
+                        from_dict = ball(graph, node, radius)
+                    finally:
+                        set_graph_backend(previous)
+                    assert from_csr == from_dict
+
+    def test_multi_source_and_unbounded_distances(self, small_grid):
+        graph = small_grid.graph
+        view = csr_view(graph)
+        sources = [(0, 0), (4, 6)]
+        assert view.ball_labels(sources, 2) == set(
+            _dict_bfs(graph, sources, 2)
+        )
+        assert view.distances(sources) == _dict_bfs(graph, sources, None)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy fast path not importable")
+    def test_vectorized_levels_match_interpreter_levels(self, monkeypatch):
+        """Forcing every level through the numpy gather changes nothing."""
+        graph = ToroidalGrid(9, 9).graph
+        expected = {
+            (node, radius): set(_dict_bfs(graph, [node], radius))
+            for node in graph.nodes()
+            for radius in (1, 2, 5)
+        }
+        monkeypatch.setattr(csr_module, "NUMPY_FRONTIER_MIN", 1)
+        view = CSRView(graph)
+        for (node, radius), want in expected.items():
+            assert view.ball_labels([node], radius) == want
+
+
+class TestInterning:
+    def test_ids_are_dense_and_round_trip(self, small_grid):
+        view = csr_view(small_grid.graph)
+        n = small_grid.graph.num_nodes
+        assert len(view) == n
+        seen = {view.id_of(node) for node in small_grid.graph.nodes()}
+        assert seen == set(range(n))
+        for node in small_grid.graph.nodes():
+            assert view.label_of(view.id_of(node)) == node
+
+    def test_copy_preserves_interning(self, small_grid):
+        """copy() keeps insertion order, so the clone interns identically."""
+        original = csr_view(small_grid.graph)
+        clone = csr_view(small_grid.graph.copy())
+        for node in small_grid.graph.nodes():
+            assert clone.id_of(node) == original.id_of(node)
+
+    def test_induced_subgraph_interns_in_parent_order(self, small_grid):
+        """Induction assigns dense ids following the parent's node order,
+        regardless of the order the kept nodes were requested in."""
+        keep = [(2, 3), (0, 0), (1, 1), (0, 1)]
+        sub = small_grid.graph.induced_subgraph(keep)
+        view = csr_view(sub)
+        parent_order = [n for n in small_grid.graph.nodes() if n in set(keep)]
+        assert [view.label_of(i) for i in range(len(view))] == parent_order
+        shuffled = small_grid.graph.induced_subgraph(reversed(keep))
+        assert [csr_view(shuffled).label_of(i) for i in range(len(view))] == parent_order
+
+    def test_appended_nodes_get_next_ids(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        view = csr_view(graph)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 4)
+        synced = csr_view(graph)
+        assert synced is view
+        assert view.id_of(3) == 3
+        assert view.id_of(4) == 4
+
+
+class TestIncrementalSync:
+    def test_additions_append_without_recompile(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        view = csr_view(graph)
+        assert view.compiles == 1
+        graph.add_edge(0, 5)
+        graph.add_edge(7, 9)
+        csr_view(graph)
+        assert view.compiles == 1
+        assert view.appends >= 1
+        assert view.ball_labels([0], 1) == {0, 1, 5}
+
+    def test_removal_recompiles(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        view = csr_view(graph)
+        graph.remove_edge(3, 4)
+        csr_view(graph)
+        assert view.compiles == 2
+        assert view.ball_labels([3], 2) == {1, 2, 3}
+
+    def test_patch_overload_recompiles(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        view = csr_view(graph)
+        for i in range(PATCH_BASE + 12):
+            graph.add_edge(0, ("spoke", i))
+            csr_view(graph)
+        assert view.compiles >= 2
+        assert ("spoke", 0) in view.ball_labels([0], 1)
+        assert ("spoke", PATCH_BASE + 11) in view.ball_labels([0], 1)
+
+    def test_log_overflow_recompiles(self):
+        from repro.graphs.graph import LOG_CAPACITY
+
+        graph = Graph(edges=[(i, i + 1) for i in range(8)])
+        view = csr_view(graph)
+        for i in range(LOG_CAPACITY + 10):
+            graph.add_node(("pad", i))
+        csr_view(graph)
+        assert view.compiles == 2
+        assert view.ball_labels([("pad", 0)], 2) == {("pad", 0)}
+
+    def test_view_is_cached_per_graph(self):
+        graph = Graph(edges=[(0, 1)])
+        assert csr_view(graph) is csr_view(graph)
+        other = Graph(edges=[(0, 1)])
+        assert csr_view(other) is not csr_view(graph)
+
+
+class TestBackendSwitch:
+    def test_round_trip_and_validation(self):
+        current = get_graph_backend()
+        previous = set_graph_backend("dict")
+        assert previous == current
+        assert get_graph_backend() == "dict"
+        set_graph_backend(previous if previous in ("dict", "csr") else "csr")
+        set_graph_backend(current)
+        with pytest.raises(ValueError):
+            set_graph_backend("nonsense")
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "sparse")
+        with pytest.raises(ValueError):
+            csr_module._initial_backend()
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "dict")
+        assert csr_module._initial_backend() == "dict"
+        monkeypatch.delenv("REPRO_GRAPH_BACKEND", raising=False)
+        assert csr_module._initial_backend() == "csr"
+
+    def test_public_entry_points_agree_across_backends(self, small_torus, csr_backend):
+        graph = small_torus.graph
+        from_csr = {
+            node: bfs_distances(graph, node, max_dist=2) for node in graph.nodes()
+        }
+        set_graph_backend("dict")
+        for node in graph.nodes():
+            assert bfs_distances(graph, node, max_dist=2) == from_csr[node]

@@ -369,3 +369,88 @@ class TestNeighborMemoization:
         assert g.num_edges == 1
         g.add_edge(1, 4)
         assert g.num_edges == 2
+
+
+class TestBatchException:
+    """A batch body that raises must leave the bookkeeping consistent
+    with the mutations that already applied (regression: the old exit
+    path committed nothing, leaving generation/change-log stale)."""
+
+    def test_failed_batch_still_bumps_generation(self):
+        g = Graph(edges=[(i, i + 1) for i in range(5)])
+        base = g.generation
+        with pytest.raises(RuntimeError, match="boom"):
+            with g.batch():
+                g.add_edge(0, 99)
+                raise RuntimeError("boom")
+        assert g.has_edge(0, 99)  # the mutation DID apply...
+        assert g.generation == base + 1  # ...so the counter must say so
+
+    def test_failed_batch_commits_an_opaque_record(self):
+        g = Graph(edges=[(i, i + 1) for i in range(5)])
+        base = g.generation
+        with pytest.raises(RuntimeError):
+            with g.batch():
+                g.add_edge(0, 99)
+                raise RuntimeError
+        # Conservative: the caller aborted mid-way, so consumers must not
+        # trust a scoped touched set.
+        assert g.changes_since(base) == [("bulk", ())]
+
+    def test_failed_batch_with_removal_records_remove(self):
+        g = Graph(edges=[(i, i + 1) for i in range(5)])
+        base = g.generation
+        with pytest.raises(RuntimeError):
+            with g.batch():
+                g.remove_edge(0, 1)
+                raise RuntimeError
+        assert g.changes_since(base) == [("remove", ())]
+
+    def test_failed_batch_without_mutations_commits_nothing(self):
+        g = Graph(edges=[(0, 1)])
+        base = g.generation
+        with pytest.raises(RuntimeError):
+            with g.batch():
+                raise RuntimeError
+        assert g.generation == base
+        assert g.changes_since(base) == []
+
+    def test_fingerprint_matches_directly_built_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        with pytest.raises(RuntimeError):
+            with g.batch():
+                g.add_edge(2, 3)
+                raise RuntimeError
+        assert g.fingerprint == Graph(edges=[(0, 1), (1, 2), (2, 3)]).fingerprint
+
+    def test_inner_exception_caught_outer_commits_add(self):
+        g = Graph(edges=[(0, 1)])
+        base = g.generation
+        with g.batch():
+            g.add_edge(1, 2)
+            try:
+                with g.batch():
+                    g.add_edge(2, 3)
+                    raise ValueError("inner")
+            except ValueError:
+                pass
+            g.add_edge(3, 4)
+        assert g.generation == base + 1
+        changes = g.changes_since(base)
+        assert len(changes) == 1
+        kind, nodes = changes[0]
+        assert kind == "add"
+        assert {1, 2, 3, 4} <= set(nodes)
+
+    def test_ball_cache_correct_after_failed_batch(self):
+        from repro.graphs.traversal import BallCache, ball
+
+        g = Graph(edges=[(i, i + 1) for i in range(5)])
+        cache = BallCache(g)
+        cache.ball(0, 2)
+        with pytest.raises(RuntimeError):
+            with g.batch():
+                g.add_edge(1, 50)
+                raise RuntimeError
+        assert cache.ball(0, 2) == ball(g, 0, 2)
+        assert 50 in cache.ball(0, 2)

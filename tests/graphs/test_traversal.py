@@ -340,3 +340,100 @@ class TestWholesalePolicy:
         assert cache.misses == 2
         assert cache.full_flushes == 1
         assert cache.ball(0, 1) == {0, 1}
+
+
+class TestAsSources:
+    """Source normalization: nodes first, collections only when genuine."""
+
+    def test_tuple_of_node_labels_is_not_expanded(self, path_graph):
+        # (0, 1) is not a node even though both elements are.  The old
+        # normalizer expanded it into a two-source query — silently wrong
+        # on int-labeled graphs.
+        with pytest.raises(KeyError, match=r"\(0, 1\)"):
+            bfs_distances(path_graph, (0, 1))
+
+    def test_missing_tuple_label_names_the_label(self, small_grid):
+        with pytest.raises(KeyError, match=r"\(99, 99\)"):
+            ball(small_grid.graph, (99, 99), 1)
+
+    def test_string_is_a_label_not_a_collection(self, path_graph):
+        with pytest.raises(KeyError, match="ab"):
+            bfs_distances(path_graph, "ab")
+
+    def test_string_node_still_resolves(self):
+        g = Graph(edges=[("ab", "cd")])
+        assert bfs_distances(g, "ab") == {"ab": 0, "cd": 1}
+
+    def test_genuine_collections_expand(self, path_graph):
+        want = bfs_distances(path_graph, [0, 5])
+        assert bfs_distances(path_graph, {0, 5}) == want
+        assert bfs_distances(path_graph, iter([0, 5])) == want
+
+    def test_collection_member_missing_raises(self, path_graph):
+        with pytest.raises(KeyError, match="99"):
+            bfs_distances(path_graph, [0, 99])
+
+    def test_unhashable_non_iterable_is_a_type_error(self, path_graph):
+        class Opaque:
+            __hash__ = None
+
+        with pytest.raises(TypeError, match="sources"):
+            bfs_distances(path_graph, Opaque())
+
+
+class TestBucketReattach:
+    """LRU orphan repair: a live cache whose pooled bucket was evicted
+    re-inserts (or merges into) the pool on its next sync or miss."""
+
+    @staticmethod
+    def _flood_pool():
+        for i in range(BallCache.SHARED_STORE_CAPACITY + 5):
+            BallCache(Graph(edges=[(("flood", i), ("flood", i, 1))])).ball(
+                ("flood", i), 1
+            )
+
+    def test_evicted_bucket_reattaches_on_next_miss(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(6)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        self._flood_pool()
+        assert cache._key not in BallCache._shared_store
+        assert cache.ball(0, 2) == ball(graph, 0, 2)  # miss repairs the pool
+        assert cache.bucket_reattaches == 1
+        assert cache._key in BallCache._shared_store
+        # Cross-cache sharing works again: a twin hits the warm ball.
+        twin = BallCache(Graph(edges=[(i, i + 1) for i in range(6)]))
+        assert twin.ball(0, 1) == {0, 1}
+        assert (twin.hits, twin.misses) == (1, 0)
+
+    def test_hit_on_orphan_does_not_reattach(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(6)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        self._flood_pool()
+        assert cache.ball(0, 1) == {0, 1}  # orphan still serves hits
+        assert cache.bucket_reattaches == 0
+
+    def test_orphan_merges_into_recreated_bucket(self):
+        cache_a = BallCache(Graph(edges=[(i, i + 1) for i in range(6)]))
+        cache_a.ball(0, 1)
+        self._flood_pool()
+        # A new cache for the same structure re-creates the bucket empty.
+        cache_b = BallCache(Graph(edges=[(i, i + 1) for i in range(6)]))
+        cache_b.ball(5, 1)
+        assert cache_b.misses == 1
+        # cache_a's next miss folds its orphaned balls into the pooled
+        # bucket and adopts it, so both caches share one table again.
+        cache_a.ball(3, 1)
+        assert cache_a.bucket_reattaches == 1
+        assert cache_a._balls is cache_b._balls
+        assert cache_b.ball(0, 1) == {0, 1}  # a's pre-merge ball survived
+        assert cache_b.hits == 1
+
+    def test_reattach_counts_in_stats(self):
+        graph = Graph(edges=[(i, i + 1) for i in range(6)])
+        cache = BallCache(graph)
+        cache.ball(0, 1)
+        self._flood_pool()
+        cache.ball(0, 2)
+        assert cache.stats()["bucket_reattaches"] == 1
