@@ -23,6 +23,7 @@ overhead.
 
 import argparse
 import json
+import tempfile
 import time
 
 import pytest
@@ -124,6 +125,45 @@ def run_backend_comparison(specs, repeats=3):
     }
 
 
+#: Phase-attribution coverage gate: timed top-level phases must explain
+#: at least this share of a 2-worker campaign's wall-clock.
+MIN_PHASE_COVERAGE = 0.90
+
+
+def run_phase_attribution(workers=2):
+    """Phase-attribution profile of the example tournament campaign.
+
+    Runs the pre-baked T=1 tournament campaign through the supervised
+    worker pool with phase timers on against a throwaway store, then
+    reads back the run-ledger entry the scheduler recorded.  The
+    interesting number is ``phase_coverage``: the share of wall-clock
+    the timed top-level phases explain (worker-scoped phases overlap
+    the parent's clock and are reported but never counted).
+    """
+    from repro.analysis.campaign import CampaignSpec, run_campaign
+    from repro.analysis.store import ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="bench-phases-") as tmp:
+        outcome = run_campaign(
+            CampaignSpec.tournament(locality=1), tmp,
+            workers=workers, timers=True,
+        )
+        entry = ResultStore(tmp).runs()[-1]
+    coverage = entry.get("phase_coverage")
+    return {
+        "workers": workers,
+        "games": outcome.played,
+        "errors": len(outcome.errors),
+        "wall_seconds": entry.get("wall_seconds"),
+        "phases": entry.get("phases", {}),
+        "phase_coverage": coverage,
+        "min_phase_coverage": MIN_PHASE_COVERAGE,
+        "coverage_ok": (
+            coverage is not None and coverage >= MIN_PHASE_COVERAGE
+        ),
+    }
+
+
 def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
     """Measure serial vs parallel wall-clock and cache hit rates.
 
@@ -157,6 +197,7 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
         results[1] = min(_timed_sweep(specs, 1)[1] for _ in range(repeats))
     session_cache = BallCache.global_stats()
     backends = run_backend_comparison(specs, repeats=repeats)
+    phases = run_phase_attribution(workers=2)
 
     report = {
         "experiment": "tournament-parallel-executor",
@@ -177,6 +218,7 @@ def run_bench(localities=(1, 2, 3), worker_counts=(1, 2, 4), repeats=3):
         "clean_sweep": clean_sweep(serial_rows),
         "ball_cache": cache,
         "ball_cache_session": session_cache,
+        "phase_attribution": phases,
     }
     return report
 
@@ -222,6 +264,15 @@ def main(argv=None):
           f"csr={cold['csr']:.3f}s ({backends['speedup']:.2f}x), "
           f"rows identical across backends: "
           f"{backends['rows_identical_across_backends']}")
+    phases = report["phase_attribution"]
+    from repro.observability.stats import render_phase_table
+
+    print(f"\nphase attribution ({phases['workers']}-worker campaign, "
+          f"{phases['games']} games):")
+    print(render_phase_table(phases["phases"], phases["wall_seconds"]))
+    if not phases["coverage_ok"]:
+        print(f"WARN: phase coverage {phases['phase_coverage']} below "
+              f"{MIN_PHASE_COVERAGE:.0%} target")
     print(f"wrote {args.out}")
     return 0
 

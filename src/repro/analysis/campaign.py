@@ -91,7 +91,15 @@ from repro.analysis.worker_pool import (
     SupervisedWorkerPool,
     _error_entry,
 )
+from repro.observability.flightrec import dump_on_fault
 from repro.observability.metrics import get_registry
+from repro.observability.timers import (
+    attribution_coverage,
+    phase_attribution,
+    phase_delta,
+    phase_timer,
+    set_phase_timers,
+)
 from repro.observability.trace import (
     TRACER,
     JsonlTraceRecorder,
@@ -109,6 +117,12 @@ from repro.registry import (
 from repro.robustness.chaos import ChaosPolicy
 from repro.robustness.errors import ReproError
 from repro.robustness.supervisor import GamePolicy
+
+# Phase-attribution handles (repro.observability.timers).  "compute" is
+# the serial scheduler's play time; the pool workers record theirs as
+# "worker:compute" and the parent's wait shows up as "ack-drain".
+_T_SPEC_EXPAND = phase_timer("spec-expand")
+_T_COMPUTE = phase_timer("compute")
 
 
 class CampaignError(ReproError):
@@ -589,6 +603,7 @@ class CampaignScheduler:
         poison_threshold: int = 3,
         lease_grace: float = 3.0,
         chaos: Optional["ChaosPolicy"] = None,
+        live_extra: Optional[Dict[str, Any]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -600,6 +615,8 @@ class CampaignScheduler:
         self.poison_threshold = poison_threshold
         self.lease_grace = lease_grace
         self.chaos = chaos
+        self.live_extra = dict(live_extra) if live_extra else {}
+        self._last_deduped = 0
 
     def run(
         self,
@@ -618,18 +635,20 @@ class CampaignScheduler:
         work: List[Tuple[str, GameSpec]] = []
         seen: set = set()
         deduped = 0
-        for spec in specs:
-            digest = hash_of(spec)
-            if digest in index:
-                deduped += 1
-                continue
-            if digest in seen:
-                continue
-            seen.add(digest)
-            work.append((digest, spec))
-        if max_games is not None:
-            work = work[:max_games]
+        with _T_SPEC_EXPAND:
+            for spec in specs:
+                digest = hash_of(spec)
+                if digest in index:
+                    deduped += 1
+                    continue
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                work.append((digest, spec))
+            if max_games is not None:
+                work = work[:max_games]
         registry.inc("campaign_games_deduped", deduped)
+        self._last_deduped = deduped
         if not work:
             return {}, deduped, []
 
@@ -648,7 +667,8 @@ class CampaignScheduler:
         errors: List[Dict[str, Any]] = []
         for digest, spec in work:
             try:
-                outcome = _play_with_retry(spec, self.retries, self.backoff)
+                with _T_COMPUTE:
+                    outcome = _play_with_retry(spec, self.retries, self.backoff)
             except Exception as exc:
                 errors.append(_error_entry(digest, spec, repr(exc)))
                 continue
@@ -668,6 +688,8 @@ class CampaignScheduler:
         *degrades* — the remaining queue finishes in-process serially —
         rather than raising.
         """
+        live_extra = dict(self.live_extra)
+        live_extra.setdefault("games_deduped", self._last_deduped)
         pool = SupervisedWorkerPool(
             store=self.store,
             workers=self.workers,
@@ -677,6 +699,7 @@ class CampaignScheduler:
             poison_threshold=self.poison_threshold,
             lease_grace=self.lease_grace,
             chaos=self.chaos,
+            live_extra=live_extra,
         )
         outcome = pool.run(work)
         rows, errors = outcome.rows, outcome.errors
@@ -736,57 +759,106 @@ def run_campaign(
     trace_path=None,
     max_worker_restarts: Optional[int] = None,
     poison_threshold: int = 3,
+    timers: Optional[bool] = None,
 ) -> CampaignOutcome:
     """Run (or resume — the same thing) a grid-sweep campaign.
 
     Every expanded game already present in ``store_dir`` is deduped;
     the rest are drained through the work-queue scheduler.  Returns the
     outcome with every covered row that is now on disk.
+
+    ``timers`` toggles phase-attribution timing for this run (restored
+    afterwards); ``None`` leaves the process-wide setting alone.  The
+    run-ledger entry records the measured wall-clock, the per-phase
+    split, and the share of wall-clock the top-level phases account for
+    (``campaign status`` renders the table).
     """
     campaign.validate()
     store = ResultStore(store_dir)
     store.record_manifest(campaign.to_payload())
-    specs = campaign.expand(trace_path=(
-        None if trace_path is None else os.fspath(trace_path)
-    ))
-    scheduler = CampaignScheduler(
-        store,
-        workers=resolve_workers(workers),
-        retries=retries,
-        max_worker_restarts=max_worker_restarts,
-        poison_threshold=poison_threshold,
-    )
-    with TRACER.span("campaign", name=campaign.name, campaign_kind="sweep") as span:
-        played, deduped, errors = scheduler.run(specs, max_games=max_games)
-        span.note(
+    previous_timers = None if timers is None else set_phase_timers(timers)
+    registry = get_registry()
+    phases_before = phase_attribution(registry.snapshot())
+    started = time.perf_counter()
+    try:
+        with _T_SPEC_EXPAND:
+            specs = campaign.expand(trace_path=(
+                None if trace_path is None else os.fspath(trace_path)
+            ))
+        scheduler = CampaignScheduler(
+            store,
+            workers=resolve_workers(workers),
+            retries=retries,
+            max_worker_restarts=max_worker_restarts,
+            poison_threshold=poison_threshold,
+            live_extra={"campaign": campaign.name, "kind": "sweep"},
+        )
+        with TRACER.span(
+            "campaign", name=campaign.name, campaign_kind="sweep"
+        ) as span:
+            try:
+                played, deduped, errors = scheduler.run(
+                    specs, max_games=max_games
+                )
+            except BaseException as exc:
+                # An exception escaping the scheduler is exactly the
+                # post-mortem the flight recorder exists for.
+                dump_on_fault(
+                    store.root,
+                    "scheduler-exception",
+                    campaign=campaign.name,
+                    error_type=type(exc).__name__,
+                )
+                raise
+            span.note(
+                total=len(specs),
+                played=len(played),
+                deduped=deduped,
+                errors=len(errors),
+            )
+        _finish_trace(trace_path)
+        index = store.index()
+        rows = {}
+        with _T_SPEC_EXPAND:
+            for spec in specs:
+                digest = hash_of(spec)
+                if digest in index:
+                    rows[digest] = index[digest]
+        wall = time.perf_counter() - started
+        phases = phase_delta(
+            phases_before, phase_attribution(registry.snapshot())
+        )
+        outcome = CampaignOutcome(
+            name=campaign.name,
             total=len(specs),
             played=len(played),
             deduped=deduped,
-            errors=len(errors),
+            rows=rows,
+            errors=errors,
         )
-    _finish_trace(trace_path)
-    index = store.index()
-    rows = {}
-    for spec in specs:
-        digest = hash_of(spec)
-        if digest in index:
-            rows[digest] = index[digest]
-    outcome = CampaignOutcome(
-        name=campaign.name,
-        total=len(specs),
-        played=len(played),
-        deduped=deduped,
-        rows=rows,
-        errors=errors,
-    )
-    store.record_run(_run_summary(outcome, kind="sweep", max_games=max_games))
-    return outcome
+        store.record_run(
+            _run_summary(
+                outcome,
+                kind="sweep",
+                max_games=max_games,
+                wall_seconds=wall,
+                phases=phases,
+            )
+        )
+        return outcome
+    finally:
+        if previous_timers is not None:
+            set_phase_timers(previous_timers)
 
 
 def _run_summary(
-    outcome: CampaignOutcome, kind: str, max_games: Optional[int]
+    outcome: CampaignOutcome,
+    kind: str,
+    max_games: Optional[int],
+    wall_seconds: Optional[float] = None,
+    phases: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
-    return {
+    summary = {
         "campaign": outcome.name,
         "kind": kind,
         "total": outcome.total,
@@ -795,6 +867,17 @@ def _run_summary(
         "errors": len(outcome.errors),
         "max_games": max_games,
     }
+    if wall_seconds is not None:
+        summary["wall_seconds"] = round(wall_seconds, 6)
+        if phases:
+            summary["phases"] = {
+                name: round(seconds, 6)
+                for name, seconds in sorted(phases.items())
+            }
+            coverage = attribution_coverage(phases, wall_seconds)
+            if coverage is not None:
+                summary["phase_coverage"] = round(coverage, 4)
+    return summary
 
 
 # ----------------------------------------------------------------------
@@ -876,6 +959,7 @@ def run_threshold_search(
     trace_path=None,
     max_worker_restarts: Optional[int] = None,
     poison_threshold: int = 3,
+    timers: Optional[bool] = None,
 ) -> Tuple[List[ThresholdResult], CampaignOutcome]:
     """Run (or resume) the adaptive threshold-search campaign.
 
@@ -886,16 +970,24 @@ def run_threshold_search(
     resumes by replaying *zero* games: bisection is deterministic, so
     the resumed run re-derives the same probe sequence and finds every
     already-answered probe in the store.
+
+    ``timers`` works as in :func:`run_campaign`: phase attribution for
+    this run, recorded in the run-ledger entry.
     """
     spec.validate()
     store = ResultStore(store_dir)
     store.record_manifest(spec.to_payload())
+    previous_timers = None if timers is None else set_phase_timers(timers)
+    registry = get_registry()
+    phases_before = phase_attribution(registry.snapshot())
+    started = time.perf_counter()
     scheduler = CampaignScheduler(
         store,
         workers=resolve_workers(workers),
         retries=retries,
         max_worker_restarts=max_worker_restarts,
         poison_threshold=poison_threshold,
+        live_extra={"campaign": spec.name, "kind": "threshold"},
     )
     trace_path = None if trace_path is None else os.fspath(trace_path)
 
@@ -908,75 +1000,104 @@ def run_threshold_search(
     budget = max_games
     rows: Dict[str, Dict[str, Any]] = {}
 
-    with TRACER.span("campaign", name=spec.name, campaign_kind="threshold") as span:
-        while True:
-            wave: List[Tuple[Tuple[AdversaryRef, str], int, GameSpec]] = []
-            for combo, state in states.items():
-                if state.done:
-                    continue
-                locality = state.next_probe()
-                ref, victim = combo
-                game = replace(
-                    spec.game(ref, victim, locality), trace_path=trace_path
-                )
-                wave.append((combo, locality, game))
-            if not wave or budget == 0:
-                break
-            wave_specs = [game for _, _, game in wave]
-            played, deduped, wave_errors = scheduler.run(
-                wave_specs, max_games=budget
+    try:
+        with TRACER.span(
+            "campaign", name=spec.name, campaign_kind="threshold"
+        ) as span:
+            while True:
+                with _T_SPEC_EXPAND:
+                    wave: List[
+                        Tuple[Tuple[AdversaryRef, str], int, GameSpec]
+                    ] = []
+                    for combo, state in states.items():
+                        if state.done:
+                            continue
+                        locality = state.next_probe()
+                        ref, victim = combo
+                        game = replace(
+                            spec.game(ref, victim, locality),
+                            trace_path=trace_path,
+                        )
+                        wave.append((combo, locality, game))
+                if not wave or budget == 0:
+                    break
+                wave_specs = [game for _, _, game in wave]
+                try:
+                    played, deduped, wave_errors = scheduler.run(
+                        wave_specs, max_games=budget
+                    )
+                except BaseException as exc:
+                    dump_on_fault(
+                        store.root,
+                        "scheduler-exception",
+                        campaign=spec.name,
+                        error_type=type(exc).__name__,
+                    )
+                    raise
+                if budget is not None:
+                    budget -= len(played)
+                played_total += len(played)
+                deduped_total += deduped
+                errors.extend(wave_errors)
+                index = store.index()
+                progressed = False
+                for combo, locality, game in wave:
+                    digest = hash_of(game)
+                    row = index.get(digest)
+                    if row is None:
+                        continue  # budget-capped or errored; retry next run
+                    rows[digest] = row
+                    probes[combo] += 1
+                    states[combo].feed(locality, survives=not row["won"])
+                    progressed = True
+                if not progressed:
+                    break  # every remaining probe failed or out of budget
+            span.note(
+                combos=len(combos),
+                played=played_total,
+                deduped=deduped_total,
+                errors=len(errors),
             )
-            if budget is not None:
-                budget -= len(played)
-            played_total += len(played)
-            deduped_total += deduped
-            errors.extend(wave_errors)
-            index = store.index()
-            progressed = False
-            for combo, locality, game in wave:
-                digest = hash_of(game)
-                row = index.get(digest)
-                if row is None:
-                    continue  # budget-capped or errored; retry next run
-                rows[digest] = row
-                probes[combo] += 1
-                states[combo].feed(locality, survives=not row["won"])
-                progressed = True
-            if not progressed:
-                break  # every remaining probe failed or ran out of budget
-        span.note(
-            combos=len(combos),
+        _finish_trace(trace_path)
+
+        results = [
+            ThresholdResult(
+                adversary=ref.label(),
+                victim=victim,
+                low=spec.low,
+                high=spec.high,
+                threshold=states[(ref, victim)].threshold,
+                probes=probes[(ref, victim)],
+                converged=states[(ref, victim)].done,
+                n=_combo_n(rows, ref, victim),
+            )
+            for ref, victim in combos
+        ]
+        wall = time.perf_counter() - started
+        phases = phase_delta(
+            phases_before, phase_attribution(registry.snapshot())
+        )
+        outcome = CampaignOutcome(
+            name=spec.name,
+            total=sum(probes.values()),
             played=played_total,
             deduped=deduped_total,
-            errors=len(errors),
+            rows=rows,
+            errors=errors,
         )
-    _finish_trace(trace_path)
-
-    results = [
-        ThresholdResult(
-            adversary=ref.label(),
-            victim=victim,
-            low=spec.low,
-            high=spec.high,
-            threshold=states[(ref, victim)].threshold,
-            probes=probes[(ref, victim)],
-            converged=states[(ref, victim)].done,
-            n=_combo_n(rows, ref, victim),
+        store.record_run(
+            _run_summary(
+                outcome,
+                kind="threshold",
+                max_games=max_games,
+                wall_seconds=wall,
+                phases=phases,
+            )
         )
-        for ref, victim in combos
-    ]
-    outcome = CampaignOutcome(
-        name=spec.name,
-        total=sum(probes.values()),
-        played=played_total,
-        deduped=deduped_total,
-        rows=rows,
-        errors=errors,
-    )
-    store.record_run(
-        _run_summary(outcome, kind="threshold", max_games=max_games)
-    )
-    return results, outcome
+        return results, outcome
+    finally:
+        if previous_timers is not None:
+            set_phase_timers(previous_timers)
 
 
 def _combo_n(

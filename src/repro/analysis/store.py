@@ -31,7 +31,16 @@ import json
 import os
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.observability.timers import phase_timer
 from repro.robustness.journal import SweepJournal
+
+# Phase-attribution handles (repro.observability.timers): fsyncing a
+# result row and loading the shard index are two of the campaign phases
+# the wall-clock table must account for.  The handles carry whatever
+# scope the recording process set, so worker-side appends show up as
+# ``worker:store-fsync`` and parent-side ones bare.
+_T_STORE_FSYNC = phase_timer("store-fsync")
+_T_STORE_INDEX = phase_timer("store-index")
 
 #: The row field carrying the content address.
 HASH_FIELD = "spec_hash"
@@ -103,8 +112,9 @@ class ResultStore:
         """Every complete row across all shards (file order, then append
         order within a file)."""
         out: List[Dict[str, Any]] = []
-        for path in self.row_files():
-            out.extend(SweepJournal(path, RESULT_KEY_FIELDS).load())
+        with _T_STORE_INDEX:
+            for path in self.row_files():
+                out.extend(SweepJournal(path, RESULT_KEY_FIELDS).load())
         return out
 
     def index(self) -> Dict[str, Dict[str, Any]]:
@@ -118,8 +128,9 @@ class ResultStore:
         flushed and fsynced before returning."""
         if HASH_FIELD not in row:
             raise ValueError(f"result rows must carry {HASH_FIELD!r}")
-        os.makedirs(self.root, exist_ok=True)
-        self.writer().append(dict(row))
+        with _T_STORE_FSYNC:
+            os.makedirs(self.root, exist_ok=True)
+            self.writer().append(dict(row))
 
     def quarantined(self) -> List[Dict[str, Any]]:
         """Every quarantine row in the store (``cause="poison"``) —

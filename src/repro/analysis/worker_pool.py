@@ -42,6 +42,24 @@ worker lifecycle transitions are trace events (``worker-spawned``,
 ``campaign_worker_restarts`` / ``campaign_lease_expirations`` /
 ``campaign_games_requeued`` / ``campaign_games_quarantined`` /
 ``campaign_pool_degradations`` fold through the ordinary registry.
+Three channels added by the telemetry layer:
+
+* **Heartbeats** — a worker acknowledges each lease pickup with a
+  ``("heartbeat", digest, {pid, games}, None)`` message before running
+  any chaos action or compute, so the parent can tell "busy on a long
+  game" from "hung" (``campaign_worker_heartbeats``, per-worker
+  ``last_seen`` ages in the live status).
+* **Live status** — the drain loop atomically republishes ``live.json``
+  under the store root about once a second (progress counts, queue
+  depth/in-flight, per-worker heartbeat ages, phase split); ``repro
+  campaign watch`` renders it.  ``campaign_queue_depth`` and
+  ``campaign_in_flight`` gauges record the high-water marks.
+* **Phase timers + flight recorder** — dispatch/drain/sweep/spawn run
+  under :mod:`repro.observability.timers` phases (workers record theirs
+  under the ``worker:`` scope), and every lifecycle transition also
+  lands in the always-on :data:`~repro.observability.flightrec.FLIGHT`
+  ring, dumped to ``flight-<pid>.jsonl`` next to the store on lease
+  expiry, quarantine, and degradation.
 
 Chaos: workers consult an optional
 :class:`~repro.robustness.chaos.ChaosPolicy` (normally passed via the
@@ -71,9 +89,32 @@ from repro.analysis.store import (
     QUARANTINE_REASON,
     ResultStore,
 )
-from repro.observability.metrics import get_registry
+from repro.observability.export import write_live_status
+from repro.observability.flightrec import FLIGHT, dump_on_fault
+from repro.observability.metrics import get_registry, scoped_registry
+from repro.observability.timers import (
+    WORKER_SCOPE,
+    phase_attribution,
+    phase_timer,
+    phase_timers_enabled,
+    set_phase_scope,
+    set_phase_timers,
+)
 from repro.observability.trace import TRACER
 from repro.robustness.chaos import ChaosPolicy, inject_corrupt_row
+
+# Parent-side phase handles (module-level so the per-event cost is one
+# registry identity check; see repro.observability.timers).
+_T_POOL_SPAWN = phase_timer("pool-spawn")
+_T_PIPE_SEND = phase_timer("pipe-send")
+_T_ACK_DRAIN = phase_timer("ack-drain")
+_T_LEASE_SWEEP = phase_timer("lease-sweep")
+# Worker-side handles pick up the "worker:" scope set in _pool_worker;
+# store fsync is timed inside ResultStore.add itself, under whichever
+# scope the writing process runs.
+_T_W_RECV = phase_timer("pipe-recv")
+_T_W_COMPUTE = phase_timer("compute")
+_T_W_SEND = phase_timer("pipe-send")
 
 #: One work item as the scheduler hands it over: (content hash, spec).
 WorkItem = Tuple[str, GameSpec]
@@ -111,6 +152,11 @@ class _Worker:
     conn: Any
     lease: Optional[Lease] = None
     broken: bool = False
+    #: Monotonic instant of the last message (heartbeat or ack) the
+    #: parent read from this worker; spawn time until then.
+    last_seen: float = 0.0
+    #: Games this worker has acknowledged as done.
+    games: int = 0
 
 
 @dataclass
@@ -176,6 +222,7 @@ def _pool_worker(
     retries: int,
     backoff: float,
     chaos: Optional[ChaosPolicy],
+    timers_on: bool = False,
 ) -> None:
     """Worker loop: serve one leased game per pipe round-trip until the
     ``None`` sentinel.
@@ -193,6 +240,15 @@ def _pool_worker(
     # module; the worker body only runs in child processes.
     from repro.analysis.campaign import _play_with_retry, _store_row
 
+    # Phase timers: adopt the parent's setting explicitly (a spawn-start
+    # child would not inherit the module global) and scope every phase
+    # this process records under "worker:" so merged parent snapshots
+    # keep worker-side time apart from parent-side time.  The fresh
+    # scoped registry matters under fork: the child inherits a *copy* of
+    # the parent's counters, and shipping that copy back would double
+    # every pre-fork count.
+    set_phase_timers(timers_on)
+    set_phase_scope(WORKER_SCOPE)
     store = ResultStore(store_root)
     if chaos is not None:
         chaos.apply_slow_start(index)
@@ -202,64 +258,96 @@ def _pool_worker(
     # blocking recv would orphan the whole fleet forever.  A reparented
     # process sees its ppid change — poll for that instead.
     parent_pid = os.getppid()
-    while True:
-        try:
-            while not conn.poll(1.0):
-                if os.getppid() != parent_pid:
-                    return
-            item = conn.recv()
-        except (EOFError, OSError):  # parent gone
-            return
-        if item is None:
+    games_served = 0
+    with scoped_registry() as worker_registry:
+        while True:
             try:
-                conn.send(("exit", index, None, None))
-            except OSError:  # pragma: no cover - parent gone
-                pass
-            return
-        digest, spec, attempt = item
-        action = None
-        if chaos is not None:
-            action = chaos.action_for(digest, attempt)
-            if action == "kill":
-                os.kill(os.getpid(), signal.SIGKILL)
-            elif action == "stall":
-                # The parent's lease expiry is expected to SIGKILL us
-                # long before this loop finishes; bail out if the
-                # parent itself dies so a stalled worker never
-                # outlives it as an orphan.
-                deadline = time.monotonic() + chaos.stall_seconds
-                while time.monotonic() < deadline:
-                    if os.getppid() != parent_pid:
-                        return
-                    time.sleep(0.2)
-        try:
-            outcome = _play_with_retry(spec, retries, backoff)
-        except Exception as exc:
-            detail = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
-            try:
-                conn.send(("error", digest, detail, None))
-            except OSError:  # pragma: no cover - parent gone
+                with _T_W_RECV:
+                    while not conn.poll(1.0):
+                        if os.getppid() != parent_pid:
+                            return
+                    item = conn.recv()
+            except (EOFError, OSError):  # parent gone
                 return
-            continue
-        row = _store_row(outcome, digest)
-        try:
-            if action == "corrupt":
-                inject_corrupt_row(store.root, os.getpid())
-            store.add(row)
-        except OSError as exc:
+            if item is None:
+                try:
+                    conn.send(("exit", index, None, None))
+                except OSError:  # pragma: no cover - parent gone
+                    pass
+                return
+            digest, spec, attempt = item
+            # Heartbeat: tell the parent the lease was picked up.  Sent
+            # before any chaos action or compute so even a game that
+            # kills this worker instantly leaves a liveness mark.
             try:
                 conn.send(
-                    ("error", digest, f"result store write failed: {exc}", None)
+                    (
+                        "heartbeat",
+                        digest,
+                        {"pid": os.getpid(), "games": games_served},
+                        None,
+                    )
                 )
             except OSError:  # pragma: no cover - parent gone
                 return
-            continue
-        try:
-            conn.send(("done", digest, row, outcome.metrics))
-        except OSError:  # pragma: no cover - parent gone
-            return
+            action = None
+            if chaos is not None:
+                action = chaos.action_for(digest, attempt)
+                if action == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                elif action == "stall":
+                    # The parent's lease expiry is expected to SIGKILL us
+                    # long before this loop finishes; bail out if the
+                    # parent itself dies so a stalled worker never
+                    # outlives it as an orphan.
+                    deadline = time.monotonic() + chaos.stall_seconds
+                    while time.monotonic() < deadline:
+                        if os.getppid() != parent_pid:
+                            return
+                        time.sleep(0.2)
+            try:
+                with _T_W_COMPUTE:
+                    outcome = _play_with_retry(spec, retries, backoff)
+            except Exception as exc:
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                try:
+                    conn.send(("error", digest, detail, None))
+                except OSError:  # pragma: no cover - parent gone
+                    return
+                continue
+            row = _store_row(outcome, digest)
+            try:
+                if action == "corrupt":
+                    inject_corrupt_row(store.root, os.getpid())
+                store.add(row)
+            except OSError as exc:
+                try:
+                    conn.send(
+                        (
+                            "error",
+                            digest,
+                            f"result store write failed: {exc}",
+                            None,
+                        )
+                    )
+                except OSError:  # pragma: no cover - parent gone
+                    return
+                continue
+            games_served += 1
+            # Ship the game's own snapshot folded with this worker's
+            # between-game metrics (pipe waits, fsync phases), then
+            # reset so the next ack carries only its own delta.
+            if outcome.metrics:
+                worker_registry.merge(outcome.metrics)
+            metrics = worker_registry.snapshot()
+            worker_registry.reset()
+            try:
+                with _T_W_SEND:
+                    conn.send(("done", digest, row, metrics))
+            except OSError:  # pragma: no cover - parent gone
+                return
 
 
 class SupervisedWorkerPool:
@@ -292,6 +380,14 @@ class SupervisedWorkerPool:
         Fault-injection policy shipped to workers; defaults to
         :meth:`ChaosPolicy.from_env` (i.e. the ``REPRO_CHAOS``
         environment), which resolves to None in ordinary runs.
+    live_interval:
+        How often (seconds) the drain loop republishes ``live.json``
+        under the store root for ``repro campaign watch``; ``None``
+        disables live telemetry entirely.
+    live_extra:
+        Extra fields merged into every live status record (the
+        scheduler passes campaign-level context such as the dedupe
+        count, which the pool cannot know).
     """
 
     def __init__(
@@ -306,6 +402,8 @@ class SupervisedWorkerPool:
         lease_slack: float = 1.0,
         heartbeat: float = 0.1,
         chaos: Optional[ChaosPolicy] = None,
+        live_interval: Optional[float] = 1.0,
+        live_extra: Optional[Dict[str, Any]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -327,6 +425,11 @@ class SupervisedWorkerPool:
         self.lease_slack = lease_slack
         self.heartbeat = heartbeat
         self.chaos = chaos if chaos is not None else ChaosPolicy.from_env()
+        self.live_interval = live_interval
+        self.live_extra = dict(live_extra) if live_extra else {}
+        self._last_live = 0.0
+        self._max_queue_depth = 0
+        self._max_in_flight = 0
 
     # ------------------------------------------------------------------
     # Drain
@@ -346,6 +449,8 @@ class SupervisedWorkerPool:
         attempts: Dict[str, int] = {}
         losses: Dict[str, int] = {}
         pool_size = min(self.workers, len(work))
+        total = len(work)
+        FLIGHT.record("pool-start", workers=pool_size, games=total)
         fleet: List[_Worker] = [
             self._spawn(ctx, index) for index in range(pool_size)
         ]
@@ -369,7 +474,24 @@ class SupervisedWorkerPool:
                 ):
                     self._degrade(outcome, pending, fleet, registry)
                     break
-            self._shutdown(fleet)
+                with _T_LEASE_SWEEP:
+                    self._publish_live(
+                        fleet, pending, outcome, total, registry, done=False
+                    )
+            with _T_LEASE_SWEEP:
+                self._shutdown(fleet)
+                registry.set("campaign_queue_depth", self._max_queue_depth)
+                registry.set("campaign_in_flight", self._max_in_flight)
+                self._publish_live(
+                    fleet, pending, outcome, total, registry, done=True
+                )
+            FLIGHT.record(
+                "pool-finished",
+                games=len(outcome.rows),
+                errors=len(outcome.errors),
+                restarts=outcome.restarts,
+                degraded=outcome.degraded,
+            )
             span.note(
                 restarts=outcome.restarts,
                 lease_expirations=outcome.lease_expirations,
@@ -379,29 +501,95 @@ class SupervisedWorkerPool:
             )
         return outcome
 
+    def _publish_live(
+        self,
+        fleet: List[_Worker],
+        pending: Deque[WorkItem],
+        outcome: PoolOutcome,
+        total: int,
+        registry,
+        done: bool,
+    ) -> None:
+        """Track queue gauges and (rate-limited) rewrite ``live.json``.
+
+        Telemetry, not bookkeeping: any failure here is swallowed by
+        :func:`write_live_status` rather than surfacing in the drain.
+        """
+        queue_depth = sum(1 for d, _ in pending if d not in outcome.rows)
+        in_flight = sum(1 for w in fleet if w.lease is not None)
+        if queue_depth > self._max_queue_depth:
+            self._max_queue_depth = queue_depth
+        if in_flight > self._max_in_flight:
+            self._max_in_flight = in_flight
+        if self.live_interval is None:
+            return
+        now = time.monotonic()
+        if not done and now - self._last_live < self.live_interval:
+            return
+        self._last_live = now
+        status: Dict[str, Any] = dict(self.live_extra)
+        status.update(
+            {
+                "done": done,
+                "monotonic": now,
+                "games_total": total,
+                "games_played": len(outcome.rows),
+                "games_errors": len(outcome.errors),
+                "games_quarantined": len(outcome.quarantined),
+                "games_requeued": outcome.requeues,
+                "worker_restarts": outcome.restarts,
+                "queue_depth": queue_depth,
+                "in_flight": in_flight,
+                "workers": [
+                    {
+                        "index": w.index,
+                        "pid": w.process.pid,
+                        "state": (
+                            "broken"
+                            if w.broken
+                            else ("busy" if w.lease is not None else "idle")
+                        ),
+                        "last_seen": w.last_seen,
+                        "games": w.games,
+                    }
+                    for w in fleet
+                ],
+                "phases": phase_attribution(registry.snapshot()),
+            }
+        )
+        write_live_status(self.store.root, status)
+
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn(self, ctx, index: int) -> _Worker:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(
-            target=_pool_worker,
-            args=(
-                index,
-                child_conn,
-                self.store.root,
-                self.retries,
-                self.backoff,
-                self.chaos,
-            ),
-            daemon=True,
-        )
-        process.start()
-        # Drop the parent's copy of the child end so a dead worker reads
-        # as EOF instead of a silent hang.
-        child_conn.close()
+        with _T_POOL_SPAWN:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_pool_worker,
+                args=(
+                    index,
+                    child_conn,
+                    self.store.root,
+                    self.retries,
+                    self.backoff,
+                    self.chaos,
+                    phase_timers_enabled(),
+                ),
+                daemon=True,
+            )
+            process.start()
+            # Drop the parent's copy of the child end so a dead worker
+            # reads as EOF instead of a silent hang.
+            child_conn.close()
         TRACER.event("worker-spawned", worker=index, pid=process.pid)
-        return _Worker(index=index, process=process, conn=parent_conn)
+        FLIGHT.record("worker-spawned", worker=index, pid=process.pid)
+        return _Worker(
+            index=index,
+            process=process,
+            conn=parent_conn,
+            last_seen=time.monotonic(),
+        )
 
     def _dispatch(
         self,
@@ -431,8 +619,12 @@ class SupervisedWorkerPool:
                 started=now,
                 deadline=deadline,
             )
+            FLIGHT.record(
+                "dispatch", worker=worker.index, digest=digest, attempt=attempt
+            )
             try:
-                worker.conn.send((digest, spec, attempt))
+                with _T_PIPE_SEND:
+                    worker.conn.send((digest, spec, attempt))
             except OSError:
                 # Worker already dead: undo the dispatch (keeping the
                 # attempt numbering aligned with actual plays) and let
@@ -454,16 +646,18 @@ class SupervisedWorkerPool:
         if not by_conn:
             time.sleep(self.heartbeat)
             return
-        for conn in _connection_wait(list(by_conn), timeout=self.heartbeat):
-            worker = by_conn[conn]
-            try:
-                message = conn.recv()
-            except Exception:
-                # EOF (dead worker) or a torn/garbled ack: only this
-                # worker's channel is poisoned.  The sweep reaps it.
-                worker.broken = True
-                continue
-            self._handle_message(worker, message, outcome, registry)
+        with _T_ACK_DRAIN:
+            ready = _connection_wait(list(by_conn), timeout=self.heartbeat)
+            for conn in ready:
+                worker = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except Exception:
+                    # EOF (dead worker) or a torn/garbled ack: only this
+                    # worker's channel is poisoned.  The sweep reaps it.
+                    worker.broken = True
+                    continue
+                self._handle_message(worker, message, outcome, registry)
 
     def _handle_message(
         self, worker: _Worker, message, outcome: PoolOutcome, registry
@@ -473,7 +667,12 @@ class SupervisedWorkerPool:
         except (TypeError, ValueError):  # pragma: no cover - malformed
             worker.broken = True
             return
+        worker.last_seen = time.monotonic()
         if kind == "exit":
+            return
+        if kind == "heartbeat":
+            # Liveness only — the lease stays open until the real ack.
+            registry.inc("campaign_worker_heartbeats")
             return
         if worker.lease is not None and worker.lease.digest == digest:
             worker.lease = None
@@ -481,7 +680,11 @@ class SupervisedWorkerPool:
             outcome.errors.append(
                 _error_entry(digest, self._specs[digest], payload)
             )
+            FLIGHT.record(
+                "game-error", worker=worker.index, digest=digest
+            )
             return
+        worker.games += 1
         if digest not in outcome.rows:
             outcome.rows[digest] = payload
         if metrics:
@@ -524,45 +727,67 @@ class SupervisedWorkerPool:
         """
         now = time.monotonic()
         for worker in list(fleet):
-            dead = worker.broken or not worker.process.is_alive()
-            expired = (
-                not dead
-                and worker.lease is not None
-                and worker.lease.deadline is not None
-                and now > worker.lease.deadline
-            )
-            if not dead and not expired:
-                continue
-            if expired:
-                outcome.lease_expirations += 1
-                registry.inc("campaign_lease_expirations")
+            # The respawn below runs outside the lease-sweep timing so
+            # its cost lands in the pool-spawn phase, not twice.
+            with _T_LEASE_SWEEP:
+                dead = worker.broken or not worker.process.is_alive()
+                expired = (
+                    not dead
+                    and worker.lease is not None
+                    and worker.lease.deadline is not None
+                    and now > worker.lease.deadline
+                )
+                if not dead and not expired:
+                    continue
+                if expired:
+                    outcome.lease_expirations += 1
+                    registry.inc("campaign_lease_expirations")
+                    TRACER.event(
+                        "lease-expired",
+                        worker=worker.index,
+                        pid=worker.process.pid,
+                        digest=worker.lease.digest,
+                        attempt=worker.lease.attempt,
+                    )
+                    dump_on_fault(
+                        self.store.root,
+                        "lease-expired",
+                        worker=worker.index,
+                        pid=worker.process.pid,
+                        digest=worker.lease.digest,
+                        attempt=worker.lease.attempt,
+                    )
+                worker.process.kill()
+                worker.process.join()
                 TRACER.event(
-                    "lease-expired",
+                    "worker-died",
                     worker=worker.index,
                     pid=worker.process.pid,
-                    digest=worker.lease.digest,
-                    attempt=worker.lease.attempt,
+                    exitcode=worker.process.exitcode,
+                    cause="lease-expired" if expired else "worker-death",
                 )
-            worker.process.kill()
-            worker.process.join()
-            TRACER.event(
-                "worker-died",
-                worker=worker.index,
-                pid=worker.process.pid,
-                exitcode=worker.process.exitcode,
-                cause="lease-expired" if expired else "worker-death",
-            )
-            self._salvage(worker, outcome, registry)
-            self._close_conn(worker.conn)
-            fleet.remove(worker)
+                FLIGHT.record(
+                    "worker-died",
+                    worker=worker.index,
+                    pid=worker.process.pid,
+                    exitcode=worker.process.exitcode,
+                    cause="lease-expired" if expired else "worker-death",
+                )
+                self._salvage(worker, outcome, registry)
+                self._close_conn(worker.conn)
+                fleet.remove(worker)
+            # Loss accounting may fsync a quarantine row — that time
+            # belongs to store-fsync, a sibling top-level phase, so it
+            # must not run nested inside the lease-sweep timing.
             if worker.lease is not None:
                 self._account_loss(
                     worker.lease, pending, outcome, losses, registry
                 )
-            if outcome.restarts >= self.max_worker_restarts:
-                return False
-            outcome.restarts += 1
-            registry.inc("campaign_worker_restarts")
+            with _T_LEASE_SWEEP:
+                if outcome.restarts >= self.max_worker_restarts:
+                    return False
+                outcome.restarts += 1
+                registry.inc("campaign_worker_restarts")
             fleet.append(self._spawn(ctx, worker.index))
         return True
 
@@ -580,29 +805,48 @@ class SupervisedWorkerPool:
             return  # acknowledged just before the worker was lost
         losses[digest] = losses.get(digest, 0) + 1
         if losses[digest] >= self.poison_threshold:
+            # The store write self-times as store-fsync; the flight dump
+            # and bookkeeping around it count as lease-sweep, kept in
+            # separate blocks so the two top-level phases never nest.
             row = quarantine_row(digest, lease.spec, losses[digest])
             self.store.add(row)
-            outcome.rows[digest] = row
-            outcome.quarantined.append(digest)
-            registry.inc("campaign_games_quarantined")
+            with _T_LEASE_SWEEP:
+                outcome.rows[digest] = row
+                outcome.quarantined.append(digest)
+                registry.inc("campaign_games_quarantined")
+                TRACER.event(
+                    "game-quarantined",
+                    digest=digest,
+                    adversary=lease.spec.adversary,
+                    victim=lease.spec.victim,
+                    locality=lease.spec.locality,
+                    losses=losses[digest],
+                )
+                dump_on_fault(
+                    self.store.root,
+                    "game-quarantined",
+                    digest=digest,
+                    adversary=lease.spec.adversary,
+                    victim=lease.spec.victim,
+                    losses=losses[digest],
+                )
+            return
+        with _T_LEASE_SWEEP:
+            pending.append((digest, lease.spec))
+            outcome.requeues += 1
+            registry.inc("campaign_games_requeued")
             TRACER.event(
-                "game-quarantined",
+                "game-requeued",
                 digest=digest,
-                adversary=lease.spec.adversary,
-                victim=lease.spec.victim,
-                locality=lease.spec.locality,
+                attempt=lease.attempt,
                 losses=losses[digest],
             )
-            return
-        pending.append((digest, lease.spec))
-        outcome.requeues += 1
-        registry.inc("campaign_games_requeued")
-        TRACER.event(
-            "game-requeued",
-            digest=digest,
-            attempt=lease.attempt,
-            losses=losses[digest],
-        )
+            FLIGHT.record(
+                "game-requeued",
+                digest=digest,
+                attempt=lease.attempt,
+                losses=losses[digest],
+            )
 
     # ------------------------------------------------------------------
     # Degradation and shutdown
@@ -638,6 +882,13 @@ class SupervisedWorkerPool:
         outcome.leftover = leftover
         registry.inc("campaign_pool_degradations")
         TRACER.event(
+            "pool-degraded",
+            remaining=len(leftover),
+            restarts=outcome.restarts,
+            budget=self.max_worker_restarts,
+        )
+        dump_on_fault(
+            self.store.root,
             "pool-degraded",
             remaining=len(leftover),
             restarts=outcome.restarts,

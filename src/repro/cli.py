@@ -14,14 +14,19 @@ Subcommands
     Run every registered adversary against every registered victim.
 ``campaign``
     Run declarative campaigns (``campaign run SPEC --store DIR``),
-    resume one after a kill (``campaign resume``), or report store
-    progress and the run ledger (``campaign status``).  See
-    :mod:`repro.analysis.campaign` for the spec format.
+    resume one after a kill (``campaign resume``), report store
+    progress, the run ledger, and the latest phase-attribution table
+    (``campaign status``), or follow an in-flight run's live telemetry
+    (``campaign watch``).  See :mod:`repro.analysis.campaign` for the
+    spec format.  ``run``/``resume`` take ``--timers/--no-timers``
+    (default on) toggling phase-attribution profiling.
 ``report``
     Regenerate EXPERIMENTS.md content on stdout.
 ``stats``
     Summarize a trace recorded with ``--trace`` (event counts, games by
-    adversary, reveal totals, cache hit rate).
+    adversary, reveal totals, cache hit rate), export its folded metrics
+    snapshot (``--export prometheus|json``), or render the live telemetry
+    of an in-flight campaign (``--live STORE_DIR``).
 
 Shared run flags
 ----------------
@@ -49,6 +54,9 @@ Examples::
     python -m repro.cli campaign run examples/campaigns/smoke.json \\
         --store /tmp/store --workers 4
     python -m repro.cli campaign status --store /tmp/store
+    python -m repro.cli campaign watch --store /tmp/store
+    python -m repro.cli stats /tmp/t.jsonl --export prometheus
+    python -m repro.cli stats --live /tmp/store
     python -m repro.cli report
 """
 
@@ -94,6 +102,27 @@ def _print_metrics() -> None:
 
     print("\nmetrics:")
     print(format_metrics(get_registry().snapshot()))
+
+
+def _latest_phase_run(store_dir) -> Optional[dict]:
+    """The newest run-ledger entry carrying phase timings, if any."""
+    from repro.analysis.store import ResultStore
+
+    for run in reversed(ResultStore(store_dir).runs()):
+        if run.get("phases"):
+            return run
+    return None
+
+
+def _print_phase_table(store_dir) -> None:
+    from repro.observability.stats import render_phase_table
+
+    entry = _latest_phase_run(store_dir)
+    if entry is None:
+        return
+    print("\nphase attribution "
+          f"(run #{entry.get('seq', '?')}, {entry.get('campaign', '?')}):")
+    print(render_phase_table(entry["phases"], entry.get("wall_seconds")))
 
 
 def _make_victim(name: str):
@@ -374,6 +403,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             max_worker_restarts=args.max_worker_restarts,
             poison_threshold=args.poison_threshold,
+            timers=args.timers,
         )
     else:
         results, outcome = run_threshold_search(
@@ -385,6 +415,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             max_worker_restarts=args.max_worker_restarts,
             poison_threshold=args.poison_threshold,
+            timers=args.timers,
         )
         print(threshold_table(results))
         print()
@@ -404,6 +435,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         )
     for error in outcome.errors:
         print(f"  error: {error}")
+    if args.timers:
+        _print_phase_table(args.store)
     if args.metrics:
         _print_metrics()
     return 0 if not outcome.errors else 1
@@ -442,21 +475,97 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     if not runs:
         print("  (no runs recorded)")
     for run in runs:
-        print(
+        line = (
             f"  #{run.get('seq', '?')} {run.get('kind', '?')} "
             f"{run.get('campaign', '?')}: played {run.get('played', '?')}, "
             f"deduped {run.get('deduped', '?')}, "
             f"errors {run.get('errors', '?')}"
         )
+        if run.get("wall_seconds") is not None:
+            line += f", wall {run['wall_seconds']:.3f}s"
+        if run.get("phase_coverage") is not None:
+            line += f" ({run['phase_coverage']:.1%} attributed)"
+        print(line)
+    _print_phase_table(args.store)
     return 0
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.observability.export import (
+        read_live_status,
+        render_live_status,
+    )
+
+    if not os.path.isdir(args.store):
+        raise UserError(f"no result store at {args.store!r}")
+    waited = False
+    while True:
+        status = read_live_status(args.store)
+        if status is None:
+            if args.once:
+                print(f"(no live telemetry in {args.store}; is a "
+                      "campaign running with live status enabled?)")
+                return 1
+            if not waited:
+                print(f"waiting for live telemetry in {args.store} ...")
+                waited = True
+        else:
+            print(render_live_status(status))
+            if status.get("done") or args.once:
+                return 0
+            print()
+        time.sleep(args.interval)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.observability.stats import aggregate_file, render_stats
 
+    if args.live is not None:
+        from repro.observability.export import (
+            read_live_status,
+            render_live_status,
+        )
+
+        if args.trace is not None:
+            raise UserError(
+                "--live reads a store's telemetry; drop the TRACE argument"
+            )
+        if not os.path.isdir(args.live):
+            raise UserError(f"no result store at {args.live!r}")
+        status = read_live_status(args.live)
+        if status is None:
+            raise UserError(
+                f"no live telemetry in {args.live!r} (is a campaign "
+                "running with live status enabled?)"
+            )
+        print(render_live_status(status))
+        return 0
+
+    if args.trace is None:
+        raise UserError("stats needs a TRACE file (or --live STORE_DIR)")
     if not os.path.exists(args.trace):
         raise UserError(f"no trace file at {args.trace!r}")
-    print(render_stats(aggregate_file(args.trace), top=args.top))
+    try:
+        stats = aggregate_file(args.trace)
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        # A half-written or non-trace file is a bad invocation, not a
+        # crash: report it under the usage-error convention.
+        raise UserError(
+            f"unreadable trace file {args.trace!r}: {exc}"
+        ) from None
+
+    if args.export is not None:
+        from repro.observability.export import to_json, to_prometheus
+
+        snapshot = stats.metrics.snapshot()
+        if args.export == "prometheus":
+            sys.stdout.write(to_prometheus(snapshot))
+        else:
+            print(to_json(snapshot))
+        return 0
+    print(render_stats(stats, top=args.top))
     return 0
 
 
@@ -599,23 +708,61 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker kills/hangs one game may cause before it is "
             "quarantined as a forfeit:poison row (default 3)",
         )
+        cmd.add_argument(
+            "--timers", action=argparse.BooleanOptionalAction, default=True,
+            help="phase-attribution timing for this run; the phase table "
+            "is printed afterwards and recorded in the run ledger "
+            "(default on)",
+        )
         cmd.set_defaults(func=cmd_campaign_run, require_store=require_store)
     status = csub.add_parser(
-        "status", help="report store progress and the run ledger"
+        "status", help="report store progress, the run ledger, and the "
+        "latest phase-attribution table"
     )
     status.add_argument(
         "--store", required=True, metavar="DIR",
         help="content-addressed result store directory",
     )
     status.set_defaults(func=cmd_campaign_status)
+    watch = csub.add_parser(
+        "watch", help="follow an in-flight campaign's live telemetry"
+    )
+    watch.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store directory",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between polls of the live status file (default 1)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render the current status once and exit (status 1 if no "
+        "telemetry has been written yet)",
+    )
+    watch.set_defaults(func=cmd_campaign_watch)
 
     stats = sub.add_parser(
-        "stats", help="summarize a trace recorded with --trace"
+        "stats", help="summarize a trace recorded with --trace, export "
+        "its metrics, or render live campaign telemetry"
     )
-    stats.add_argument("trace", metavar="TRACE", help="trace file to read")
+    stats.add_argument(
+        "trace", metavar="TRACE", nargs="?", default=None,
+        help="trace file to read (omit with --live)",
+    )
     stats.add_argument(
         "--top", type=_positive_int, default=5, metavar="N",
         help="slowest games to list (default 5)",
+    )
+    stats.add_argument(
+        "--export", choices=["prometheus", "json"], default=None,
+        help="emit the trace's folded metrics snapshot in this format "
+        "instead of the report",
+    )
+    stats.add_argument(
+        "--live", default=None, metavar="DIR",
+        help="render the live telemetry of the campaign running against "
+        "this result store instead of reading a trace",
     )
     stats.set_defaults(func=cmd_stats)
 

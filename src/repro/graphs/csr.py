@@ -48,6 +48,14 @@ try:  # optional fast path; the package itself has zero runtime deps
 except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
     _np = None
 
+from repro.observability.timers import phase_timer
+
+# Phase-attribution handles (repro.observability.timers): compile and
+# patch costs are the CSR kernel's contribution to the campaign phase
+# table (nested inside compute, so informational — not coverage).
+_T_CSR_COMPILE = phase_timer("csr-compile")
+_T_CSR_PATCH = phase_timer("csr-patch")
+
 Node = Hashable
 
 #: Whether the vectorized large-frontier sweep is available.
@@ -137,6 +145,10 @@ class CSRView:
     # ------------------------------------------------------------------
     def _recompile(self) -> None:
         """Pack the full adjacency map into fresh indptr/indices arrays."""
+        with _T_CSR_COMPILE:
+            self._recompile_inner()
+
+    def _recompile_inner(self) -> None:
         adj = self.graph.adjacency()
         ids: Dict[Node, int] = {}
         labels: List[Node] = []
@@ -191,20 +203,21 @@ class CSRView:
         if changes is None or any(kind != "add" for kind, _ in changes):
             self._recompile()
             return self
-        touched: Set[Node] = set()
-        for _, nodes in changes:
-            touched.update(nodes)
-        adj = graph.adjacency()
-        ids = self._ids
-        for node in touched:
-            if node not in ids:
-                ids[node] = len(self._labels)
-                self._labels.append(node)
-                self._visited.append(0)
-        for node in touched:
-            self._patched[ids[node]] = [ids[v] for v in adj[node]]
-        self.appends += 1
-        self._generation = graph.generation
+        with _T_CSR_PATCH:
+            touched: Set[Node] = set()
+            for _, nodes in changes:
+                touched.update(nodes)
+            adj = graph.adjacency()
+            ids = self._ids
+            for node in touched:
+                if node not in ids:
+                    ids[node] = len(self._labels)
+                    self._labels.append(node)
+                    self._visited.append(0)
+            for node in touched:
+                self._patched[ids[node]] = [ids[v] for v in adj[node]]
+            self.appends += 1
+            self._generation = graph.generation
         if len(self._patched) > PATCH_BASE + len(self._labels) // PATCH_FRACTION:
             self._recompile()
         return self

@@ -17,6 +17,7 @@ from repro.graphs.csr import (  # noqa: F401  (re-exported for callers)
 )
 from repro.graphs.graph import Graph
 from repro.observability.metrics import BoundCounter, get_registry
+from repro.observability.timers import phase_timer
 
 Node = Hashable
 
@@ -26,6 +27,12 @@ _BALL_EVICTIONS = BoundCounter("ball_cache_evictions")
 _SCOPED_FLUSHES = BoundCounter("ball_cache_scoped_flushes")
 _FULL_FLUSHES = BoundCounter("ball_cache_full_flushes")
 _BUCKET_REATTACHES = BoundCounter("ball_cache_bucket_reattach")
+
+# Phase-attribution handles (repro.observability.timers): miss-path ball
+# extraction and cache re-sync are the graph layer's rows in the phase
+# table (nested inside compute, so informational — not coverage).
+_T_BALL_EXTRACT = phase_timer("ball-extract")
+_T_CACHE_SYNC = phase_timer("cache-sync")
 
 #: Names of the registry counters the cache maintains, in reporting order.
 _CACHE_COUNTERS = (
@@ -165,9 +172,10 @@ def ball(graph: Graph, sources: Union[Node, Iterable[Node]], radius: int) -> Set
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
     srcs = _as_sources(sources, graph)
-    if _graph_backend_is_csr():
-        return csr_view(graph).ball_labels(srcs, radius)
-    return set(_dict_bfs(graph, srcs, max_dist=radius))
+    with _T_BALL_EXTRACT:
+        if _graph_backend_is_csr():
+            return csr_view(graph).ball_labels(srcs, radius)
+        return set(_dict_bfs(graph, srcs, max_dist=radius))
 
 
 class BallCache:
@@ -274,6 +282,10 @@ class BallCache:
 
     def _sync(self) -> None:
         """Catch up with the graph after a generation change."""
+        with _T_CACHE_SYNC:
+            self._sync_inner()
+
+    def _sync_inner(self) -> None:
         generation = self.graph.generation
         if self._policy == "wholesale":
             self._balls.clear()

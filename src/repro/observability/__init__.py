@@ -10,22 +10,49 @@ Three pieces (see ``docs/observability.md``):
   wired through the simulators, adversaries, and the game supervisor.
 * :mod:`repro.observability.stats` — aggregation of a trace file into
   the human-readable report served by ``repro.cli stats``.
+* :mod:`repro.observability.timers` — phase-attribution timers breaking
+  campaign wall-clock down into named phases (IPC vs. compute vs.
+  fsync), recorded as registry histograms so worker snapshots merge.
+* :mod:`repro.observability.flightrec` — an always-on bounded ring of
+  recent events, dumped kill-safely to JSON lines on supervisor faults.
+* :mod:`repro.observability.export` — Prometheus-text / JSON exporters
+  over registry snapshots and the ``live.json`` campaign telemetry file
+  behind ``repro campaign watch``.
 
-Only ``metrics`` and ``trace`` are imported eagerly: low-level modules
-(``repro.graphs.traversal``) import the registry from here, so ``stats``
-— which pulls in the analysis layer — is loaded lazily via PEP 562 to
-keep the import graph acyclic.
+Only ``metrics``, ``trace``, ``timers``, and ``flightrec`` are imported
+eagerly: low-level modules (``repro.graphs.traversal``) import the
+registry from here, so ``stats`` — which pulls in the analysis layer —
+is loaded lazily via PEP 562 to keep the import graph acyclic.
 """
 
 from __future__ import annotations
 
+from repro.observability.flightrec import (
+    FLIGHT,
+    FlightRecorder,
+    find_flight_dumps,
+    read_flight_dump,
+)
 from repro.observability.metrics import (
     BoundCounter,
+    BoundHistogram,
     MetricsRegistry,
     NullRegistry,
     get_registry,
     scoped_registry,
     set_registry,
+)
+from repro.observability.timers import (
+    NULL_TIMER,
+    NullTimer,
+    PhaseTimer,
+    attribution_coverage,
+    phase_attribution,
+    phase_timer,
+    phase_timers_enabled,
+    set_phase_scope,
+    set_phase_timers,
+    timed_phases,
 )
 from repro.observability.trace import (
     TRACER,
@@ -37,6 +64,7 @@ from repro.observability.trace import (
 
 __all__ = [
     "BoundCounter",
+    "BoundHistogram",
     "MetricsRegistry",
     "NullRegistry",
     "get_registry",
@@ -47,13 +75,34 @@ __all__ = [
     "tracing",
     "read_trace",
     "merge_trace_shards",
+    "PhaseTimer",
+    "NullTimer",
+    "NULL_TIMER",
+    "phase_timer",
+    "phase_timers_enabled",
+    "set_phase_timers",
+    "set_phase_scope",
+    "timed_phases",
+    "phase_attribution",
+    "attribution_coverage",
+    "FlightRecorder",
+    "FLIGHT",
+    "find_flight_dumps",
+    "read_flight_dump",
     "aggregate",
     "aggregate_file",
     "render_stats",
+    "render_phase_table",
     "format_metrics",
 ]
 
-_LAZY_STATS = {"aggregate", "aggregate_file", "render_stats", "format_metrics"}
+_LAZY_STATS = {
+    "aggregate",
+    "aggregate_file",
+    "render_stats",
+    "render_phase_table",
+    "format_metrics",
+}
 
 
 def __getattr__(name: str):

@@ -1,0 +1,178 @@
+"""Exporters: registry snapshots as Prometheus text or JSON, plus the
+live campaign status file that ``repro campaign watch`` renders.
+
+The metrics registry speaks plain dicts (:meth:`MetricsRegistry.snapshot`);
+this module translates them outward:
+
+* :func:`to_prometheus` renders a snapshot in the Prometheus text
+  exposition format (``# TYPE`` lines, sanitized metric names,
+  histograms expanded to ``_count``/``_sum``/``_min``/``_max`` series)
+  so a scrape target — or the ROADMAP-3 API server's ``/metrics``
+  endpoint — can serve harness metrics with zero new dependencies.
+* :func:`to_json` is the stable JSON shape for the same data.
+* :func:`write_live_status` / :func:`read_live_status` implement the
+  telemetry channel between a running campaign and observers: the pool
+  drain loop atomically rewrites one small ``live.json`` under the
+  campaign store (~1 Hz), and ``repro campaign watch`` / ``repro stats
+  --live`` poll it.  A file is the right transport here — it needs no
+  server, survives the writer's death with the last known state intact,
+  and the atomic-rename write means readers never see a torn JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Any, Dict, Mapping, Optional
+
+#: Live status filename inside a campaign store directory.
+LIVE_STATUS_FILE = "live.json"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """A registry instrument name as a valid Prometheus metric name."""
+    return prefix + _NAME_SANITIZER.sub("_", name)
+
+
+def _prom_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: Mapping[str, Any], prefix: str = "repro_") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters map to ``counter`` series, gauges to ``gauge``, and each
+    histogram summary to four ``gauge`` series suffixed ``_count`` /
+    ``_sum`` / ``_min`` / ``_max`` (the registry keeps streaming
+    summaries, not buckets, so native Prometheus histograms do not
+    apply).  Dots and other invalid characters in instrument names
+    (``phase_seconds.ack-drain``) become underscores.
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = _prom_name(prefix, name)
+        for suffix in ("count", "sum", "min", "max"):
+            series = f"{metric}_{suffix}"
+            lines.append(f"# TYPE {series} gauge")
+            lines.append(f"{series} {_prom_value(summary.get(suffix))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(snapshot: Mapping[str, Any], indent: int = 2) -> str:
+    """A registry snapshot as stable, sorted JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Live campaign status
+# ----------------------------------------------------------------------
+def live_status_path(root: str) -> str:
+    """Where a campaign rooted at ``root`` publishes live telemetry."""
+    return os.path.join(root, LIVE_STATUS_FILE)
+
+
+def write_live_status(root: str, status: Mapping[str, Any]) -> str:
+    """Atomically publish ``status`` (plus a wall-clock stamp) under
+    ``root``; returns the path.  Failures are swallowed — telemetry
+    must never fail the campaign it is reporting on."""
+    payload = dict(status)
+    payload.setdefault("written_at", time.time())
+    path = live_status_path(root)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return path
+
+
+def read_live_status(root: str) -> Optional[Dict[str, Any]]:
+    """The last published status under ``root``, or ``None`` when no
+    campaign has written one (or the file is unreadable)."""
+    try:
+        with open(live_status_path(root), "r", encoding="utf-8") as handle:
+            status = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return status if isinstance(status, dict) else None
+
+
+def render_live_status(status: Mapping[str, Any]) -> str:
+    """Human-readable rendering of one live status record."""
+    age = time.time() - float(status.get("written_at", 0.0))
+    done = status.get("done", False)
+    lines = [
+        "campaign {} (updated {:.1f}s ago)".format(
+            "finished" if done else "running", max(age, 0.0)
+        )
+    ]
+    counts = (
+        ("played", "games_played"),
+        ("deduped", "games_deduped"),
+        ("errors", "games_errors"),
+        ("quarantined", "games_quarantined"),
+        ("requeued", "games_requeued"),
+        ("restarts", "worker_restarts"),
+    )
+    parts = [
+        f"{label} {status[key]}" for label, key in counts if key in status
+    ]
+    if parts:
+        lines.append("  " + "  ".join(parts))
+    pending = status.get("queue_depth")
+    in_flight = status.get("in_flight")
+    if pending is not None or in_flight is not None:
+        lines.append(
+            f"  queue depth {pending if pending is not None else '?'}"
+            f"  in-flight {in_flight if in_flight is not None else '?'}"
+        )
+    workers = status.get("workers") or []
+    now = status.get("monotonic")
+    for worker in workers:
+        beat = worker.get("last_seen")
+        if now is not None and beat is not None:
+            beat_age = f"{max(float(now) - float(beat), 0.0):5.1f}s"
+        else:
+            beat_age = "    ?"
+        lines.append(
+            "  worker {index}: pid {pid}  {state:<7} heartbeat {age} ago  "
+            "games {games}".format(
+                index=worker.get("index", "?"),
+                pid=worker.get("pid", "?"),
+                state=worker.get("state", "?"),
+                age=beat_age,
+                games=worker.get("games", 0),
+            )
+        )
+    phases = status.get("phases") or {}
+    if phases:
+        total = sum(phases.values()) or 1.0
+        top = sorted(phases.items(), key=lambda item: -item[1])[:6]
+        lines.append(
+            "  phases: "
+            + "  ".join(
+                f"{name} {seconds:.2f}s ({seconds / total:.0%})"
+                for name, seconds in top
+            )
+        )
+    return "\n".join(lines)

@@ -38,6 +38,11 @@ Instrument names used across the harness (see ``docs/observability.md``):
 ``campaign_games_requeued``     in-flight games requeued after worker loss
 ``campaign_games_quarantined``  poison games stored as forfeit rows
 ``campaign_pool_degradations``  pools that fell back to serial execution
+``campaign_worker_heartbeats``  worker heartbeat acks received by the parent
+``campaign_queue_depth``    gauge: max pending games observed by the pool
+``campaign_in_flight``      gauge: max leased (in-flight) games observed
+``phase_seconds.<phase>``   histograms: per-phase wall-clock attribution
+                            (:mod:`repro.observability.timers`)
 ==========================  ============================================
 
 The process-local default registry is reached through
@@ -325,6 +330,32 @@ class BoundCounter:
             self._counter = registry.counter(self.name)
             self._registry = registry
         self._counter.inc(amount)
+
+
+class BoundHistogram:
+    """A histogram handle that re-binds itself to the active registry.
+
+    The phase timers (:mod:`repro.observability.timers`) observe a
+    duration on every timed phase exit; like :class:`BoundCounter` they
+    cache the underlying :class:`Histogram` and pay only an identity
+    check against the active registry per observation, re-resolving
+    whenever the registry is swapped.  A :class:`NullRegistry` (whose
+    ``histogram()`` returns a shared sink) suppresses recording.
+    """
+
+    __slots__ = ("name", "_registry", "_histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registry: Optional[MetricsRegistry] = None
+        self._histogram: Optional[Histogram] = None
+
+    def observe(self, value: float) -> None:
+        registry = _registry
+        if registry is not self._registry:
+            self._histogram = registry.histogram(self.name)
+            self._registry = registry
+        self._histogram.observe(value)
 
 
 @contextmanager

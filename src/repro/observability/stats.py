@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.tables import render_table
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.timers import TOP_LEVEL_PHASES
 from repro.observability.trace import read_trace
 
 
@@ -187,6 +188,44 @@ def render_stats(stats: TraceStats, top: int = 5) -> str:
         sections.append("\nmetrics:")
         sections.append(format_metrics(snapshot))
     return "\n".join(sections)
+
+
+def render_phase_table(
+    phases: Dict[str, float], wall_seconds: Optional[float] = None
+) -> str:
+    """The phase-attribution table ``campaign status``/``run`` print.
+
+    One row per phase (sorted by time, descending) with its share of
+    ``wall_seconds`` when known; top-level phases — the ones whose sum
+    the ≥90% coverage gate is computed over — are marked, and a summary
+    line reports the covered share.  Worker-scoped phases overlap the
+    parent's wall-clock (they ran concurrently), so they are listed but
+    never counted toward coverage.
+    """
+    if not phases:
+        return "(no phase timings recorded; run with timers enabled)"
+    rows: List[List[Any]] = []
+    for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
+        share = (
+            f"{seconds / wall_seconds:.1%}"
+            if wall_seconds and wall_seconds > 0
+            else "-"
+        )
+        marker = "*" if name in TOP_LEVEL_PHASES else ""
+        rows.append([name + marker, f"{seconds:.4f}", share])
+    table = render_table(["phase", "seconds", "share"], rows)
+    if wall_seconds and wall_seconds > 0:
+        covered = sum(
+            seconds
+            for name, seconds in phases.items()
+            if name in TOP_LEVEL_PHASES
+        )
+        table += (
+            f"\n* top-level phases: {covered:.4f}s of "
+            f"{wall_seconds:.4f}s wall-clock "
+            f"({covered / wall_seconds:.1%} attributed)"
+        )
+    return table
 
 
 def format_metrics(snapshot: Dict[str, Any]) -> str:

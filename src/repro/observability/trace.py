@@ -175,6 +175,13 @@ class Tracer:
         started = time.perf_counter()
         try:
             yield handle
+        except BaseException as exc:
+            # A span whose body raises must still close in the trace —
+            # a vanished end record is indistinguishable from a kill.
+            # Explicit notes win over the inferred error status.
+            handle.fields.setdefault("status", "error")
+            handle.fields.setdefault("error_type", type(exc).__name__)
+            raise
         finally:
             seconds = time.perf_counter() - started
             if self._open_spans and self._open_spans[-1] == span_id:

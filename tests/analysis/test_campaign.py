@@ -411,3 +411,49 @@ def test_backoff_delay_full_jitter_windows_and_cap():
     assert rng.windows == before
     # A custom cap clamps tighter.
     assert _backoff_delay(10, 1.0, cap=0.3, rng=rng) == 0.3
+
+
+# ----------------------------------------------------------------------
+# Phase attribution in the run ledger
+# ----------------------------------------------------------------------
+
+
+def test_run_ledger_records_phases_when_timed(tmp_path):
+    from repro.observability.timers import phase_timers_enabled
+
+    assert not phase_timers_enabled()
+    run_campaign(CampaignSpec(**SMALL), tmp_path / "store", timers=True)
+    assert not phase_timers_enabled()  # restored afterwards
+
+    entry = ResultStore(tmp_path / "store").runs()[-1]
+    assert entry["wall_seconds"] > 0
+    phases = entry["phases"]
+    assert phases and all(s >= 0 for s in phases.values())
+    # Serial runs time compute directly; expansion and fsync ride along.
+    assert "compute" in phases
+    assert "spec-expand" in phases
+    assert "store-fsync" in phases
+    assert 0.0 < entry["phase_coverage"]
+
+
+def test_run_ledger_omits_phases_when_untimed(tmp_path):
+    run_campaign(CampaignSpec(**SMALL), tmp_path / "store", timers=False)
+    entry = ResultStore(tmp_path / "store").runs()[-1]
+    assert entry["wall_seconds"] > 0
+    assert "phases" not in entry
+    assert "phase_coverage" not in entry
+
+
+def test_threshold_search_ledger_records_phases(tmp_path):
+    spec = ThresholdSearchSpec(
+        name="phase-probe",
+        adversaries=("theorem1-grid",),
+        victims=("greedy",),
+        low=0,
+        high=2,
+    )
+    run_threshold_search(spec, tmp_path / "store", timers=True)
+    entry = ResultStore(tmp_path / "store").runs()[-1]
+    assert entry["kind"] == "threshold"
+    assert entry["wall_seconds"] > 0
+    assert entry["phases"]

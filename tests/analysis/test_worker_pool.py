@@ -363,3 +363,78 @@ def test_chaos_run_matches_serial_run(tmp_path):
             continue  # quarantined counts as covered, not lost
         assert (chaos_row["won"], chaos_row["reason"], chaos_row["forfeit"]) \
             == (serial_row["won"], serial_row["reason"], serial_row["forfeit"])
+
+
+# ----------------------------------------------------------------------
+# Telemetry: heartbeats, live status, flight-recorder dumps
+# ----------------------------------------------------------------------
+
+
+def test_heartbeats_gauges_and_live_status(tmp_path):
+    """A pool run counts worker heartbeats, records queue high-water
+    gauges, and leaves a final ``done`` live-status file behind."""
+    from repro.observability.export import read_live_status
+
+    spec = CampaignSpec(**FAST)
+    store = ResultStore(tmp_path / "store")
+    with scoped_registry() as registry:
+        rows, _deduped, errors = CampaignScheduler(store, workers=2).run(
+            spec.expand()
+        )
+    assert not errors and len(rows) == 4
+
+    snapshot = registry.snapshot()
+    # One heartbeat per lease pickup: at least one per game played.
+    assert snapshot["counters"]["campaign_worker_heartbeats"] >= 4
+    gauges = snapshot["gauges"]
+    assert 1 <= gauges["campaign_queue_depth"] <= 4
+    assert 1 <= gauges["campaign_in_flight"] <= 2
+
+    status = read_live_status(store.root)
+    assert status is not None
+    assert status["done"] is True
+    assert status["games_played"] == 4
+    assert status["games_total"] == 4
+    assert status["queue_depth"] == 0 and status["in_flight"] == 0
+
+
+def test_quarantine_dumps_flight_recorder(tmp_path):
+    """Poison quarantine — a supervisor fault — must leave a parseable
+    flight-recorder dump next to the store."""
+    from repro.observability.flightrec import (
+        find_flight_dumps,
+        read_flight_dump,
+    )
+
+    spec = CampaignSpec(
+        name="poison",
+        adversaries=("theorem1-grid",),
+        victims=("greedy",),
+        localities=(1,),
+        timeout=5.0,
+    )
+    store = ResultStore(tmp_path / "store")
+    scheduler = CampaignScheduler(
+        store,
+        workers=2,
+        poison_threshold=2,
+        max_worker_restarts=16,
+        chaos=ChaosPolicy.parse("kill:1.0"),
+    )
+    with scoped_registry():
+        rows, _deduped, errors = scheduler.run(spec.expand())
+    assert not errors and len(rows) == 1
+
+    dumps = find_flight_dumps(store.root)
+    assert dumps, "quarantine left no flight dump"
+    records = list(read_flight_dump(dumps[-1]))
+    header = records[0]
+    assert header["kind"] == "flight-dump"
+    assert header["reason"] == "game-quarantined"
+    kinds = {r["kind"] for r in records[1:]}
+    # The ring holds the pool's recent life: dispatches, worker deaths,
+    # and the fault that triggered the dump.
+    assert "fault" in kinds
+    assert "worker-died" in kinds or "dispatch" in kinds
+    faults = [r for r in records if r.get("kind") == "fault"]
+    assert any(f.get("reason") == "game-quarantined" for f in faults)

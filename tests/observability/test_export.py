@@ -1,0 +1,106 @@
+"""Tests for the exporters: Prometheus text, JSON, and the live
+campaign status file."""
+
+import json
+
+from repro.observability.export import (
+    live_status_path,
+    read_live_status,
+    render_live_status,
+    to_json,
+    to_prometheus,
+    write_live_status,
+)
+
+SNAPSHOT = {
+    "counters": {"campaign_games_played": 16, "reveals_total": 7512},
+    "gauges": {"campaign_queue_depth": 4},
+    "histograms": {
+        "phase_seconds.ack-drain": {
+            "count": 40, "sum": 0.5, "min": 0.001, "max": 0.2,
+        },
+    },
+}
+
+
+def test_prometheus_rendering():
+    text = to_prometheus(SNAPSHOT)
+    assert "# TYPE repro_campaign_games_played counter" in text
+    assert "repro_campaign_games_played 16.0" in text
+    assert "# TYPE repro_campaign_queue_depth gauge" in text
+    # Dots and dashes in instrument names are sanitized.
+    assert "repro_phase_seconds_ack_drain_count 40.0" in text
+    assert "repro_phase_seconds_ack_drain_sum 0.5" in text
+    assert "repro_phase_seconds_ack_drain_min 0.001" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_handles_empty_and_none():
+    assert to_prometheus({}) == ""
+    text = to_prometheus(
+        {"histograms": {"h": {"count": 0, "sum": 0.0,
+                              "min": None, "max": None}}}
+    )
+    assert "repro_h_min NaN" in text
+
+
+def test_json_round_trip():
+    assert json.loads(to_json(SNAPSHOT)) == SNAPSHOT
+
+
+def test_live_status_write_read_round_trip(tmp_path):
+    root = str(tmp_path)
+    assert read_live_status(root) is None
+    path = write_live_status(root, {"done": False, "games_played": 3})
+    assert path == live_status_path(root)
+    status = read_live_status(root)
+    assert status["games_played"] == 3
+    assert "written_at" in status
+    # No temp files linger after the atomic replace.
+    assert [p.name for p in tmp_path.iterdir()] == ["live.json"]
+
+
+def test_live_status_write_failure_is_swallowed(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("in the way")
+    write_live_status(str(blocker), {"done": True})  # must not raise
+
+
+def test_read_live_status_tolerates_garbage(tmp_path):
+    root = str(tmp_path)
+    with open(live_status_path(root), "w", encoding="utf-8") as handle:
+        handle.write("{torn json")
+    assert read_live_status(root) is None
+    with open(live_status_path(root), "w", encoding="utf-8") as handle:
+        handle.write('["a list, not a status dict"]')
+    assert read_live_status(root) is None
+
+
+def test_render_live_status_sections():
+    status = {
+        "done": False,
+        "written_at": 0.0,
+        "monotonic": 100.0,
+        "games_played": 5,
+        "games_deduped": 2,
+        "games_quarantined": 1,
+        "queue_depth": 7,
+        "in_flight": 2,
+        "workers": [
+            {"index": 0, "pid": 10, "state": "busy",
+             "last_seen": 99.5, "games": 3},
+            {"index": 1, "pid": 11, "state": "idle",
+             "last_seen": None, "games": 2},
+        ],
+        "phases": {"ack-drain": 0.6, "worker:compute": 0.9},
+    }
+    text = render_live_status(status)
+    assert "campaign running" in text
+    assert "played 5" in text and "deduped 2" in text
+    assert "quarantined 1" in text
+    assert "queue depth 7" in text and "in-flight 2" in text
+    assert "worker 0: pid 10" in text and "0.5s ago" in text
+    assert "worker 1" in text and "?" in text
+    assert "worker:compute 0.90s (60%)" in text
+
+    assert "campaign finished" in render_live_status({"done": True})

@@ -1,0 +1,110 @@
+"""Tests for the flight recorder: ring semantics, kill-safe dumps,
+fault-path tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability.flightrec import (
+    FLIGHT,
+    DUMP_PREFIX,
+    FlightRecorder,
+    dump_on_fault,
+    find_flight_dumps,
+    flight_dump_path,
+    read_flight_dump,
+)
+
+
+def test_ring_keeps_most_recent_and_counts_drops():
+    rec = FlightRecorder(capacity=3)
+    for i in range(5):
+        rec.record("tick", i=i)
+    assert len(rec) == 3
+    assert rec.dropped == 2
+    events = rec.events()
+    assert [e["i"] for e in events] == [2, 3, 4]
+    # Sequence numbers are global, not ring positions.
+    assert [e["seq"] for e in events] == [2, 3, 4]
+    assert all(e["kind"] == "tick" for e in events)
+
+
+def test_clear_resets_drops_but_not_sequence():
+    rec = FlightRecorder(capacity=2)
+    for _ in range(4):
+        rec.record("tick")
+    rec.clear()
+    assert len(rec) == 0 and rec.dropped == 0
+    rec.record("after")
+    assert rec.events()[0]["seq"] == 4
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_dump_round_trip(tmp_path):
+    rec = FlightRecorder(capacity=8)
+    rec.record("dispatch", worker=0, digest="abc")
+    rec.record("worker-died", worker=0, pid=123)
+    path = rec.dump(str(tmp_path / "flight-1.jsonl"), reason="lease-expired")
+
+    records = list(read_flight_dump(path))
+    header, events = records[0], records[1:]
+    assert header["kind"] == "flight-dump"
+    assert header["reason"] == "lease-expired"
+    assert header["pid"] == os.getpid()
+    assert header["events"] == 2 and header["dropped"] == 0
+    assert [e["kind"] for e in events] == ["dispatch", "worker-died"]
+    assert events[0]["digest"] == "abc"
+    # No temp file left behind by the atomic rename.
+    assert [p.name for p in tmp_path.iterdir()] == ["flight-1.jsonl"]
+
+
+def test_read_dump_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "flight-x.jsonl"
+    path.write_text(
+        json.dumps({"kind": "flight-dump", "reason": "r"}) + "\n"
+        + json.dumps({"kind": "ok", "seq": 0}) + "\n"
+        + '{"kind": "torn", "se',
+        encoding="utf-8",
+    )
+    kinds = [r["kind"] for r in read_flight_dump(str(path))]
+    assert kinds == ["flight-dump", "ok"]
+
+
+def test_dump_on_fault_writes_under_root(tmp_path):
+    FLIGHT.clear()
+    FLIGHT.record("pool-start", workers=2)
+    path = dump_on_fault(str(tmp_path), "pool-degraded", remaining=3)
+    assert path == flight_dump_path(str(tmp_path))
+    assert find_flight_dumps(str(tmp_path)) == [path]
+    records = list(read_flight_dump(path))
+    assert records[0]["reason"] == "pool-degraded"
+    # The fault itself is the last buffered event, with the fields.
+    fault = records[-1]
+    assert fault["kind"] == "fault" and fault["remaining"] == 3
+    FLIGHT.clear()
+
+
+def test_dump_on_fault_never_raises(tmp_path):
+    # Unset root: records the fault, skips the dump.
+    assert dump_on_fault(None, "scheduler-exception") is None
+    # Unwritable root: the OSError is swallowed, not propagated.
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file where a directory is needed")
+    assert dump_on_fault(str(blocker), "lease-expired") is None
+    FLIGHT.clear()
+
+
+def test_find_flight_dumps_filters_and_sorts(tmp_path):
+    for name in (f"{DUMP_PREFIX}20.jsonl", f"{DUMP_PREFIX}10.jsonl",
+                 "results.jsonl", "flight-notes.txt"):
+        (tmp_path / name).write_text("{}\n")
+    found = find_flight_dumps(str(tmp_path))
+    assert [os.path.basename(p) for p in found] == [
+        f"{DUMP_PREFIX}10.jsonl", f"{DUMP_PREFIX}20.jsonl"
+    ]
+    assert find_flight_dumps(str(tmp_path / "missing")) == []

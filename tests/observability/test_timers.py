@@ -1,0 +1,150 @@
+"""Tests for phase-attribution timers: gating, scoping, registry
+binding, and the attribution/coverage math."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, scoped_registry
+from repro.observability.timers import (
+    NULL_TIMER,
+    PHASE_METRIC_PREFIX,
+    TOP_LEVEL_PHASES,
+    WORKER_SCOPE,
+    PhaseTimer,
+    attribution_coverage,
+    get_phase_scope,
+    phase_attribution,
+    phase_delta,
+    phase_timer,
+    phase_timers_enabled,
+    set_phase_scope,
+    set_phase_timers,
+    timed_phases,
+)
+
+
+@pytest.fixture(autouse=True)
+def _timers_quiescent():
+    """Every test starts and must end with timers off, scope empty."""
+    assert not phase_timers_enabled()
+    assert get_phase_scope() == ""
+    yield
+    set_phase_timers(False)
+    set_phase_scope("")
+
+
+def test_disabled_timer_records_nothing():
+    with scoped_registry() as registry:
+        with PhaseTimer("idle"):
+            pass
+        assert registry.snapshot()["histograms"] == {}
+
+
+def test_enabled_timer_records_histogram():
+    with scoped_registry() as registry:
+        with timed_phases():
+            with PhaseTimer("busy"):
+                pass
+            with PhaseTimer("busy"):
+                pass
+        summary = registry.snapshot()["histograms"][
+            PHASE_METRIC_PREFIX + "busy"
+        ]
+        assert summary["count"] == 2
+        assert summary["sum"] >= 0.0
+
+
+def test_timed_phases_restores_previous_state():
+    set_phase_timers(True)
+    try:
+        with timed_phases(enabled=False):
+            assert not phase_timers_enabled()
+        assert phase_timers_enabled()
+    finally:
+        set_phase_timers(False)
+
+
+def test_phase_timer_factory_caches_handles():
+    assert phase_timer("some-phase") is phase_timer("some-phase")
+    assert phase_timer("some-phase") is not phase_timer("other-phase")
+
+
+def test_scope_prefixes_metric_name():
+    with scoped_registry() as registry:
+        previous = set_phase_scope(WORKER_SCOPE)
+        try:
+            with timed_phases():
+                with PhaseTimer("compute"):
+                    pass
+        finally:
+            set_phase_scope(previous)
+        names = list(registry.snapshot()["histograms"])
+        assert names == [PHASE_METRIC_PREFIX + "worker:compute"]
+
+
+def test_handle_rebinds_across_registries():
+    """The same cached handle must land observations in whichever
+    registry is active — the worker/benchmark scoping contract."""
+    timer = PhaseTimer("rebind-check")
+    with timed_phases():
+        with scoped_registry() as first:
+            with timer:
+                pass
+        with scoped_registry() as second:
+            with timer:
+                pass
+            name = PHASE_METRIC_PREFIX + "rebind-check"
+            assert second.snapshot()["histograms"][name]["count"] == 1
+        assert first.snapshot()["histograms"][name]["count"] == 1
+
+
+def test_null_timer_is_inert():
+    with scoped_registry() as registry:
+        with timed_phases():
+            with NULL_TIMER:
+                pass
+            NULL_TIMER.observe(5.0)
+        assert registry.snapshot()["histograms"] == {}
+
+
+def test_phase_attribution_extracts_sums():
+    registry = MetricsRegistry()
+    registry.histogram(PHASE_METRIC_PREFIX + "ack-drain").observe(0.5)
+    registry.histogram(PHASE_METRIC_PREFIX + "ack-drain").observe(0.25)
+    registry.histogram(PHASE_METRIC_PREFIX + "worker:compute").observe(1.0)
+    registry.histogram("unrelated_seconds").observe(9.0)
+    phases = phase_attribution(registry.snapshot())
+    assert phases == {"ack-drain": 0.75, "worker:compute": 1.0}
+
+
+def test_phase_delta_keeps_positive_gains_only():
+    before = {"ack-drain": 1.0, "compute": 2.0}
+    after = {"ack-drain": 1.5, "compute": 2.0, "pipe-send": 0.25}
+    assert phase_delta(before, after) == {
+        "ack-drain": 0.5, "pipe-send": 0.25
+    }
+
+
+def test_attribution_coverage_counts_top_level_only():
+    phases = {"ack-drain": 0.6, "compute": 0.3, "worker:compute": 5.0}
+    assert attribution_coverage(phases, 1.0) == pytest.approx(0.9)
+    assert attribution_coverage(phases, 0.0) is None
+    assert "worker:compute" not in TOP_LEVEL_PHASES
+
+
+def test_merged_worker_snapshot_keeps_scopes_distinct():
+    """A worker-scoped snapshot merged into the parent must not collide
+    with the parent's own phases — the cross-process naming contract."""
+    parent = MetricsRegistry()
+    parent.histogram(PHASE_METRIC_PREFIX + "compute").observe(1.0)
+    with scoped_registry() as worker:
+        previous = set_phase_scope(WORKER_SCOPE)
+        try:
+            with timed_phases():
+                with phase_timer("compute"):
+                    pass
+        finally:
+            set_phase_scope(previous)
+        parent.merge(worker.snapshot())
+    phases = phase_attribution(parent.snapshot())
+    assert phases["compute"] == 1.0
+    assert "worker:compute" in phases

@@ -151,6 +151,39 @@ def test_shard_merge_deduplicates_by_src_seq(tmp_path):
     assert len(read_trace(path)) == before + 1
 
 
+def test_span_body_raising_still_emits_error_end(tmp_path):
+    """A span whose body raises must still close in the trace, with the
+    inferred ``status="error"`` and the exception type — a vanished end
+    record would be indistinguishable from a kill."""
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        with pytest.raises(ValueError, match="boom"):
+            with TRACER.span("game", adversary="x"):
+                raise ValueError("boom")
+    by_type = {r["type"]: r for r in read_trace(path)}
+    end = by_type["span-end"]
+    assert end["kind"] == "game"
+    assert end["status"] == "error"
+    assert end["error_type"] == "ValueError"
+    assert end["seconds"] >= 0
+    assert end["span"] == by_type["span-start"]["span"]
+
+
+def test_span_body_error_keeps_explicit_notes(tmp_path):
+    """Notes set before the raise survive; an explicit ``status`` note
+    wins over the inferred error status."""
+    path = tmp_path / "t.jsonl"
+    with tracing(path):
+        with pytest.raises(RuntimeError):
+            with TRACER.span("game") as span:
+                span.note(status="forfeit", reason="budget")
+                raise RuntimeError("late failure")
+    end = next(r for r in read_trace(path) if r["type"] == "span-end")
+    assert end["status"] == "forfeit"
+    assert end["reason"] == "budget"
+    assert end["error_type"] == "RuntimeError"
+
+
 def test_activate_twice_rejected(tmp_path):
     with tracing(tmp_path / "t.jsonl"):
         with pytest.raises(RuntimeError, match="already active"):

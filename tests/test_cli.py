@@ -82,6 +82,102 @@ def test_stats_missing_file_rejected(capsys, tmp_path):
     assert capsys.readouterr().err.startswith("repro: error:")
 
 
+def test_stats_corrupt_trace_rejected(capsys, tmp_path):
+    """A non-trace file must exit 2 as a usage error, not crash."""
+    bad = tmp_path / "bad.jsonl"
+    bad.write_bytes(b"\x80\x81 not a trace\n")
+    code = main(["stats", str(bad)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "unreadable trace file" in err
+
+
+def test_stats_without_trace_or_live_rejected(capsys):
+    code = main(["stats"])
+    assert code == 2
+    assert "TRACE" in capsys.readouterr().err
+
+
+def test_stats_export_formats(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    assert main(
+        ["adversary", "theorem1", "--locality", "1", "--trace", str(trace)]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["stats", str(trace), "--export", "prometheus"]) == 0
+    prom = capsys.readouterr().out
+    assert "# TYPE repro_reveals_total counter" in prom
+
+    assert main(["stats", str(trace), "--export", "json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["counters"]["reveals_total"] > 0
+
+
+def test_campaign_phase_table_status_watch_and_live(capsys, tmp_path):
+    """One timed campaign run feeds the whole telemetry surface: the
+    phase table after run and under status, watch --once, stats --live."""
+    spec = tmp_path / "c.json"
+    spec.write_text(
+        '{"kind": "sweep", "name": "cli-telemetry", '
+        '"adversaries": ["theorem1-grid"], "victims": ["greedy"], '
+        '"localities": [1]}'
+    )
+    store = str(tmp_path / "store")
+    code = main(
+        ["campaign", "run", str(spec), "--store", store, "--workers", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase attribution" in out
+    assert "* top-level phases:" in out
+
+    assert main(["campaign", "status", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "phase attribution" in out
+    assert "wall" in out and "attributed" in out  # ledger line extras
+
+    assert main(["campaign", "watch", "--store", store, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign finished" in out
+    assert "played 1" in out
+
+    assert main(["stats", "--live", store]) == 0
+    assert "campaign finished" in capsys.readouterr().out
+
+
+def test_campaign_no_timers_skips_phase_table(capsys, tmp_path):
+    spec = tmp_path / "c.json"
+    spec.write_text(
+        '{"kind": "sweep", "name": "untimed", '
+        '"adversaries": ["theorem1-grid"], "victims": ["greedy"], '
+        '"localities": [1]}'
+    )
+    store = str(tmp_path / "store")
+    code = main(
+        ["campaign", "run", str(spec), "--store", store, "--no-timers"]
+    )
+    assert code == 0
+    assert "phase attribution" not in capsys.readouterr().out
+
+
+def test_stats_live_without_telemetry_rejected(capsys, tmp_path):
+    store = tmp_path / "store"
+    store.mkdir()
+    assert main(["stats", "--live", str(store)]) == 2
+    assert "no live telemetry" in capsys.readouterr().err
+
+
+def test_campaign_watch_once_without_telemetry(capsys, tmp_path):
+    store = tmp_path / "store"
+    store.mkdir()
+    assert main(["campaign", "watch", "--store", str(store), "--once"]) == 1
+    assert "no live telemetry" in capsys.readouterr().out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
