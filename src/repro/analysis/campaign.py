@@ -587,6 +587,10 @@ class CampaignScheduler:
         pool-wide worker respawn budget (None = the pool default), how
         many workers one game may kill or hang before it is quarantined,
         and the lease-deadline multiplier over the spec's timeout.
+    chunk_size:
+        Games per worker lease (forwarded to the pool); None adapts —
+        large chunks while the queue is deep, halving toward 1 at the
+        tail.  ``1`` pins the degenerate per-game protocol.
     chaos:
         Optional :class:`~repro.robustness.chaos.ChaosPolicy` shipped to
         workers (defaults to the ``REPRO_CHAOS`` environment; the
@@ -603,6 +607,7 @@ class CampaignScheduler:
         poison_threshold: int = 3,
         lease_grace: float = 3.0,
         chaos: Optional["ChaosPolicy"] = None,
+        chunk_size: Optional[int] = None,
         live_extra: Optional[Dict[str, Any]] = None,
     ) -> None:
         if workers < 1:
@@ -615,6 +620,7 @@ class CampaignScheduler:
         self.poison_threshold = poison_threshold
         self.lease_grace = lease_grace
         self.chaos = chaos
+        self.chunk_size = chunk_size
         self.live_extra = dict(live_extra) if live_extra else {}
         self._last_deduped = 0
 
@@ -699,6 +705,7 @@ class CampaignScheduler:
             poison_threshold=self.poison_threshold,
             lease_grace=self.lease_grace,
             chaos=self.chaos,
+            chunk_size=self.chunk_size,
             live_extra=live_extra,
         )
         outcome = pool.run(work)
@@ -759,6 +766,7 @@ def run_campaign(
     trace_path=None,
     max_worker_restarts: Optional[int] = None,
     poison_threshold: int = 3,
+    chunk_size: Optional[int] = None,
     timers: Optional[bool] = None,
 ) -> CampaignOutcome:
     """Run (or resume — the same thing) a grid-sweep campaign.
@@ -791,6 +799,7 @@ def run_campaign(
             retries=retries,
             max_worker_restarts=max_worker_restarts,
             poison_threshold=poison_threshold,
+            chunk_size=chunk_size,
             live_extra={"campaign": campaign.name, "kind": "sweep"},
         )
         with TRACER.span(
@@ -959,6 +968,7 @@ def run_threshold_search(
     trace_path=None,
     max_worker_restarts: Optional[int] = None,
     poison_threshold: int = 3,
+    chunk_size: Optional[int] = None,
     timers: Optional[bool] = None,
 ) -> Tuple[List[ThresholdResult], CampaignOutcome]:
     """Run (or resume) the adaptive threshold-search campaign.
@@ -987,6 +997,7 @@ def run_threshold_search(
         retries=retries,
         max_worker_restarts=max_worker_restarts,
         poison_threshold=poison_threshold,
+        chunk_size=chunk_size,
         live_extra={"campaign": spec.name, "kind": "threshold"},
     )
     trace_path = None if trace_path is None else os.fspath(trace_path)

@@ -250,9 +250,13 @@ class ParallelSweep:
             return rows
         ctx = _pool_context()
         pool_size = min(self.workers, len(pending))
+        # Batch specs per map task so the pool pays one IPC round-trip
+        # per chunk, not per game (chunksize=1 was measured at 0.75x
+        # "speedup"); ~4 chunks per worker keeps late stealing possible.
+        chunksize = max(1, len(pending) // (pool_size * 4))
         with ctx.Pool(processes=pool_size) as pool:
             played = pool.map(
-                play_spec, [spec for _, spec in pending], chunksize=1
+                play_spec, [spec for _, spec in pending], chunksize=chunksize
             )
         for (index, _), outcome in zip(pending, played):
             rows[index] = outcome.row

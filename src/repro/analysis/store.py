@@ -29,7 +29,7 @@ import glob as _glob
 import hashlib
 import json
 import os
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.observability.timers import phase_timer
 from repro.robustness.journal import SweepJournal
@@ -126,11 +126,26 @@ class ResultStore:
     def add(self, row: Mapping[str, Any]) -> None:
         """Record one finished row (must carry :data:`HASH_FIELD`),
         flushed and fsynced before returning."""
-        if HASH_FIELD not in row:
-            raise ValueError(f"result rows must carry {HASH_FIELD!r}")
+        self.add_many([row])
+
+    def add_many(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Record a batch of finished rows under one buffered write and a
+        single fsync (the chunked worker pool's ack granularity).
+
+        The durability contract is unchanged: once this returns, every
+        row in the batch is on disk.  A kill mid-batch tears at most the
+        final line, which load-time tolerance already skips and the next
+        append repairs — so chunking changes the fsync *count*, not the
+        kill-safety discipline.
+        """
+        for row in rows:
+            if HASH_FIELD not in row:
+                raise ValueError(f"result rows must carry {HASH_FIELD!r}")
+        if not rows:
+            return
         with _T_STORE_FSYNC:
             os.makedirs(self.root, exist_ok=True)
-            self.writer().append(dict(row))
+            self.writer().append_many([dict(row) for row in rows])
 
     def quarantined(self) -> List[Dict[str, Any]]:
         """Every quarantine row in the store (``cause="poison"``) —

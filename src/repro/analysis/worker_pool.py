@@ -1,4 +1,5 @@
-"""Supervised campaign worker pool: leases, crash recovery, quarantine.
+"""Supervised campaign worker pool: chunked leases, crash recovery,
+quarantine, warm workers, and a cross-process shared ball pool.
 
 The PR-5 campaign scheduler fanned games out over bare ``ctx.Process``
 workers sharing one task queue.  That survives the failures *games*
@@ -8,73 +9,72 @@ worker silently lost its in-flight game, and the parent's drain loop
 only noticed once **every** worker was dead.  This module replaces the
 fan-out with a supervised pool:
 
-* **Leases** — the parent dispatches exactly one game to one worker at
-  a time and records a :class:`Lease` (digest, pid, attempt, monotonic
-  deadline derived from the spec's ``GamePolicy`` timeout × a grace
-  factor).  Work-stealing is preserved: the next pending game goes to a
-  worker the moment it reports its last one.
-* **Crash recovery** — the drain loop detects dead workers via
-  ``Process.is_alive()``/``exitcode`` and hung workers via expired
-  leases, SIGKILLs and reaps the offender, respawns a replacement
-  (while the restart budget lasts), and requeues the leased game with
-  its retry count.
+* **Chunked leases** — the parent dispatches a *batch* of games to one
+  worker per lease and records a :class:`Lease` (the chunk's items,
+  pid, a monotonic deadline summed over the chunk's ``GamePolicy``
+  timeouts × a grace factor).  Chunk size adapts: it starts at
+  ``ceil(pending / (2 × workers))`` (capped by ``max_chunk``) and
+  halves toward 1 as the queue drains, so work-stealing stays balanced
+  at the tail while the bulk of the campaign pays one IPC round-trip
+  and one fsync per *chunk* instead of per game.  The worker heartbeats
+  each game as it starts, plays the whole chunk, fsyncs every row in
+  one batched store append, and sends **one** ack carrying all rows.
+* **Crash recovery at chunk granularity, blame at game granularity** —
+  dead workers (``Process.is_alive()``/``exitcode``) and expired leases
+  are reaped, a replacement spawned (while the restart budget lasts),
+  and every *unacknowledged* game of the lost chunk requeued.  The
+  per-game heartbeat marks which game was in progress, so only that
+  game is blamed for the loss: ``poison_threshold`` losses quarantine
+  *it* — written to the :class:`~repro.analysis.store.ResultStore` as a
+  structured forfeit row (``reason="forfeit:poison"``) — while its
+  chunk-mates are requeued untainted.
+* **Warm forkserver workers** — the pool runs on a ``forkserver``
+  context (``REPRO_POOL_START`` overrides) with the simulator/graph/CSR
+  modules preloaded, and healthy workers are *parked* in a module-level
+  :class:`WarmWorkerPool` at shutdown instead of being retired.  The
+  next campaign in the same process adopts them with a ``configure``
+  message, so ``pool-spawn`` is paid once per process, not per
+  campaign.  ``REPRO_WARM_POOL=0`` disables parking.
+* **Cross-process shared ball pool** — when shared memory is available
+  the parent creates a :class:`~repro.graphs.shared_pool.SharedBallPool`
+  segment, records a sidecar under the store root, and ships the
+  segment name to workers, whose
+  :class:`~repro.graphs.traversal.BallCache` then reuses balls computed
+  by *siblings*.  Segments are unlinked on shutdown and degradation,
+  and stale segments from a SIGKILLed run are swept (pid-liveness
+  keyed) before the next pool starts.
 * **Isolated channels** — each worker talks to the parent over its own
-  duplex pipe (tasks down, results up) instead of one shared result
-  queue.  A ``multiprocessing.Queue`` ack travels through a feeder
-  thread holding a lock shared by *every* worker, so a SIGKILL landing
-  mid-write would deadlock or garble all the survivors' acks; with
-  per-worker pipes a torn write poisons only the dead worker's channel,
-  which the parent already treats as worker death (any receive failure
-  marks the worker broken and its lease lost).
-* **Poison quarantine** — a game that kills or hangs its worker
-  ``poison_threshold`` times is quarantined: written to the
-  :class:`~repro.analysis.store.ResultStore` as a structured forfeit
-  row (``reason="forfeit:poison"``, ``cause="poison"``) so resume never
-  replays it forever, and surfaced by ``campaign status``.
+  duplex pipe; a torn write poisons only the dead worker's channel.
 * **Graceful degradation** — when the restart budget is exhausted the
   pool stops, hands the un-played remainder back to the scheduler, and
   the scheduler finishes **in-process serially** instead of raising.
 
 Observability: the drain runs inside a ``worker-pool`` trace span;
 worker lifecycle transitions are trace events (``worker-spawned``,
-``worker-died``, ``lease-expired``, ``game-requeued``,
-``game-quarantined``, ``pool-degraded``) and the counters
-``campaign_worker_restarts`` / ``campaign_lease_expirations`` /
-``campaign_games_requeued`` / ``campaign_games_quarantined`` /
-``campaign_pool_degradations`` fold through the ordinary registry.
-Three channels added by the telemetry layer:
-
-* **Heartbeats** — a worker acknowledges each lease pickup with a
-  ``("heartbeat", digest, {pid, games}, None)`` message before running
-  any chaos action or compute, so the parent can tell "busy on a long
-  game" from "hung" (``campaign_worker_heartbeats``, per-worker
-  ``last_seen`` ages in the live status).
-* **Live status** — the drain loop atomically republishes ``live.json``
-  under the store root about once a second (progress counts, queue
-  depth/in-flight, per-worker heartbeat ages, phase split); ``repro
-  campaign watch`` renders it.  ``campaign_queue_depth`` and
-  ``campaign_in_flight`` gauges record the high-water marks.
-* **Phase timers + flight recorder** — dispatch/drain/sweep/spawn run
-  under :mod:`repro.observability.timers` phases (workers record theirs
-  under the ``worker:`` scope), and every lifecycle transition also
-  lands in the always-on :data:`~repro.observability.flightrec.FLIGHT`
-  ring, dumped to ``flight-<pid>.jsonl`` next to the store on lease
-  expiry, quarantine, and degradation.
+``worker-adopted``, ``worker-died``, ``lease-expired``,
+``game-requeued``, ``game-quarantined``, ``pool-degraded``) and the
+counters ``campaign_worker_restarts`` / ``campaign_lease_expirations``
+/ ``campaign_games_requeued`` / ``campaign_games_quarantined`` /
+``campaign_pool_degradations`` / ``campaign_warm_adoptions`` fold
+through the ordinary registry.  Heartbeats (one per game start), the
+rate-limited ``live.json`` status, phase timers (``ack-wait`` is the
+parent blocked on worker pipes, ``ack-drain`` the actual recv+fold
+cost), and the flight recorder all carry over from PR-8 unchanged.
 
 Chaos: workers consult an optional
 :class:`~repro.robustness.chaos.ChaosPolicy` (normally passed via the
-``REPRO_CHAOS`` environment) before each game — kill-self, stall,
-corrupt-result-row, slow-start — which is how the tests and the CI
-chaos job inject process-level faults the way
-:class:`~repro.robustness.faults.FaultyAlgorithm` injects game-level
-ones.  The parent never applies chaos, so the degraded serial path
-always completes.
+``REPRO_CHAOS`` environment) before each game of a chunk — kill-self,
+stall, corrupt-result-row, slow-start.  The parent never applies chaos,
+so the degraded serial path always completes.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
 import signal
+import sys
 import time
 import traceback
 from collections import deque
@@ -82,12 +82,21 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.analysis.executor import GameSpec, _pool_context
+from repro.analysis.executor import GameSpec
 from repro.analysis.store import (
     HASH_FIELD,
     QUARANTINE_CAUSE,
     QUARANTINE_REASON,
     ResultStore,
+)
+from repro.graphs.shared_pool import (
+    SharedBallPool,
+    pid_alive,
+    publish_segment,
+    retire_segment,
+    set_active_pool,
+    shared_balls_enabled,
+    sweep_stale_segments,
 )
 from repro.observability.export import write_live_status
 from repro.observability.flightrec import FLIGHT, dump_on_fault
@@ -104,14 +113,17 @@ from repro.observability.trace import TRACER
 from repro.robustness.chaos import ChaosPolicy, inject_corrupt_row
 
 # Parent-side phase handles (module-level so the per-event cost is one
-# registry identity check; see repro.observability.timers).
+# registry identity check; see repro.observability.timers).  ack-wait is
+# the parent *blocked* on worker pipes (healthy overlap with worker
+# compute); ack-drain is the recv + bookkeeping that is real IPC cost.
 _T_POOL_SPAWN = phase_timer("pool-spawn")
 _T_PIPE_SEND = phase_timer("pipe-send")
+_T_ACK_WAIT = phase_timer("ack-wait")
 _T_ACK_DRAIN = phase_timer("ack-drain")
 _T_LEASE_SWEEP = phase_timer("lease-sweep")
 # Worker-side handles pick up the "worker:" scope set in _pool_worker;
-# store fsync is timed inside ResultStore.add itself, under whichever
-# scope the writing process runs.
+# store fsync is timed inside ResultStore.add_many itself, under
+# whichever scope the writing process runs.
 _T_W_RECV = phase_timer("pipe-recv")
 _T_W_COMPUTE = phase_timer("compute")
 _T_W_SEND = phase_timer("pipe-send")
@@ -119,23 +131,225 @@ _T_W_SEND = phase_timer("pipe-send")
 #: One work item as the scheduler hands it over: (content hash, spec).
 WorkItem = Tuple[str, GameSpec]
 
+#: One dispatched chunk entry: (content hash, spec, attempt number).
+ChunkItem = Tuple[str, GameSpec, int]
+
+#: Upper bound on the adaptive chunk size (games per lease).
+DEFAULT_MAX_CHUNK = 32
+
+#: Environment knob selecting the pool's multiprocessing start method
+#: (default ``forkserver``; ``fork`` restores the PR-5 behavior).
+POOL_START_ENV_VAR = "REPRO_POOL_START"
+
+#: Environment knob disabling the cross-campaign warm worker pool.
+WARM_POOL_ENV_VAR = "REPRO_WARM_POOL"
+
+#: Modules the forkserver preloads so every worker fork starts with the
+#: simulator, registry, and graph kernels already imported.
+FORKSERVER_PRELOAD = (
+    "repro.analysis.campaign",
+    "repro.registry",
+    "repro.graphs.csr",
+    "repro.graphs.traversal",
+)
+
+
+def _main_module_forkable() -> bool:
+    """Whether forkserver children can re-prepare the caller's main
+    module.
+
+    Forkserver workers run the spawn-style main-module fixup: a main
+    imported by name (``python -m``, pytest's importable scripts) or a
+    real file re-imports fine, but a pseudo-path like ``<stdin>`` (a
+    heredoc script) makes every worker die at boot trying to re-run it.
+    Those callers get the plain ``fork`` method instead.
+    """
+    main_module = sys.modules.get("__main__")
+    if main_module is None:  # pragma: no cover - embedded interpreters
+        return False
+    spec = getattr(main_module, "__spec__", None)
+    if getattr(spec, "name", None) is not None:
+        return True
+    main_path = getattr(main_module, "__file__", None)
+    if main_path is None:
+        # No spec and no file (a REPL): children skip main fixup.
+        return True
+    return os.path.isfile(main_path)
+
+_pool_ctxs: Dict[str, Any] = {}
+
+
+def pool_start_context():
+    """The pool's multiprocessing context (cached per start method).
+
+    ``forkserver`` by default: one server process imports the heavy
+    modules once (``set_forkserver_preload``) and every worker is a
+    cheap fork of *it*, so repeated campaigns stop paying interpreter
+    plus import start-up per worker.  ``REPRO_POOL_START`` selects
+    ``fork``/``spawn`` instead (the SIGKILL process-tree test uses
+    ``fork`` where workers must be direct children, and in-process
+    registry mutations only reach fork workers) and is re-read on every
+    call so tests can switch methods mid-process.
+    """
+    default = "forkserver" if _main_module_forkable() else "fork"
+    requested = os.environ.get(POOL_START_ENV_VAR, default)
+    cached = _pool_ctxs.get(requested)
+    if cached is not None:
+        return cached
+    try:
+        ctx = multiprocessing.get_context(requested)
+    except ValueError:  # pragma: no cover - platform without the method
+        ctx = multiprocessing.get_context()
+    if requested == "forkserver":
+        try:
+            ctx.set_forkserver_preload(list(FORKSERVER_PRELOAD))
+        except Exception:  # pragma: no cover - server already running
+            pass
+    _pool_ctxs[requested] = ctx
+    return ctx
+
+
+def chunk_target(pending: int, workers: int, max_chunk: int = DEFAULT_MAX_CHUNK) -> int:
+    """The adaptive chunk size for one dispatch.
+
+    ``ceil(pending / (2 × workers))`` capped by ``max_chunk``: with a
+    full queue every worker gets a substantial batch (and a second one
+    is always left to steal), and as the queue drains the target halves
+    toward 1, so the tail of a campaign degenerates to the PR-5
+    game-at-a-time protocol and no worker sits idle behind a hoarder.
+    """
+    if pending <= 0:
+        return 1
+    return max(1, min(max_chunk, -(-pending // (2 * max(1, workers)))))
+
+
+def warm_pool_enabled() -> bool:
+    """Whether retiring pools park healthy workers for reuse."""
+    return os.environ.get(WARM_POOL_ENV_VAR, "") != "0"
+
+
+class WarmWorkerPool:
+    """Parked worker processes kept alive between campaigns.
+
+    A parked worker sits blocked on its pipe; adopting it costs one
+    ``configure`` message instead of a process spawn.  Only healthy,
+    lease-free workers are ever parked, and adoption re-checks
+    liveness, so a worker that died while parked is silently discarded.
+    """
+
+    def __init__(self) -> None:
+        self._parked: List[Tuple[Any, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._parked)
+
+    def acquire(self) -> Optional[Tuple[Any, Any]]:
+        """A live (process, conn) pair, or None when none survive."""
+        while self._parked:
+            process, conn = self._parked.pop()
+            if process.is_alive():
+                return process, conn
+            self._discard(process, conn)
+        return None
+
+    def park(self, process, conn) -> bool:
+        """Shelve a healthy worker for the next campaign."""
+        if not process.is_alive():
+            self._discard(process, conn)
+            return False
+        self._parked.append((process, conn))
+        return True
+
+    def shutdown(self) -> None:
+        """Retire every parked worker (sentinel, join, kill stragglers)."""
+        parked, self._parked = self._parked, []
+        for process, conn in parked:
+            try:
+                conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for process, conn in parked:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - straggler
+                process.kill()
+                process.join()
+            try:
+                conn.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _discard(process, conn) -> None:
+        try:
+            process.join(timeout=0)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+        try:
+            conn.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+#: The process-wide warm pool every SupervisedWorkerPool shares.
+WARM_POOL = WarmWorkerPool()
+atexit.register(WARM_POOL.shutdown)
+
+
+def warm_pool_size() -> int:
+    """How many parked workers the next campaign can adopt."""
+    return len(WARM_POOL)
+
+
+def shutdown_warm_pool() -> None:
+    """Retire every parked worker now (tests and embedders call this to
+    return the process to a cold state)."""
+    WARM_POOL.shutdown()
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to (re)configure itself for a campaign.
+
+    Shipped at spawn and again on adoption from the warm pool, so a
+    parked worker always serves the *current* campaign's store, chaos
+    policy, timer setting, and shared ball segment.
+    """
+
+    store_root: str
+    retries: int
+    backoff: float
+    chaos: Optional[ChaosPolicy]
+    timers_on: bool
+    segment: Optional[str]
+
 
 @dataclass
 class Lease:
-    """One dispatched game, tracked in the parent until acknowledged.
+    """One dispatched chunk of games, tracked until acknowledged.
 
-    ``deadline`` is a monotonic-clock instant derived from the spec's
-    wall-clock timeout × the pool's grace factor (plus a constant slack
-    for process startup); ``None`` when the policy has no timeout, in
-    which case only worker death — not expiry — can end the lease.
+    ``deadline`` is a monotonic-clock instant derived from the *sum* of
+    the chunk's wall-clock timeouts × the pool's grace factor (plus a
+    constant slack); ``None`` when any policy in the chunk has no
+    timeout, in which case only worker death — not expiry — can end the
+    lease.  ``current`` tracks the most recent per-game heartbeat: the
+    game to *blame* when the worker is lost mid-chunk.
     """
 
-    digest: str
-    spec: GameSpec
-    attempt: int
+    items: List[ChunkItem]
     pid: Optional[int]
     started: float
     deadline: Optional[float]
+    current: Optional[str] = None
+
+    @property
+    def blamed(self) -> ChunkItem:
+        """The chunk item in progress when the lease was lost (the
+        heartbeated game, else the first item)."""
+        for item in self.items:
+            if item[0] == self.current:
+                return item
+        return self.items[0]
 
 
 @dataclass
@@ -215,139 +429,211 @@ def _error_entry(digest: str, spec: GameSpec, detail: str) -> Dict[str, Any]:
     }
 
 
-def _pool_worker(
-    index: int,
-    conn,
-    store_root: str,
-    retries: int,
-    backoff: float,
-    chaos: Optional[ChaosPolicy],
-    timers_on: bool = False,
-) -> None:
-    """Worker loop: serve one leased game per pipe round-trip until the
-    ``None`` sentinel.
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """The worker loop's mutable campaign configuration."""
 
-    Each finished row is fsynced into this worker's store shard
-    *before* the result is acknowledged, so a kill — of the worker or
-    the parent — never loses an acknowledged game.  Store write
-    failures (disk full, chaos-injected torn writes) are reported as
-    structured errors, never fatal: the game is simply not acknowledged
-    and the next run retries it.  Pipe sends are synchronous (no feeder
-    thread): once ``conn.send`` returns, the ack is in the kernel
-    buffer and survives this process's death.
+    __slots__ = (
+        "store", "retries", "backoff", "chaos",
+        "segment", "segment_name", "parent_pid",
+    )
+
+    def __init__(self, parent_pid: int) -> None:
+        self.store: Optional[ResultStore] = None
+        self.retries = 1
+        self.backoff = 0.0
+        self.chaos: Optional[ChaosPolicy] = None
+        self.segment: Optional[SharedBallPool] = None
+        self.segment_name: Optional[str] = None
+        self.parent_pid = parent_pid
+
+
+def _worker_detach_segment(state: _WorkerState) -> None:
+    if state.segment is not None:
+        set_active_pool(None)
+        state.segment.close()
+        state.segment = None
+        state.segment_name = None
+
+
+def _worker_apply_config(
+    config: WorkerConfig, state: _WorkerState, index: int
+) -> None:
+    set_phase_timers(config.timers_on)
+    state.store = ResultStore(config.store_root)
+    state.retries = config.retries
+    state.backoff = config.backoff
+    state.chaos = config.chaos
+    if config.segment != state.segment_name:
+        _worker_detach_segment(state)
+        if config.segment is not None:
+            segment = SharedBallPool.attach(config.segment)
+            if segment is not None:
+                state.segment = segment
+                state.segment_name = config.segment
+                set_active_pool(segment)
+    # Applied at boot *and* on warm adoption: a chaos slow start models
+    # a slow worker bring-up, and adoption is this campaign's bring-up.
+    if config.chaos is not None:
+        config.chaos.apply_slow_start(index)
+
+
+def _serve_chunk(
+    conn, items: List[ChunkItem], state: _WorkerState, worker_registry,
+    games_served: int,
+) -> Optional[int]:
+    """Play one leased chunk; returns the new served count, or None
+    when the parent is unreachable (the worker should exit).
+
+    Every game is heartbeated *before* its chaos action or compute, so
+    even a game that kills this worker instantly leaves a liveness mark
+    — that mark is what lets the parent blame the right game of the
+    chunk.  All rows are fsynced in **one** batched store append before
+    the single chunk ack, so a kill — of the worker or the parent —
+    never loses an acknowledged game, and a kill mid-chunk loses only
+    unacknowledged (hence requeued) ones.
     """
-    # Imported here (not at module top) because campaign.py imports this
-    # module; the worker body only runs in child processes.
     from repro.analysis.campaign import _play_with_retry, _store_row
 
-    # Phase timers: adopt the parent's setting explicitly (a spawn-start
-    # child would not inherit the module global) and scope every phase
-    # this process records under "worker:" so merged parent snapshots
-    # keep worker-side time apart from parent-side time.  The fresh
-    # scoped registry matters under fork: the child inherits a *copy* of
-    # the parent's counters, and shipping that copy back would double
-    # every pre-fork count.
-    set_phase_timers(timers_on)
+    results: List[Tuple[str, str, Any]] = []
+    played: List[Tuple[str, Dict[str, Any]]] = []
+    corrupted: List[str] = []
+    chaos = state.chaos
+    for digest, spec, attempt in items:
+        try:
+            conn.send(
+                ("heartbeat", digest, {"pid": os.getpid(), "games": games_served}, None)
+            )
+        except OSError:  # pragma: no cover - parent gone
+            return None
+        action = None
+        if chaos is not None:
+            action = chaos.action_for(digest, attempt)
+            if action == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif action == "stall":
+                # The parent's lease expiry is expected to SIGKILL us
+                # long before this loop finishes; bail out if the
+                # parent itself dies so a stalled worker never
+                # outlives it as an orphan.
+                deadline = time.monotonic() + chaos.stall_seconds
+                while time.monotonic() < deadline:
+                    if not pid_alive(state.parent_pid):
+                        return None
+                    time.sleep(0.2)
+        try:
+            with _T_W_COMPUTE:
+                outcome = _play_with_retry(spec, state.retries, state.backoff)
+        except Exception as exc:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            results.append((digest, "error", detail))
+            continue
+        if outcome.metrics:
+            worker_registry.merge(outcome.metrics)
+        row = _store_row(outcome, digest)
+        if action == "corrupt":
+            corrupted.append(digest)
+        else:
+            played.append((digest, row))
+    try:
+        state.store.add_many([row for _, row in played])
+    except OSError as exc:
+        # Disk trouble fails the whole batch: none of these rows is
+        # durable, so none may be acknowledged; the next run retries.
+        results.extend(
+            (digest, "error", f"result store write failed: {exc}")
+            for digest, _ in played
+        )
+    else:
+        results.extend((digest, "done", row) for digest, row in played)
+        games_served += len(played)
+    for digest in corrupted:
+        # Chaos "corrupt": tear this worker's shard the way a kill
+        # mid-write would, and report the game as a store failure.
+        try:
+            inject_corrupt_row(state.store.root, os.getpid())
+        except OSError as exc:
+            results.append(
+                (digest, "error", f"result store write failed: {exc}")
+            )
+    metrics = worker_registry.snapshot()
+    worker_registry.reset()
+    try:
+        with _T_W_SEND:
+            conn.send(("chunk-done", None, results, metrics))
+    except OSError:  # pragma: no cover - parent gone
+        return None
+    return games_served
+
+
+def _pool_worker(index: int, conn, config: WorkerConfig, parent_pid: int) -> None:
+    """Worker loop: serve one leased chunk per pipe round-trip until the
+    ``None`` sentinel.
+
+    Pipe sends are synchronous (no feeder thread): once ``conn.send``
+    returns, the ack is in the kernel buffer and survives this
+    process's death.  Parent-death detection cannot rely on pipe EOF
+    alone (inherited duplicate fds keep pipes open) nor on ``getppid``
+    (under forkserver the worker's parent is the *server*, not the
+    pool), so the worker probes the pool pid's liveness directly while
+    idle and while stalled.
+    """
+    # Phase timers: adopt the parent's setting explicitly (forkserver
+    # children do not inherit the module global from the pool process)
+    # and scope every phase this process records under "worker:" so
+    # merged parent snapshots keep worker-side time apart from
+    # parent-side time.  The fresh scoped registry matters under fork:
+    # the child inherits a *copy* of the parent's counters, and shipping
+    # that copy back would double every pre-fork count.
     set_phase_scope(WORKER_SCOPE)
-    store = ResultStore(store_root)
-    if chaos is not None:
-        chaos.apply_slow_start(index)
-    # Parent-death detection cannot rely on pipe EOF alone: under fork,
-    # a worker inherits duplicate fds of earlier workers' parent-side
-    # pipe ends, so a SIGKILLed parent leaves those pipes open and a
-    # blocking recv would orphan the whole fleet forever.  A reparented
-    # process sees its ppid change — poll for that instead.
-    parent_pid = os.getppid()
+    state = _WorkerState(parent_pid)
+    _worker_apply_config(config, state, index)
     games_served = 0
     with scoped_registry() as worker_registry:
         while True:
             try:
                 with _T_W_RECV:
                     while not conn.poll(1.0):
-                        if os.getppid() != parent_pid:
+                        if not pid_alive(state.parent_pid):
+                            _worker_detach_segment(state)
                             return
                     item = conn.recv()
             except (EOFError, OSError):  # parent gone
+                _worker_detach_segment(state)
                 return
             if item is None:
                 try:
                     conn.send(("exit", index, None, None))
                 except OSError:  # pragma: no cover - parent gone
                     pass
+                _worker_detach_segment(state)
                 return
-            digest, spec, attempt = item
-            # Heartbeat: tell the parent the lease was picked up.  Sent
-            # before any chaos action or compute so even a game that
-            # kills this worker instantly leaves a liveness mark.
-            try:
-                conn.send(
-                    (
-                        "heartbeat",
-                        digest,
-                        {"pid": os.getpid(), "games": games_served},
-                        None,
-                    )
+            kind = item[0]
+            if kind == "configure":
+                # Warm adoption: the park-wait interval belongs to no
+                # campaign, so drop anything the registry accrued since
+                # the last chunk ack (e.g. worker:pipe-recv timed while
+                # the previous campaign's timers were still on).
+                worker_registry.reset()
+                _worker_apply_config(item[1], state, index)
+                continue
+            if kind == "park":
+                # Between campaigns: drop the segment attachment so the
+                # retiring pool can unlink it, then wait warm.
+                _worker_detach_segment(state)
+                continue
+            if kind == "chunk":
+                served = _serve_chunk(
+                    conn, item[1], state, worker_registry, games_served
                 )
-            except OSError:  # pragma: no cover - parent gone
-                return
-            action = None
-            if chaos is not None:
-                action = chaos.action_for(digest, attempt)
-                if action == "kill":
-                    os.kill(os.getpid(), signal.SIGKILL)
-                elif action == "stall":
-                    # The parent's lease expiry is expected to SIGKILL us
-                    # long before this loop finishes; bail out if the
-                    # parent itself dies so a stalled worker never
-                    # outlives it as an orphan.
-                    deadline = time.monotonic() + chaos.stall_seconds
-                    while time.monotonic() < deadline:
-                        if os.getppid() != parent_pid:
-                            return
-                        time.sleep(0.2)
-            try:
-                with _T_W_COMPUTE:
-                    outcome = _play_with_retry(spec, retries, backoff)
-            except Exception as exc:
-                detail = "".join(
-                    traceback.format_exception_only(type(exc), exc)
-                ).strip()
-                try:
-                    conn.send(("error", digest, detail, None))
-                except OSError:  # pragma: no cover - parent gone
+                if served is None:
+                    _worker_detach_segment(state)
                     return
-                continue
-            row = _store_row(outcome, digest)
-            try:
-                if action == "corrupt":
-                    inject_corrupt_row(store.root, os.getpid())
-                store.add(row)
-            except OSError as exc:
-                try:
-                    conn.send(
-                        (
-                            "error",
-                            digest,
-                            f"result store write failed: {exc}",
-                            None,
-                        )
-                    )
-                except OSError:  # pragma: no cover - parent gone
-                    return
-                continue
-            games_served += 1
-            # Ship the game's own snapshot folded with this worker's
-            # between-game metrics (pipe waits, fsync phases), then
-            # reset so the next ack carries only its own delta.
-            if outcome.metrics:
-                worker_registry.merge(outcome.metrics)
-            metrics = worker_registry.snapshot()
-            worker_registry.reset()
-            try:
-                with _T_W_SEND:
-                    conn.send(("done", digest, row, metrics))
-            except OSError:  # pragma: no cover - parent gone
-                return
+                games_served = served
 
 
 class SupervisedWorkerPool:
@@ -371,8 +657,9 @@ class SupervisedWorkerPool:
         Worker losses (deaths + lease expirations) one game may cause
         before it is quarantined.
     lease_grace, lease_slack:
-        A lease expires ``timeout × lease_grace + lease_slack`` seconds
-        after dispatch (no expiry when the spec has no timeout).
+        A chunk's lease expires ``sum(timeouts) × lease_grace +
+        lease_slack`` seconds after dispatch (no expiry when any spec
+        in the chunk has no timeout).
     heartbeat:
         The drain loop's poll interval — how often worker health and
         lease deadlines are checked while no results arrive.
@@ -380,6 +667,13 @@ class SupervisedWorkerPool:
         Fault-injection policy shipped to workers; defaults to
         :meth:`ChaosPolicy.from_env` (i.e. the ``REPRO_CHAOS``
         environment), which resolves to None in ordinary runs.
+    chunk_size:
+        Games per lease.  ``None`` (default) adapts via
+        :func:`chunk_target`; an explicit integer pins it — ``1`` is
+        the degenerate mode equivalent to the PR-5 per-game protocol,
+        which CI uses to prove chunking is semantics-preserving.
+    max_chunk:
+        Upper bound on the adaptive chunk size.
     live_interval:
         How often (seconds) the drain loop republishes ``live.json``
         under the store root for ``repro campaign watch``; ``None``
@@ -402,6 +696,8 @@ class SupervisedWorkerPool:
         lease_slack: float = 1.0,
         heartbeat: float = 0.1,
         chaos: Optional[ChaosPolicy] = None,
+        chunk_size: Optional[int] = None,
+        max_chunk: int = DEFAULT_MAX_CHUNK,
         live_interval: Optional[float] = 1.0,
         live_extra: Optional[Dict[str, Any]] = None,
     ) -> None:
@@ -411,6 +707,8 @@ class SupervisedWorkerPool:
             raise ValueError(
                 f"poison_threshold must be >= 1, got {poison_threshold}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.store = store
         self.workers = workers
         self.retries = retries
@@ -425,11 +723,14 @@ class SupervisedWorkerPool:
         self.lease_slack = lease_slack
         self.heartbeat = heartbeat
         self.chaos = chaos if chaos is not None else ChaosPolicy.from_env()
+        self.chunk_size = chunk_size
+        self.max_chunk = max_chunk
         self.live_interval = live_interval
         self.live_extra = dict(live_extra) if live_extra else {}
         self._last_live = 0.0
         self._max_queue_depth = 0
         self._max_in_flight = 0
+        self._segment: Optional[SharedBallPool] = None
 
     # ------------------------------------------------------------------
     # Drain
@@ -441,7 +742,7 @@ class SupervisedWorkerPool:
         quarantined, and a exhausted restart budget surfaces as
         ``leftover`` work for the caller's serial path.
         """
-        ctx = _pool_context()
+        ctx = pool_start_context()
         self._specs = dict(work)
         registry = get_registry()
         outcome = PoolOutcome()
@@ -450,41 +751,51 @@ class SupervisedWorkerPool:
         losses: Dict[str, int] = {}
         pool_size = min(self.workers, len(work))
         total = len(work)
+        self._create_segment(pool_size)
         FLIGHT.record("pool-start", workers=pool_size, games=total)
         fleet: List[_Worker] = [
             self._spawn(ctx, index) for index in range(pool_size)
         ]
 
         with TRACER.span("worker-pool", workers=pool_size) as span:
-            while True:
-                for worker in fleet:
-                    if worker.lease is None:
-                        self._dispatch(worker, pending, outcome.rows, attempts)
-                busy = any(worker.lease is not None for worker in fleet)
-                remaining = any(d not in outcome.rows for d, _ in pending)
-                if not busy and not remaining:
-                    break
-                if not fleet:
-                    # Every worker slot is gone and the budget with it.
-                    self._degrade(outcome, pending, fleet, registry)
-                    break
-                self._drain_one(fleet, outcome, registry)
-                if not self._sweep_health(
-                    ctx, fleet, pending, outcome, attempts, losses, registry
-                ):
-                    self._degrade(outcome, pending, fleet, registry)
-                    break
-                with _T_LEASE_SWEEP:
-                    self._publish_live(
-                        fleet, pending, outcome, total, registry, done=False
+            try:
+                while True:
+                    for worker in fleet:
+                        if worker.lease is None:
+                            self._dispatch(
+                                worker, pending, outcome.rows, attempts
+                            )
+                    busy = any(worker.lease is not None for worker in fleet)
+                    remaining = any(
+                        d not in outcome.rows for d, _ in pending
                     )
-            with _T_LEASE_SWEEP:
-                self._shutdown(fleet)
-                registry.set("campaign_queue_depth", self._max_queue_depth)
-                registry.set("campaign_in_flight", self._max_in_flight)
-                self._publish_live(
-                    fleet, pending, outcome, total, registry, done=True
-                )
+                    if not busy and not remaining:
+                        break
+                    if not fleet:
+                        # Every worker slot is gone and the budget with it.
+                        self._degrade(outcome, pending, fleet, registry)
+                        break
+                    self._drain_one(fleet, outcome, registry)
+                    if not self._sweep_health(
+                        ctx, fleet, pending, outcome, attempts, losses,
+                        registry,
+                    ):
+                        self._degrade(outcome, pending, fleet, registry)
+                        break
+                    with _T_LEASE_SWEEP:
+                        self._publish_live(
+                            fleet, pending, outcome, total, registry,
+                            done=False,
+                        )
+                with _T_LEASE_SWEEP:
+                    self._shutdown(fleet)
+                    registry.set("campaign_queue_depth", self._max_queue_depth)
+                    registry.set("campaign_in_flight", self._max_in_flight)
+                    self._publish_live(
+                        fleet, pending, outcome, total, registry, done=True
+                    )
+            finally:
+                self._retire_segment()
             FLIGHT.record(
                 "pool-finished",
                 games=len(outcome.rows),
@@ -516,7 +827,9 @@ class SupervisedWorkerPool:
         :func:`write_live_status` rather than surfacing in the drain.
         """
         queue_depth = sum(1 for d, _ in pending if d not in outcome.rows)
-        in_flight = sum(1 for w in fleet if w.lease is not None)
+        in_flight = sum(
+            len(w.lease.items) for w in fleet if w.lease is not None
+        )
         if queue_depth > self._max_queue_depth:
             self._max_queue_depth = queue_depth
         if in_flight > self._max_in_flight:
@@ -540,6 +853,9 @@ class SupervisedWorkerPool:
                 "worker_restarts": outcome.restarts,
                 "queue_depth": queue_depth,
                 "in_flight": in_flight,
+                "chunk_size": (
+                    "adaptive" if self.chunk_size is None else self.chunk_size
+                ),
                 "workers": [
                     {
                         "index": w.index,
@@ -560,22 +876,50 @@ class SupervisedWorkerPool:
         write_live_status(self.store.root, status)
 
     # ------------------------------------------------------------------
+    # Shared ball segment lifecycle
+    # ------------------------------------------------------------------
+    def _create_segment(self, pool_size: int) -> None:
+        """Create this run's shared ball segment (multi-worker pools
+        only) after sweeping segments orphaned by SIGKILLed runs."""
+        if pool_size < 2 or not shared_balls_enabled():
+            return
+        sweep_stale_segments(self.store.root)
+        segment = SharedBallPool.create()
+        if segment is None:
+            return  # shared memory unavailable: in-process pools only
+        self._segment = segment
+        publish_segment(self.store.root, segment)
+
+    def _retire_segment(self) -> None:
+        if self._segment is None:
+            return
+        retire_segment(self.store.root, self._segment)
+        self._segment = None
+
+    # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
+    def _worker_config(self) -> WorkerConfig:
+        return WorkerConfig(
+            store_root=self.store.root,
+            retries=self.retries,
+            backoff=self.backoff,
+            chaos=self.chaos,
+            timers_on=phase_timers_enabled(),
+            segment=self._segment.name if self._segment is not None else None,
+        )
+
     def _spawn(self, ctx, index: int) -> _Worker:
+        config = self._worker_config()
+        if warm_pool_enabled():
+            adopted = self._adopt_warm(index, config)
+            if adopted is not None:
+                return adopted
         with _T_POOL_SPAWN:
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             process = ctx.Process(
                 target=_pool_worker,
-                args=(
-                    index,
-                    child_conn,
-                    self.store.root,
-                    self.retries,
-                    self.backoff,
-                    self.chaos,
-                    phase_timers_enabled(),
-                ),
+                args=(index, child_conn, config, os.getpid()),
                 daemon=True,
             )
             process.start()
@@ -591,6 +935,34 @@ class SupervisedWorkerPool:
             last_seen=time.monotonic(),
         )
 
+    def _adopt_warm(self, index: int, config: WorkerConfig) -> Optional[_Worker]:
+        """Reuse a parked worker: one configure message, no spawn."""
+        while True:
+            pair = WARM_POOL.acquire()
+            if pair is None:
+                return None
+            process, conn = pair
+            try:
+                with _T_PIPE_SEND:
+                    conn.send(("configure", config))
+            except OSError:
+                WarmWorkerPool._discard(process, conn)
+                continue
+            get_registry().inc("campaign_warm_adoptions")
+            TRACER.event("worker-adopted", worker=index, pid=process.pid)
+            FLIGHT.record("worker-adopted", worker=index, pid=process.pid)
+            return _Worker(
+                index=index,
+                process=process,
+                conn=conn,
+                last_seen=time.monotonic(),
+            )
+
+    def _chunk_target(self, pending: Deque[WorkItem]) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return chunk_target(len(pending), self.workers, self.max_chunk)
+
     def _dispatch(
         self,
         worker: _Worker,
@@ -598,42 +970,57 @@ class SupervisedWorkerPool:
         rows: Dict[str, Dict[str, Any]],
         attempts: Dict[str, int],
     ) -> None:
-        while pending:
+        chunk: List[ChunkItem] = []
+        target = self._chunk_target(pending)
+        while pending and len(chunk) < target:
             digest, spec = pending.popleft()
             if digest in rows:
                 continue  # answered while waiting (stale-done race)
             attempt = attempts.get(digest, 0) + 1
             attempts[digest] = attempt
+            chunk.append((digest, spec, attempt))
+        if not chunk:
+            return
+        now = time.monotonic()
+        # The deadline budgets the whole chunk: the worker runs its
+        # games back to back, so expiry must allow every timeout.
+        budget: Optional[float] = 0.0
+        for _, spec, _ in chunk:
             timeout = spec.policy.timeout
-            now = time.monotonic()
-            deadline = (
-                None
-                if timeout is None
-                else now + timeout * self.lease_grace + self.lease_slack
-            )
-            worker.lease = Lease(
-                digest=digest,
-                spec=spec,
-                attempt=attempt,
-                pid=worker.process.pid,
-                started=now,
-                deadline=deadline,
-            )
-            FLIGHT.record(
-                "dispatch", worker=worker.index, digest=digest, attempt=attempt
-            )
-            try:
-                with _T_PIPE_SEND:
-                    worker.conn.send((digest, spec, attempt))
-            except OSError:
-                # Worker already dead: undo the dispatch (keeping the
-                # attempt numbering aligned with actual plays) and let
-                # the health sweep reap it.
-                worker.lease = None
-                worker.broken = True
+            if timeout is None:
+                budget = None
+                break
+            budget += timeout
+        deadline = (
+            None
+            if budget is None
+            else now + budget * self.lease_grace + self.lease_slack
+        )
+        worker.lease = Lease(
+            items=chunk,
+            pid=worker.process.pid,
+            started=now,
+            deadline=deadline,
+        )
+        FLIGHT.record(
+            "dispatch",
+            worker=worker.index,
+            digest=chunk[0][0],
+            attempt=chunk[0][2],
+            games=len(chunk),
+        )
+        try:
+            with _T_PIPE_SEND:
+                worker.conn.send(("chunk", chunk))
+        except OSError:
+            # Worker already dead: undo the dispatch (keeping the
+            # attempt numbering aligned with actual plays) and let
+            # the health sweep reap it.
+            worker.lease = None
+            worker.broken = True
+            for digest, spec, attempt in reversed(chunk):
                 attempts[digest] = attempt - 1
                 pending.appendleft((digest, spec))
-            return
 
     def _drain_one(
         self, fleet: List[_Worker], outcome: PoolOutcome, registry
@@ -644,12 +1031,14 @@ class SupervisedWorkerPool:
             if worker.conn is not None and not worker.broken
         }
         if not by_conn:
-            time.sleep(self.heartbeat)
+            with _T_ACK_WAIT:
+                time.sleep(self.heartbeat)
             return
-        with _T_ACK_DRAIN:
+        with _T_ACK_WAIT:
             ready = _connection_wait(list(by_conn), timeout=self.heartbeat)
-            for conn in ready:
-                worker = by_conn[conn]
+        for conn in ready:
+            worker = by_conn[conn]
+            with _T_ACK_DRAIN:
                 try:
                     message = conn.recv()
                 except Exception:
@@ -671,33 +1060,42 @@ class SupervisedWorkerPool:
         if kind == "exit":
             return
         if kind == "heartbeat":
-            # Liveness only — the lease stays open until the real ack.
+            # Liveness plus blame: mark which game of the chunk is in
+            # progress — the lease stays open until the chunk ack.
             registry.inc("campaign_worker_heartbeats")
+            if worker.lease is not None:
+                worker.lease.current = digest
             return
-        if worker.lease is not None and worker.lease.digest == digest:
+        if kind == "chunk-done":
             worker.lease = None
-        if kind == "error":
-            outcome.errors.append(
-                _error_entry(digest, self._specs[digest], payload)
-            )
-            FLIGHT.record(
-                "game-error", worker=worker.index, digest=digest
-            )
+            for entry_digest, status, detail in payload:
+                if status == "error":
+                    outcome.errors.append(
+                        _error_entry(
+                            entry_digest, self._specs[entry_digest], detail
+                        )
+                    )
+                    FLIGHT.record(
+                        "game-error", worker=worker.index, digest=entry_digest
+                    )
+                    continue
+                worker.games += 1
+                if entry_digest not in outcome.rows:
+                    outcome.rows[entry_digest] = detail
+            if metrics:
+                registry.merge(metrics)
             return
-        worker.games += 1
-        if digest not in outcome.rows:
-            outcome.rows[digest] = payload
-        if metrics:
-            registry.merge(metrics)
+        worker.broken = True  # unknown message kind
 
     def _salvage(
         self, worker: _Worker, outcome: PoolOutcome, registry
     ) -> None:
         """Recover intact acks buffered in a dead worker's pipe.
 
-        A worker may finish (fsync + ack) and then die before the drain
-        reads the ack; the bytes survive in the kernel buffer, so read
-        until EOF or the first tear rather than discarding them.
+        A worker may finish a chunk (fsync + ack) and then die before
+        the drain reads the ack; the bytes survive in the kernel
+        buffer, so read until EOF or the first tear rather than
+        discarding them.
         """
         if worker.conn is None:
             return
@@ -740,22 +1138,24 @@ class SupervisedWorkerPool:
                 if not dead and not expired:
                     continue
                 if expired:
+                    blamed_digest, _, blamed_attempt = worker.lease.blamed
                     outcome.lease_expirations += 1
                     registry.inc("campaign_lease_expirations")
                     TRACER.event(
                         "lease-expired",
                         worker=worker.index,
                         pid=worker.process.pid,
-                        digest=worker.lease.digest,
-                        attempt=worker.lease.attempt,
+                        digest=blamed_digest,
+                        attempt=blamed_attempt,
+                        games=len(worker.lease.items),
                     )
                     dump_on_fault(
                         self.store.root,
                         "lease-expired",
                         worker=worker.index,
                         pid=worker.process.pid,
-                        digest=worker.lease.digest,
-                        attempt=worker.lease.attempt,
+                        digest=blamed_digest,
+                        attempt=blamed_attempt,
                     )
                 worker.process.kill()
                 worker.process.join()
@@ -799,54 +1199,73 @@ class SupervisedWorkerPool:
         losses: Dict[str, int],
         registry,
     ) -> None:
-        """Requeue a lost in-flight game, or quarantine a poison one."""
-        digest = lease.digest
-        if digest in outcome.rows:
-            return  # acknowledged just before the worker was lost
-        losses[digest] = losses.get(digest, 0) + 1
-        if losses[digest] >= self.poison_threshold:
+        """Requeue the lost chunk's unacknowledged games; blame one.
+
+        The chunk ack is all-or-nothing, so acknowledged games are
+        already in ``rows`` (salvage reads buffered acks first) and
+        everything else requeues.  Only the *blamed* game — the one the
+        worker heartbeated last, i.e. the one in progress when the
+        worker was lost — accrues a poison loss; its chunk-mates were
+        bystanders.  At ``poison_threshold`` losses the blamed game is
+        quarantined (structured forfeit row) instead of requeued.
+        """
+        unacked = [item for item in lease.items if item[0] not in outcome.rows]
+        if not unacked:
+            return
+        blamed_digest, blamed_spec, blamed_attempt = lease.blamed
+        if blamed_digest in outcome.rows:
+            # The heartbeated game was acked just before death; someone
+            # must own the loss — charge the first unacked item.
+            blamed_digest, blamed_spec, blamed_attempt = unacked[0]
+        losses[blamed_digest] = losses.get(blamed_digest, 0) + 1
+        if losses[blamed_digest] >= self.poison_threshold:
             # The store write self-times as store-fsync; the flight dump
             # and bookkeeping around it count as lease-sweep, kept in
             # separate blocks so the two top-level phases never nest.
-            row = quarantine_row(digest, lease.spec, losses[digest])
+            row = quarantine_row(
+                blamed_digest, blamed_spec, losses[blamed_digest]
+            )
             self.store.add(row)
             with _T_LEASE_SWEEP:
-                outcome.rows[digest] = row
-                outcome.quarantined.append(digest)
+                outcome.rows[blamed_digest] = row
+                outcome.quarantined.append(blamed_digest)
                 registry.inc("campaign_games_quarantined")
                 TRACER.event(
                     "game-quarantined",
-                    digest=digest,
-                    adversary=lease.spec.adversary,
-                    victim=lease.spec.victim,
-                    locality=lease.spec.locality,
-                    losses=losses[digest],
+                    digest=blamed_digest,
+                    adversary=blamed_spec.adversary,
+                    victim=blamed_spec.victim,
+                    locality=blamed_spec.locality,
+                    losses=losses[blamed_digest],
                 )
                 dump_on_fault(
                     self.store.root,
                     "game-quarantined",
-                    digest=digest,
-                    adversary=lease.spec.adversary,
-                    victim=lease.spec.victim,
-                    losses=losses[digest],
+                    digest=blamed_digest,
+                    adversary=blamed_spec.adversary,
+                    victim=blamed_spec.victim,
+                    losses=losses[blamed_digest],
                 )
-            return
+            unacked = [
+                item for item in unacked if item[0] != blamed_digest
+            ]
         with _T_LEASE_SWEEP:
-            pending.append((digest, lease.spec))
-            outcome.requeues += 1
-            registry.inc("campaign_games_requeued")
-            TRACER.event(
-                "game-requeued",
-                digest=digest,
-                attempt=lease.attempt,
-                losses=losses[digest],
-            )
-            FLIGHT.record(
-                "game-requeued",
-                digest=digest,
-                attempt=lease.attempt,
-                losses=losses[digest],
-            )
+            for digest, spec, attempt in unacked:
+                pending.append((digest, spec))
+                outcome.requeues += 1
+                registry.inc("campaign_games_requeued")
+                TRACER.event(
+                    "game-requeued",
+                    digest=digest,
+                    attempt=attempt,
+                    losses=losses.get(digest, 0),
+                )
+                FLIGHT.record(
+                    "game-requeued",
+                    digest=digest,
+                    attempt=attempt,
+                    losses=losses.get(digest, 0),
+                )
 
     # ------------------------------------------------------------------
     # Degradation and shutdown
@@ -868,10 +1287,10 @@ class SupervisedWorkerPool:
             self._salvage(worker, outcome, registry)
             self._close_conn(worker.conn)
             if worker.lease is not None:
-                lease = worker.lease
-                if lease.digest not in outcome.rows:
-                    leftover.append((lease.digest, lease.spec))
-                    seen.add(lease.digest)
+                for digest, spec, _ in worker.lease.items:
+                    if digest not in outcome.rows and digest not in seen:
+                        leftover.append((digest, spec))
+                        seen.add(digest)
                 worker.lease = None
         fleet.clear()
         for digest, spec in pending:
@@ -879,6 +1298,9 @@ class SupervisedWorkerPool:
                 leftover.append((digest, spec))
                 seen.add(digest)
         pending.clear()
+        # The degraded serial path plays in *this* process: release the
+        # shared segment now (nobody shares with a serial run).
+        self._retire_segment()
         outcome.leftover = leftover
         registry.inc("campaign_pool_degradations")
         TRACER.event(
@@ -896,15 +1318,38 @@ class SupervisedWorkerPool:
         )
 
     def _shutdown(self, fleet: List[_Worker]) -> None:
-        """Retire the surviving workers (sentinel, join, kill stragglers)."""
+        """Retire the surviving workers.
+
+        Healthy, lease-free workers are *parked* in the warm pool
+        (after a ``park`` message telling them to drop their segment
+        attachment, so the retiring pool can unlink it) for the next
+        campaign to adopt; everything else gets the sentinel/join/kill
+        treatment.
+        """
+        cold: List[_Worker] = []
         for worker in fleet:
+            healthy = (
+                worker.process.is_alive()
+                and not worker.broken
+                and worker.lease is None
+            )
+            if healthy and warm_pool_enabled():
+                try:
+                    worker.conn.send(("park", None))
+                except (OSError, ValueError):
+                    cold.append(worker)
+                    continue
+                WARM_POOL.park(worker.process, worker.conn)
+                continue
+            cold.append(worker)
+        for worker in cold:
             if worker.process.is_alive() and not worker.broken:
                 try:
                     worker.conn.send(None)
                 except (OSError, ValueError):  # pragma: no cover - closed
                     pass
         deadline = time.monotonic() + 5.0
-        for worker in fleet:
+        for worker in cold:
             remaining = max(0.0, deadline - time.monotonic())
             worker.process.join(timeout=remaining)
             if worker.process.is_alive():  # pragma: no cover - straggler

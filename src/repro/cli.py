@@ -403,6 +403,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             max_worker_restarts=args.max_worker_restarts,
             poison_threshold=args.poison_threshold,
+            chunk_size=args.chunk_size,
             timers=args.timers,
         )
     else:
@@ -415,6 +416,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             max_worker_restarts=args.max_worker_restarts,
             poison_threshold=args.poison_threshold,
+            chunk_size=args.chunk_size,
             timers=args.timers,
         )
         print(threshold_table(results))
@@ -707,6 +709,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--poison-threshold", type=_positive_int, default=3, metavar="N",
             help="worker kills/hangs one game may cause before it is "
             "quarantined as a forfeit:poison row (default 3)",
+        )
+        cmd.add_argument(
+            "--chunk-size", type=_positive_int, default=None, metavar="N",
+            help="games per worker lease (default: adaptive — large "
+            "chunks while the queue is deep, halving toward 1 at the "
+            "tail; 1 pins the per-game protocol)",
         )
         cmd.add_argument(
             "--timers", action=argparse.BooleanOptionalAction, default=True,

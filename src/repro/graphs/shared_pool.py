@@ -1,0 +1,377 @@
+"""Cross-process shared ball pool: one shared-memory segment per pool.
+
+The PR-4 :class:`~repro.graphs.traversal.BallCache` pools computed
+neighborhood balls *within* a process, keyed by the graph's structural
+fingerprint — the second tournament game on an identical host hits
+immediately.  Across worker processes that sharing is lost: every
+worker re-extracts the same balls from scratch.  This module promotes
+the pool into a ``multiprocessing.shared_memory`` segment so
+structurally identical hosts reuse balls across the whole fleet.
+
+Layout
+------
+The segment is a fixed-slot hash table of pickled entries::
+
+    header:  MAGIC(8) | slots(u64) | slot_bytes(u64)
+    slot i:  gen(u64) | keyhash(u64) | paylen(u32) | crc(u32) | payload
+
+An entry's payload is ``pickle.dumps((key, ball))`` where ``key`` is
+``(structural_key, sources, radius)``; the slot index is
+``blake2b(key_bytes) % slots``.  Collisions simply overwrite — this is
+a cache, not storage, and the full key is stored so a reader can never
+be served the wrong ball.
+
+Torn reads and writes
+---------------------
+Writers never lock.  Each slot carries a seqlock-style generation word:
+a writer bumps it to an **odd** value, writes the payload, then bumps
+it to the next even value.  A reader snapshots the generation, skips
+odd (write in progress) or zero (empty), copies the payload, and
+re-reads the generation — any change means the copy may be torn and is
+discarded.  Two *concurrent* writers racing the same slot can interleave
+payload bytes under a generation that still settles even, which the
+seqlock alone cannot see; the per-slot CRC32 over the payload catches
+exactly that, and the pickled key equality check is the final guard.
+A worker SIGKILLed mid-write leaves the slot odd forever — readers skip
+it, and the next writer reclaims it.  Readers never write, so a reader
+killed mid-copy leaves the segment untouched.
+
+Lifecycle
+---------
+The parent pool creates the segment, records a ``balls-<pid>.segment``
+sidecar under the store root, and ships the segment name to workers;
+:func:`sweep_stale_segments` unlinks segments whose owning pid is dead
+(the SIGKILL-resume path), and the pool unlinks its own segment on
+shutdown and on degradation.  Everything degrades cleanly: when shared
+memory is unavailable (or an attach fails) callers fall back to the
+in-process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import uuid
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - no _posixshmem / _multiprocessing
+    resource_tracker = None
+    shared_memory = None
+
+_MAGIC = b"RBPOOL1\0"
+_HEADER = struct.Struct("<8sQQ")
+#: Per-slot prefix: generation, key hash, payload length, payload CRC32.
+_SLOT = struct.Struct("<QQII")
+
+#: Environment knob: ``REPRO_SHARED_BALLS=0`` disables segment creation.
+SHARED_BALLS_ENV_VAR = "REPRO_SHARED_BALLS"
+
+#: Default table geometry: 512 slots × 8 KiB ≈ 4 MiB per campaign.
+DEFAULT_SLOTS = 512
+DEFAULT_SLOT_BYTES = 8192
+
+#: Sidecar glob under a store root recording live segments.
+SEGMENT_SIDECAR_SUFFIX = ".segment"
+
+
+def shared_balls_enabled() -> bool:
+    """Whether pools should create shared segments at all."""
+    if shared_memory is None:
+        return False
+    return os.environ.get(SHARED_BALLS_ENV_VAR, "") != "0"
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, other user
+        return True
+    return True
+
+
+def _key_bytes(key: Any) -> bytes:
+    return pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _key_hash(key_bytes: bytes) -> int:
+    import hashlib
+
+    return int.from_bytes(
+        hashlib.blake2b(key_bytes, digest_size=8).digest(), "little"
+    )
+
+
+class SharedBallPool:
+    """A fixed-slot, lock-free shared-memory ball table.
+
+    Construct via :meth:`create` (owner) or :meth:`attach` (worker);
+    both return ``None`` instead of raising when shared memory is
+    unavailable, so callers always have the in-process fallback.
+    """
+
+    def __init__(self, shm, slots: int, slot_bytes: int, owner: bool) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        slots: int = DEFAULT_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> Optional["SharedBallPool"]:
+        """Create a fresh zeroed segment; None if shared memory fails."""
+        if shared_memory is None or slots < 1:
+            return None
+        name = f"repro-balls-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        size = _HEADER.size + slots * (slot_bytes + _SLOT.size)
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except (OSError, ValueError):  # pragma: no cover - /dev/shm full
+            return None
+        shm.buf[: _HEADER.size] = _HEADER.pack(_MAGIC, slots, slot_bytes)
+        return cls(shm, slots, slot_bytes, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> Optional["SharedBallPool"]:
+        """Attach to an existing segment by name; None on any failure."""
+        if shared_memory is None:
+            return None
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        except (OSError, ValueError):
+            return None
+        # Python 3.11 registers the segment with the resource tracker
+        # even on attach (no track= parameter until 3.13); left alone,
+        # the tracker would unlink the owner's segment when this worker
+        # exits and warn about a leak it did not have.  Unregister the
+        # attach-side bookkeeping; the creating process keeps its own.
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+        try:
+            magic, slots, slot_bytes = _HEADER.unpack_from(shm.buf, 0)
+        except struct.error:
+            shm.close()
+            return None
+        if magic != _MAGIC:
+            shm.close()
+            return None
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    # ------------------------------------------------------------------
+    # Slot access
+    # ------------------------------------------------------------------
+    def _slot_offset(self, index: int) -> int:
+        return _HEADER.size + index * (self.slot_bytes + _SLOT.size)
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value for ``key``, or None (miss, tear, or
+        collision).  Never blocks and never raises on concurrent writes.
+        """
+        if self._closed:
+            return None
+        kb = _key_bytes(key)
+        khash = _key_hash(kb)
+        offset = self._slot_offset(khash % self.slots)
+        buf = self._shm.buf
+        try:
+            gen, stored_hash, paylen, crc = _SLOT.unpack_from(buf, offset)
+            if gen == 0 or gen % 2 == 1:
+                return None  # empty, or a writer is mid-flight
+            if stored_hash != khash or paylen > self.slot_bytes:
+                return None
+            payload = bytes(
+                buf[offset + _SLOT.size : offset + _SLOT.size + paylen]
+            )
+            gen_after = _SLOT.unpack_from(buf, offset)[0]
+        except (struct.error, ValueError, IndexError):
+            return None
+        if gen_after != gen:
+            return None  # a writer raced the copy: treat as torn
+        if zlib.crc32(payload) != crc:
+            return None  # interleaved concurrent writes: discard
+        try:
+            stored_key, value = pickle.loads(payload)
+        except Exception:
+            return None
+        if stored_key != key:
+            return None  # hash collision with a different key
+        return value
+
+    def put(self, key: Any, value: Any) -> bool:
+        """Publish ``key -> value``; False when it does not fit.
+
+        Overwrites whatever occupied the slot (collisions included).
+        """
+        if self._closed:
+            return False
+        kb = _key_bytes(key)
+        khash = _key_hash(kb)
+        try:
+            payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # pragma: no cover - unpicklable ball
+            return False
+        if len(payload) > self.slot_bytes:
+            return False
+        offset = self._slot_offset(khash % self.slots)
+        buf = self._shm.buf
+        try:
+            gen = _SLOT.unpack_from(buf, offset)[0]
+            # Odd while writing (readers skip), next even when done.  A
+            # crashed writer leaves the slot odd; (gen + 1) | 1 moves
+            # past it monotonically either way.
+            writing = (gen + 1) | 1
+            _SLOT.pack_into(buf, offset, writing, khash, len(payload),
+                            zlib.crc32(payload))
+            buf[offset + _SLOT.size : offset + _SLOT.size + len(payload)] = payload
+            _SLOT.pack_into(buf, offset, writing + 1, khash, len(payload),
+                            zlib.crc32(payload))
+        except (struct.error, ValueError, IndexError):  # pragma: no cover
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - exports live
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner's shutdown path; idempotent)."""
+        self.close()
+        # A forkserver child shares the parent's resource tracker, so its
+        # attach-side unregister (see :meth:`attach`) may have already
+        # removed this name from the shared cache; re-register so the
+        # unregister inside ``shm.unlink()`` always balances instead of
+        # raising KeyError noise in the tracker process.
+        if resource_tracker is not None:
+            try:
+                resource_tracker.register(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - raced
+            pass
+
+
+# ----------------------------------------------------------------------
+# Process-wide active pool (what BallCache consults)
+# ----------------------------------------------------------------------
+_active: Optional[SharedBallPool] = None
+
+
+def set_active_pool(pool: Optional[SharedBallPool]) -> Optional[SharedBallPool]:
+    """Install the pool :class:`~repro.graphs.traversal.BallCache`
+    consults on misses; returns the previous one (for restore)."""
+    global _active
+    previous = _active
+    _active = pool
+    return previous
+
+
+def active_pool() -> Optional[SharedBallPool]:
+    """The shared pool active in this process, or None."""
+    return _active
+
+
+# ----------------------------------------------------------------------
+# Segment sidecars: discovery + stale sweep under a store root
+# ----------------------------------------------------------------------
+def _sidecar_path(store_root: str, pid: int) -> str:
+    return os.path.join(
+        os.fspath(store_root), f"balls-{pid}{SEGMENT_SIDECAR_SUFFIX}"
+    )
+
+
+def publish_segment(store_root, pool: SharedBallPool) -> str:
+    """Record ``pool`` in a ``balls-<pid>.segment`` sidecar so a later
+    resume can sweep it if this process dies without unlinking."""
+    path = _sidecar_path(store_root, os.getpid())
+    os.makedirs(os.fspath(store_root), exist_ok=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"segment": pool.name, "pid": os.getpid()}, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def retire_segment(store_root, pool: Optional[SharedBallPool]) -> None:
+    """Unlink ``pool`` and remove this process's sidecar (idempotent)."""
+    if pool is not None:
+        pool.unlink()
+    try:
+        os.remove(_sidecar_path(store_root, os.getpid()))
+    except OSError:
+        pass
+
+
+def list_segment_sidecars(store_root) -> List[Tuple[str, Dict[str, Any]]]:
+    """Every ``balls-*.segment`` sidecar under the root, parsed."""
+    import glob as _glob
+
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    pattern = os.path.join(
+        _glob.escape(os.fspath(store_root)), f"balls-*{SEGMENT_SIDECAR_SUFFIX}"
+    )
+    for path in sorted(_glob.glob(pattern)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            out.append((path, payload))
+    return out
+
+
+def sweep_stale_segments(store_root) -> int:
+    """Unlink segments whose owning process is dead; returns the count.
+
+    This is the SIGKILL-resume path: a killed campaign leaves its
+    segment in ``/dev/shm`` and its sidecar in the store; the next pool
+    against the same store reclaims both before creating its own.
+    """
+    swept = 0
+    for path, payload in list_segment_sidecars(store_root):
+        pid = payload.get("pid")
+        if isinstance(pid, int) and pid_alive(pid):
+            continue
+        name = payload.get("segment")
+        if isinstance(name, str):
+            stale = SharedBallPool.attach(name)
+            if stale is not None:
+                stale.unlink()
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - raced
+            pass
+        swept += 1
+    return swept

@@ -30,9 +30,14 @@ Phases instrumented across the harness (see ``docs/observability.md``):
 ==================  ====================================================
 ``spec-expand``     campaign spec → GameSpec list expansion
 ``store-index``     ResultStore shard loads for dedupe/result lookups
-``pipe-send``       parent dispatch (GameSpec pickling + pipe write);
-                    under ``worker:`` the result-ack send
-``ack-drain``       parent waiting on / reading worker acks
+``pipe-send``       parent dispatch (chunk pickling + pipe write); under
+                    ``worker:`` the result-ack send
+``ack-wait``        parent blocked waiting for any worker message — the
+                    phase that *should* dominate a healthy parallel
+                    campaign (workers computing while the parent idles)
+``ack-drain``       parent reading + folding worker acks (recv, row and
+                    metrics bookkeeping) — actual IPC cost, so the bench
+                    gates it below 25% of parent wall-clock
 ``lease-sweep``     lease bookkeeping: health sweep, expiry, respawn
 ``pool-spawn``      forking worker processes
 ``compute``         playing the game (supervisor + simulators); recorded
@@ -78,6 +83,7 @@ TOP_LEVEL_PHASES = (
     "store-index",
     "pool-spawn",
     "pipe-send",
+    "ack-wait",
     "ack-drain",
     "lease-sweep",
     "compute",

@@ -102,10 +102,28 @@ class SweepJournal:
     # ------------------------------------------------------------------
     def append(self, row: Dict[str, Any]) -> None:
         """Record one completed row, flushed to disk immediately."""
+        self.append_many([row])
+
+    def append_many(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Record a batch of rows under one buffered write + one fsync.
+
+        Same durability contract as :meth:`append` — once this returns,
+        every row in the batch survives a kill — but the fsync cost is
+        paid once per batch instead of once per row, which is what makes
+        chunked campaign scheduling pay off (a worker fsyncing per game
+        spends ~a quarter of its compute budget in the disk).  A kill
+        mid-batch can tear only the final line, exactly like a kill
+        mid-append; :meth:`load` skips the tear and the next write
+        repairs it.
+        """
+        lines = "".join(
+            json.dumps(row, sort_keys=True, default=str) + "\n" for row in rows
+        )
+        if not lines:
+            return
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        line = json.dumps(row, sort_keys=True, default=str)
         # A kill mid-write can leave a partial line with no newline; a
         # fresh row must not be glued onto it (both would be lost).
         repair = ""
@@ -115,7 +133,7 @@ class SweepJournal:
                 if tail.read(1) != b"\n":
                     repair = "\n"
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(repair + line + "\n")
+            handle.write(repair + lines)
             handle.flush()
             os.fsync(handle.fileno())
 

@@ -214,10 +214,18 @@ def test_worker_pool_matches_serial(tmp_path):
     assert (parallel.played, parallel.deduped) == (8, 0)
 
 
-def test_errors_are_reported_not_stored(tmp_path):
+def test_errors_are_reported_not_stored(tmp_path, monkeypatch):
     """A game whose factory blows up lands in errors and is retried by
     the next run, never recorded as a row."""
+    from repro.analysis.worker_pool import shutdown_warm_pool
     from repro.registry import ADVERSARIES
+
+    # This registration lives inside a test function, so only fork
+    # workers can inherit it: forkserver children re-import modules
+    # (and re-run module-level registrations in real __main__ scripts)
+    # but never see in-process, function-local registry mutations.
+    monkeypatch.setenv("REPRO_POOL_START", "fork")
+    shutdown_warm_pool()  # drop any parked forkserver fleet
 
     @ADVERSARIES.register("test-broken")
     def _broken(locality, **params):
@@ -234,6 +242,7 @@ def test_errors_are_reported_not_stored(tmp_path):
         assert len(ResultStore(tmp_path / "store")) == 0
     finally:
         ADVERSARIES.unregister("test-broken")
+        shutdown_warm_pool()  # don't park fork workers for later tests
 
 
 # ----------------------------------------------------------------------
@@ -429,10 +438,18 @@ def test_run_ledger_records_phases_when_timed(tmp_path):
     assert entry["wall_seconds"] > 0
     phases = entry["phases"]
     assert phases and all(s >= 0 for s in phases.values())
-    # Serial runs time compute directly; expansion and fsync ride along.
-    assert "compute" in phases
     assert "spec-expand" in phases
-    assert "store-fsync" in phases
+    from repro.analysis.executor import resolve_workers
+
+    if resolve_workers(None) > 1:
+        # Pooled runs (REPRO_WORKERS > 1): compute and fsync happen in
+        # the workers; the parent's own phases are the IPC/idle split.
+        assert "ack-wait" in phases
+        assert "worker:compute" in phases
+    else:
+        # Serial runs time compute directly; fsync rides along.
+        assert "compute" in phases
+        assert "store-fsync" in phases
     assert 0.0 < entry["phase_coverage"]
 
 

@@ -51,6 +51,49 @@ def test_later_writes_win(tmp_path):
     assert len(store) == 1
 
 
+def test_add_many_lands_batch_in_append_order(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.add_many(
+        [
+            {HASH_FIELD: "aaa", "won": True},
+            {HASH_FIELD: "bbb", "won": False},
+            {HASH_FIELD: "ccc", "won": True},
+        ]
+    )
+    assert [row[HASH_FIELD] for row in store.rows()] == ["aaa", "bbb", "ccc"]
+    assert len(store.row_files()) == 1  # one writer shard, one append
+
+
+def test_add_many_empty_batch_is_a_no_op(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.add_many([])
+    assert store.row_files() == []
+    assert not os.path.exists(store.root)
+
+
+def test_add_many_validates_every_row_before_writing(tmp_path):
+    """A bad row anywhere in the batch rejects the whole batch — no
+    partial write precedes the ValueError."""
+    store = ResultStore(tmp_path / "store")
+    with pytest.raises(ValueError, match=HASH_FIELD):
+        store.add_many([{HASH_FIELD: "aaa", "won": True}, {"won": False}])
+    assert store.index() == {}
+
+
+def test_add_many_repairs_torn_tail(tmp_path):
+    """A batch append after a kill-torn trailing line repairs the shard,
+    exactly like the single-row path."""
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "aaa", "won": True})
+    shard = store.row_files()[0]
+    with open(shard, "a", encoding="utf-8") as handle:
+        handle.write('{"spec_hash": "bbb", "wo')  # killed mid-write
+    store.add_many(
+        [{HASH_FIELD: "ccc", "won": False}, {HASH_FIELD: "ddd", "won": True}]
+    )
+    assert set(store.index()) == {"aaa", "ccc", "ddd"}
+
+
 def test_multiple_writer_shards_merge(tmp_path):
     store = ResultStore(tmp_path / "store")
     os.makedirs(store.root, exist_ok=True)

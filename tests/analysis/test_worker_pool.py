@@ -22,7 +22,14 @@ from repro.analysis.store import (
     QUARANTINE_REASON,
     ResultStore,
 )
-from repro.analysis.worker_pool import SupervisedWorkerPool, quarantine_row
+from repro.analysis.worker_pool import (
+    SupervisedWorkerPool,
+    chunk_target,
+    quarantine_row,
+    shutdown_warm_pool,
+    warm_pool_enabled,
+    warm_pool_size,
+)
 from repro.observability.metrics import scoped_registry
 from repro.robustness.chaos import ChaosPolicy
 
@@ -90,6 +97,11 @@ def test_external_sigkill_of_one_worker_does_not_hang(tmp_path):
     )
     env.pop("REPRO_CHAOS", None)
     env.pop("REPRO_WORKERS", None)
+    # Pin the fork start method: the /proc children walk below assumes
+    # workers are direct children of the campaign process, which is not
+    # true under the default forkserver (workers are the *server's*
+    # children there — killing kids[0] would hit the server or tracker).
+    env["REPRO_POOL_START"] = "fork"
     proc = subprocess.Popen(
         [sys.executable, "-c", script],
         env=env,
@@ -363,6 +375,154 @@ def test_chaos_run_matches_serial_run(tmp_path):
             continue  # quarantined counts as covered, not lost
         assert (chaos_row["won"], chaos_row["reason"], chaos_row["forfeit"]) \
             == (serial_row["won"], serial_row["reason"], serial_row["forfeit"])
+
+
+# ----------------------------------------------------------------------
+# Chunked leases
+# ----------------------------------------------------------------------
+
+
+def test_chunk_target_halves_toward_one():
+    """Adaptive chunks split the queue ~2× per worker and shrink to
+    per-game leases at the tail, capped by ``max_chunk``."""
+    assert chunk_target(1024, 2, 32) == 32  # deep queue: cap wins
+    assert chunk_target(100, 4, 8) == 8
+    assert chunk_target(7, 2, 32) == 2  # ceil(7 / 4)
+    assert chunk_target(5, 1, 32) == 3  # ceil(5 / 2)
+    assert chunk_target(4, 2, 32) == 1  # tail: degenerate per-game mode
+    assert chunk_target(0, 2, 32) == 1
+
+
+def test_worker_kill_mid_chunk_requeues_only_unacked_games(tmp_path):
+    """Losing a worker mid-chunk requeues exactly that chunk's games:
+    the sibling's acknowledged chunk is never replayed, so the store
+    holds no duplicate raw rows."""
+    spec = CampaignSpec(**FAST)
+    digests = [digest for digest, _ in work_of(spec)]
+    # With chunk_size=2 pinned, the queue splits into chunks
+    # [0, 1] and [2, 3]; the kill fires on the second chunk's first game.
+    target = digests[2]
+
+    def kills_second_chunk_once(policy):
+        return all(
+            (policy.action_for(d, a) == "kill")
+            == (d == target and a == 1)
+            for d in digests
+            for a in (1, 2, 3)
+        )
+
+    policy = find_policy("kill:0.4", kills_second_chunk_once)
+    store = ResultStore(tmp_path / "store")
+    pool = SupervisedWorkerPool(
+        store, workers=2, chunk_size=2, chaos=policy, heartbeat=0.05
+    )
+    with scoped_registry() as registry:
+        outcome = pool.run(work_of(spec))
+    assert not outcome.errors and not outcome.quarantined
+    assert set(outcome.rows) == set(digests)
+    # Only the dead worker's chunk (2 games) was requeued, with one
+    # respawn; the acked chunk stayed acked.
+    assert outcome.restarts == 1
+    assert outcome.requeues == 2
+    snap = counters(registry)
+    assert snap["campaign_worker_restarts"] == 1
+    assert snap["campaign_games_requeued"] == 2
+    # No duplicates at the raw-shard level: each game landed exactly once.
+    raw = [row["spec_hash"] for row in store.rows()]
+    assert sorted(raw) == sorted(digests)
+
+
+def test_poison_quarantines_only_the_offending_chunk_game(tmp_path):
+    """Inside a chunk, blame is per-game: the game that keeps killing
+    its worker is quarantined, while its chunk-mates replay cleanly and
+    land real rows."""
+    spec = CampaignSpec(**FAST)
+    digests = [digest for digest, _ in work_of(spec)]
+
+    def one_double_killer(policy):
+        killers = [
+            d
+            for d in digests
+            if policy.action_for(d, 1) == "kill"
+            and policy.action_for(d, 2) == "kill"
+        ]
+        if len(killers) != 1:
+            return False
+        return all(
+            policy.action_for(d, a) is None
+            for d in digests
+            if d != killers[0]
+            for a in (1, 2, 3)
+        )
+
+    policy = find_policy("kill:0.5", one_double_killer)
+    (bad,) = [d for d in digests if policy.action_for(d, 1) == "kill"]
+    store = ResultStore(tmp_path / "store")
+    pool = SupervisedWorkerPool(
+        store,
+        workers=2,
+        chunk_size=2,
+        poison_threshold=2,
+        max_worker_restarts=16,
+        chaos=policy,
+        heartbeat=0.05,
+    )
+    with scoped_registry() as registry:
+        outcome = pool.run(work_of(spec))
+    assert not outcome.errors
+    assert set(outcome.rows) == set(digests)
+    assert outcome.rows[bad]["cause"] == QUARANTINE_CAUSE
+    for digest in digests:
+        if digest != bad:
+            assert outcome.rows[digest].get("cause") != QUARANTINE_CAUSE
+    assert counters(registry)["campaign_games_quarantined"] == 1
+    assert [q["spec_hash"] for q in store.quarantined()] == [bad]
+
+
+def test_pinned_and_adaptive_chunking_match_serial_rows(tmp_path):
+    """The degenerate ``chunk_size=1`` mode, adaptive chunking, and the
+    serial path must produce identical stores."""
+    spec = CampaignSpec(**FAST)
+    serial = run_campaign(spec, tmp_path / "serial", workers=1)
+    adaptive = run_campaign(spec, tmp_path / "adaptive", workers=2)
+    pinned = run_campaign(
+        spec, tmp_path / "pinned", workers=2, chunk_size=1
+    )
+    assert not serial.errors and not adaptive.errors and not pinned.errors
+    base = ResultStore(tmp_path / "serial").index()
+    assert ResultStore(tmp_path / "adaptive").index() == base
+    assert ResultStore(tmp_path / "pinned").index() == base
+
+
+# ----------------------------------------------------------------------
+# Warm worker pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not warm_pool_enabled(), reason="warm pool disabled via REPRO_WARM_POOL"
+)
+def test_warm_pool_parks_and_adopts_across_campaigns(tmp_path):
+    """A finished campaign parks its healthy workers; the next campaign
+    adopts them (one configure message) instead of forking afresh."""
+    shutdown_warm_pool()  # start from a clean slate
+    spec = CampaignSpec(**FAST)
+    try:
+        with scoped_registry() as registry:
+            first = run_campaign(spec, tmp_path / "a", workers=2)
+            assert not first.errors
+            parked = warm_pool_size()
+            second = run_campaign(spec, tmp_path / "b", workers=2)
+            assert not second.errors
+        assert parked == 2
+        assert counters(registry)["campaign_warm_adoptions"] == 2
+        assert (
+            ResultStore(tmp_path / "a").index().keys()
+            == ResultStore(tmp_path / "b").index().keys()
+        )
+    finally:
+        shutdown_warm_pool()
+    assert warm_pool_size() == 0
 
 
 # ----------------------------------------------------------------------

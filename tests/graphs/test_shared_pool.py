@@ -1,0 +1,214 @@
+"""Tests for the cross-process shared ball pool: seqlock torn-read
+discipline, CRC payload integrity, collision safety, sidecar lifecycle,
+and the BallCache integration."""
+
+import glob
+import json
+import os
+import struct
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.shared_pool import (
+    _SLOT,
+    SharedBallPool,
+    active_pool,
+    list_segment_sidecars,
+    pid_alive,
+    publish_segment,
+    retire_segment,
+    set_active_pool,
+    shared_balls_enabled,
+    sweep_stale_segments,
+)
+from repro.graphs.traversal import BallCache
+from repro.observability.metrics import scoped_registry
+
+pytestmark = pytest.mark.skipif(
+    not shared_balls_enabled(), reason="shared memory unavailable"
+)
+
+
+@pytest.fixture
+def pool():
+    segment = SharedBallPool.create(slots=16, slot_bytes=2048)
+    if segment is None:
+        pytest.skip("could not create a shared-memory segment")
+    yield segment
+    segment.unlink()
+
+
+def slot_offset_of(segment: SharedBallPool, key) -> int:
+    from repro.graphs.shared_pool import _key_bytes, _key_hash
+
+    return segment._slot_offset(_key_hash(_key_bytes(key)) % segment.slots)
+
+
+# ----------------------------------------------------------------------
+# Slot protocol
+# ----------------------------------------------------------------------
+
+
+def test_put_get_round_trip(pool):
+    key = ("struct", (0, 0), 2)
+    value = frozenset({(0, 0), (0, 1), (1, 0)})
+    assert pool.put(key, value) is True
+    assert pool.get(key) == value
+
+
+def test_get_miss_and_attach_round_trip(pool):
+    assert pool.get("absent") is None
+    sibling = SharedBallPool.attach(pool.name)
+    assert sibling is not None
+    pool.put("k", [1, 2, 3])
+    assert sibling.get("k") == [1, 2, 3]
+    sibling.close()
+
+
+def test_attach_unknown_segment_returns_none():
+    assert SharedBallPool.attach("repro-balls-no-such-segment") is None
+
+
+def test_torn_slot_is_discarded(pool):
+    """A writer SIGKILLed mid-write leaves the generation odd; readers
+    must skip the slot rather than deserialize half a payload."""
+    key = ("torn",)
+    assert pool.put(key, "value")
+    offset = slot_offset_of(pool, key)
+    gen, khash, paylen, crc = _SLOT.unpack_from(pool._shm.buf, offset)
+    assert gen % 2 == 0
+    _SLOT.pack_into(pool._shm.buf, offset, gen + 1, khash, paylen, crc)
+    assert pool.get(key) is None
+    # The next put reclaims the torn slot.
+    assert pool.put(key, "fresh")
+    assert pool.get(key) == "fresh"
+
+
+def test_corrupted_payload_fails_crc(pool):
+    """Interleaved bytes from racing writers settle under an even
+    generation; the CRC is what catches them."""
+    key = ("crc",)
+    assert pool.put(key, "payload")
+    offset = slot_offset_of(pool, key)
+    flip = offset + _SLOT.size + 3
+    pool._shm.buf[flip] = pool._shm.buf[flip] ^ 0xFF
+    assert pool.get(key) is None
+
+
+def test_oversized_value_is_rejected(pool):
+    assert pool.put("big", "x" * (pool.slot_bytes + 1)) is False
+    assert pool.get("big") is None
+
+
+def test_collision_overwrites_and_never_serves_wrong_key():
+    segment = SharedBallPool.create(slots=1, slot_bytes=2048)
+    if segment is None:
+        pytest.skip("could not create a shared-memory segment")
+    try:
+        segment.put("first", 1)
+        segment.put("second", 2)  # single slot: must overwrite
+        assert segment.get("second") == 2
+        # The evicted key reads as a miss, never as the other entry.
+        assert segment.get("first") is None
+    finally:
+        segment.unlink()
+
+
+def test_closed_pool_is_inert(pool):
+    pool.put("k", 1)
+    pool.close()
+    assert pool.get("k") is None
+    assert pool.put("k", 2) is False
+    pool.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Sidecars and the stale sweep
+# ----------------------------------------------------------------------
+
+
+def test_publish_and_retire_sidecar(tmp_path, pool):
+    path = publish_segment(tmp_path, pool)
+    assert os.path.exists(path)
+    ((found, payload),) = list_segment_sidecars(tmp_path)
+    assert found == path
+    assert payload == {"segment": pool.name, "pid": os.getpid()}
+    # The owner is alive, so a sweep must leave it alone.
+    assert sweep_stale_segments(tmp_path) == 0
+    retire_segment(tmp_path, pool)
+    assert list_segment_sidecars(tmp_path) == []
+
+
+def test_sweep_unlinks_segments_of_dead_owners(tmp_path):
+    segment = SharedBallPool.create(slots=4, slot_bytes=1024)
+    if segment is None:
+        pytest.skip("could not create a shared-memory segment")
+    # A subprocess that has already exited donates a provably dead pid.
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(probe.stdout)
+    assert not pid_alive(dead_pid)
+    sidecar = tmp_path / f"balls-{dead_pid}.segment"
+    sidecar.write_text(
+        json.dumps({"segment": segment.name, "pid": dead_pid}) + "\n"
+    )
+    assert sweep_stale_segments(tmp_path) == 1
+    assert list_segment_sidecars(tmp_path) == []
+    assert SharedBallPool.attach(segment.name) is None  # unlinked
+    segment.close()
+
+
+def test_pool_run_leaves_no_segments_behind(tmp_path):
+    """A 2-worker campaign creates a segment and must unlink it and its
+    sidecar on the way out — including /dev/shm itself."""
+    from repro.analysis.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="segment-lifecycle",
+        adversaries=("theorem1-grid",),
+        victims=("greedy", "akbari"),
+        localities=(1,),
+        timeout=10.0,
+    )
+    # Only segments born during this run count: /dev/shm may hold
+    # leftovers of unrelated SIGKILLed processes (their owners sweep
+    # those via the sidecar + pid-liveness path, keyed by store).
+    before = set(glob.glob("/dev/shm/repro-balls-*"))
+    outcome = run_campaign(spec, tmp_path / "store", workers=2)
+    assert not outcome.errors and len(outcome.rows) == 2
+    assert list_segment_sidecars(tmp_path / "store") == []
+    assert set(glob.glob("/dev/shm/repro-balls-*")) - before == set()
+
+
+# ----------------------------------------------------------------------
+# BallCache integration
+# ----------------------------------------------------------------------
+
+
+def test_ball_cache_serves_from_shared_segment(pool):
+    """With the in-process pool cleared, a miss must be served from the
+    shared segment (counted as an shm hit) instead of re-running BFS."""
+    graph = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+    previous = set_active_pool(pool)
+    try:
+        with scoped_registry():
+            BallCache.clear_shared_store()
+            first = BallCache(graph).ball(2, 1)
+            stats = BallCache.global_stats()
+            assert stats["shm_puts"] >= 1
+            BallCache.clear_shared_store()  # drop the in-process copy
+            second = BallCache(graph).ball(2, 1)
+            assert second == first == frozenset({1, 2, 3})
+            assert BallCache.global_stats()["shm_hits"] >= 1
+    finally:
+        assert active_pool() is pool
+        set_active_pool(previous)
+        BallCache.clear_shared_store()
