@@ -9,16 +9,29 @@ the supervisor classifying every failure mode as a structured forfeit
 instead of dying on the first broken victim.
 """
 
+from dataclasses import replace
+
 from repro.analysis.tables import render_table
 from repro.analysis.tournament import forfeit_rows
-from repro.api import GamePolicy, clean_sweep, honest_rows, run_tournament
+from repro.api import (
+    CampaignSpec,
+    SubmitRequest,
+    clean_sweep,
+    honest_rows,
+    run_tournament,
+)
 
 
 def main() -> None:
+    # The typed form: the tournament is the pre-baked campaign, so the
+    # request is a SubmitRequest over CampaignSpec.tournament().
     rows = run_tournament(
-        locality=1,
-        include_faulty=True,
-        policy=GamePolicy(timeout=5.0),
+        SubmitRequest(
+            spec=replace(
+                CampaignSpec.tournament(locality=1, include_faulty=True),
+                timeout=5.0,
+            ),
+        )
     )
     print(render_table(
         ["adversary", "victim", "T", "verdict", "how"],

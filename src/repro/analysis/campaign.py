@@ -62,6 +62,7 @@ import json
 import os
 import random
 import time
+import warnings
 from dataclasses import asdict, dataclass, field, replace
 from typing import (
     Any,
@@ -91,6 +92,7 @@ from repro.analysis.worker_pool import (
     SupervisedWorkerPool,
     _error_entry,
 )
+from repro.observability.export import write_live_status
 from repro.observability.flightrec import dump_on_fault
 from repro.observability.metrics import get_registry
 from repro.observability.timers import (
@@ -132,6 +134,48 @@ class CampaignError(ReproError):
     supervised pool (:mod:`repro.analysis.worker_pool`) requeues,
     quarantines, or degrades to serial execution instead of raising.
     """
+
+
+class SpecVersionError(CampaignError):
+    """The spec declares a schema version this build does not speak.
+
+    Kept distinct from plain :class:`CampaignError` so callers can map
+    it to a precise machine-readable error (the HTTP server's
+    ``unsupported-version`` :class:`~repro.api.ErrorBody` code); the CLI
+    treats both as usage errors (exit 2).
+    """
+
+
+#: The campaign spec schema version this build reads and writes.
+#: Versionless spec files are accepted as version 1 with a warning;
+#: any other version is rejected with :class:`SpecVersionError`.
+SPEC_VERSION = 1
+
+
+def check_spec_version(payload: Mapping[str, Any]) -> None:
+    """Validate ``payload``'s declared schema version.
+
+    * no ``version`` field — accepted as version :data:`SPEC_VERSION`,
+      with a :class:`FutureWarning` nudging the spec author to declare
+      it (a future version 2 would otherwise silently misparse);
+    * ``version: 1`` — accepted silently;
+    * anything else — :class:`SpecVersionError`.
+    """
+    if "version" not in payload:
+        warnings.warn(
+            f"campaign spec declares no 'version' field; assuming "
+            f'version {SPEC_VERSION} (add "version": {SPEC_VERSION} '
+            f"to the spec to silence this warning)",
+            FutureWarning,
+            stacklevel=3,
+        )
+        return
+    version = payload["version"]
+    if version != SPEC_VERSION:
+        raise SpecVersionError(
+            f"unsupported campaign spec version {version!r}; this build "
+            f"speaks version {SPEC_VERSION}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -286,9 +330,10 @@ class CampaignSpec:
     # -- construction ---------------------------------------------------
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        check_spec_version(payload)
         known = {
-            "kind", "name", "adversaries", "victims", "localities",
-            "include_faulty", "step_budget", "timeout",
+            "version", "kind", "name", "adversaries", "victims",
+            "localities", "include_faulty", "step_budget", "timeout",
         }
         extra = set(payload) - known
         if extra:
@@ -323,6 +368,7 @@ class CampaignSpec:
     def to_payload(self) -> Dict[str, Any]:
         """The manifest payload (JSON-able, canonical)."""
         return {
+            "version": SPEC_VERSION,
             "kind": "sweep",
             "name": self.name,
             "adversaries": [ref.to_config() for ref in self.adversaries],
@@ -405,9 +451,10 @@ class ThresholdSearchSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ThresholdSearchSpec":
+        check_spec_version(payload)
         known = {
-            "kind", "name", "adversaries", "victims", "low", "high",
-            "include_faulty", "step_budget", "timeout",
+            "version", "kind", "name", "adversaries", "victims", "low",
+            "high", "include_faulty", "step_budget", "timeout",
         }
         extra = set(payload) - known
         if extra:
@@ -429,6 +476,7 @@ class ThresholdSearchSpec:
 
     def to_payload(self) -> Dict[str, Any]:
         return {
+            "version": SPEC_VERSION,
             "kind": "threshold",
             "name": self.name,
             "adversaries": [ref.to_config() for ref in self.adversaries],
@@ -474,7 +522,18 @@ AnyCampaign = Union[CampaignSpec, ThresholdSearchSpec]
 
 def campaign_from_dict(payload: Mapping[str, Any]) -> AnyCampaign:
     """Build a campaign from a spec payload; ``kind`` selects the class
-    (``"sweep"`` — the default — or ``"threshold"``)."""
+    (``"sweep"`` — the default — or ``"threshold"``).
+
+    The payload's schema ``version`` is validated here *and* in the
+    per-class ``from_dict`` (callers reach either entry point): missing
+    versions are accepted as v1 with a warning, unknown versions raise
+    :class:`SpecVersionError`.
+    """
+    check_spec_version(payload)
+    # Normalize so the per-class from_dict does not warn a second time
+    # for the same versionless payload.
+    payload = dict(payload)
+    payload.setdefault("version", SPEC_VERSION)
     kind = payload.get("kind", "sweep")
     if kind == "sweep":
         return CampaignSpec.from_dict(payload)
@@ -666,22 +725,56 @@ class CampaignScheduler:
         registry.inc("campaign_game_errors", len(errors))
         return rows, deduped, errors
 
+    #: Seconds between serial-path ``live.json`` rewrites; mirrors the
+    #: supervised pool's ``live_interval`` so ``campaign watch`` and the
+    #: server's SSE progress stream work identically at ``workers=1``.
+    LIVE_INTERVAL = 1.0
+
     def _run_serial(
         self, work: List[Tuple[str, GameSpec]]
     ) -> Tuple[Dict[str, Dict[str, Any]], List[Dict[str, Any]]]:
         rows: Dict[str, Dict[str, Any]] = {}
         errors: List[Dict[str, Any]] = []
+        total = len(work)
+        last_live = 0.0
         for digest, spec in work:
             try:
                 with _T_COMPUTE:
                     outcome = _play_with_retry(spec, self.retries, self.backoff)
             except Exception as exc:
                 errors.append(_error_entry(digest, spec, repr(exc)))
-                continue
-            row = _store_row(outcome, digest)
-            self.store.add(row)
-            rows[digest] = row
+            else:
+                row = _store_row(outcome, digest)
+                self.store.add(row)
+                rows[digest] = row
+            now = time.monotonic()
+            if now - last_live >= self.LIVE_INTERVAL:
+                last_live = now
+                self._publish_serial_live(len(rows), total, len(errors), False)
+        self._publish_serial_live(len(rows), total, len(errors), True)
         return rows, errors
+
+    def _publish_serial_live(
+        self, played: int, total: int, errors: int, done: bool
+    ) -> None:
+        """Telemetry for the serial path: same ``live.json`` channel the
+        supervised pool publishes, minus the per-worker fleet rows.
+        Failures are swallowed inside :func:`write_live_status`."""
+        status: Dict[str, Any] = dict(self.live_extra)
+        status.setdefault("games_deduped", self._last_deduped)
+        status.update(
+            {
+                "done": done,
+                "monotonic": time.monotonic(),
+                "games_total": total,
+                "games_played": played,
+                "games_errors": errors,
+                "queue_depth": max(total - played - errors, 0),
+                "in_flight": 0 if done else 1,
+                "workers": [],
+            }
+        )
+        write_live_status(self.store.root, status)
 
     def _run_pool(
         self, work: List[Tuple[str, GameSpec]]
@@ -1227,6 +1320,46 @@ def campaign_status(store_dir) -> Tuple[List[CampaignStatus], List[Dict[str, Any
                 )
             )
     return statuses, store.runs()
+
+
+def covered_rows(
+    campaign: AnyCampaign, index: Mapping[str, Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """The store rows a campaign covers, in the campaign's own
+    deterministic order — expansion order for sweeps, probe order for
+    threshold searches.
+
+    This is the server's pagination backbone (`GET
+    /v1/campaigns/{id}/rows`): the order is a pure function of the spec,
+    so two requests against the same store snapshot paginate
+    identically, and a resumed store yields byte-identical pages.
+    """
+    if isinstance(campaign, CampaignSpec):
+        rows: List[Dict[str, Any]] = []
+        for spec in campaign.expand():
+            row = index.get(hash_of(spec))
+            if row is not None:
+                rows.append(row)
+        return rows
+    rows = []
+    for ref, victim in campaign.combos():
+        state = _Bisection(campaign.low, campaign.high)
+        while not state.done:
+            locality = state.next_probe()
+            row = index.get(hash_of(campaign.game(ref, victim, locality)))
+            if row is None:
+                break
+            rows.append(row)
+            state.feed(locality, survives=not row["won"])
+    return rows
+
+
+def replay_threshold(
+    spec: ThresholdSearchSpec, index: Mapping[str, Mapping[str, Any]]
+) -> Tuple[List[ThresholdResult], int]:
+    """Public alias of :func:`_replay_threshold` for status surfaces
+    (the CLI's ``campaign status`` and the server's campaign handles)."""
+    return _replay_threshold(spec, index)
 
 
 def _replay_threshold(

@@ -110,15 +110,39 @@ class ResultStore:
 
     def rows(self) -> List[Dict[str, Any]]:
         """Every complete row across all shards (file order, then append
-        order within a file)."""
+        order within a file).
+
+        Safe against concurrent writers (the serving path reads a store
+        that a running campaign is appending to): the shard file list is
+        snapshotted once before any file is opened, each shard is read
+        in a single pass (so a row is counted at most once per scan), a
+        shard that appears after the snapshot is simply picked up by the
+        next scan, and a shard that vanishes or errors mid-scan
+        contributes nothing rather than raising.  A concurrent append
+        can at worst leave a partial trailing line, which
+        :meth:`SweepJournal.load` already skips.
+        """
         out: List[Dict[str, Any]] = []
         with _T_STORE_INDEX:
-            for path in self.row_files():
-                out.extend(SweepJournal(path, RESULT_KEY_FIELDS).load())
+            for path in self.row_files():  # one snapshot, taken up front
+                try:
+                    out.extend(SweepJournal(path, RESULT_KEY_FIELDS).load())
+                except OSError:
+                    # Shard unlinked or unreadable between snapshot and
+                    # open — treat as not-yet-visible, like a row landing
+                    # just after the scan.
+                    continue
         return out
 
     def index(self) -> Dict[str, Dict[str, Any]]:
-        """Rows keyed by content address (later writes win)."""
+        """Rows keyed by content address (later writes win).
+
+        One consistent scan: callers that need several views of the same
+        moment (progress counts plus quarantine lists, say) should take
+        one ``index()`` and derive everything from it — see
+        :meth:`quarantined`'s ``index`` parameter — instead of
+        re-scanning between reads while a writer is appending.
+        """
         return {
             row[HASH_FIELD]: row for row in self.rows() if HASH_FIELD in row
         }
@@ -147,13 +171,23 @@ class ResultStore:
             os.makedirs(self.root, exist_ok=True)
             self.writer().append_many([dict(row) for row in rows])
 
-    def quarantined(self) -> List[Dict[str, Any]]:
+    def quarantined(
+        self, index: Optional[Mapping[str, Dict[str, Any]]] = None
+    ) -> List[Dict[str, Any]]:
         """Every quarantine row in the store (``cause="poison"``) —
         games the supervised pool gave up replaying because they
-        repeatedly killed or hung their workers."""
+        repeatedly killed or hung their workers.
+
+        Pass a precomputed ``index`` to reuse one scan for several
+        derived views (the server builds progress counts and the
+        quarantine list from the same snapshot, so a writer appending
+        between reads cannot make the two disagree).
+        """
+        if index is None:
+            index = self.index()
         return [
             row
-            for row in self.index().values()
+            for row in index.values()
             if row.get("cause") == QUARANTINE_CAUSE
         ]
 

@@ -20,6 +20,15 @@ Subcommands
     (``campaign watch``).  See :mod:`repro.analysis.campaign` for the
     spec format.  ``run``/``resume`` take ``--timers/--no-timers``
     (default on) toggling phase-attribution profiling.
+``serve``
+    Serve the campaign engine over HTTP (``serve --store DIR``):
+    typed submissions, deterministic row pagination, SSE progress
+    streams, Prometheus ``/metrics``.  See ``docs/serving.md``.
+``submit``
+    Submit a campaign spec to a running server (``submit SPEC --url
+    URL``), optionally ``--watch`` progress and ``--rows`` page the
+    results.  Server-side validation failures exit 2 exactly like
+    local usage errors.
 ``report``
     Regenerate EXPERIMENTS.md content on stdout.
 ``stats``
@@ -57,6 +66,9 @@ Examples::
     python -m repro.cli campaign watch --store /tmp/store
     python -m repro.cli stats /tmp/t.jsonl --export prometheus
     python -m repro.cli stats --live /tmp/store
+    python -m repro.cli serve --store /tmp/store --port 8423
+    python -m repro.cli submit examples/campaigns/smoke.json \\
+        --url http://127.0.0.1:8423 --watch --rows
     python -m repro.cli report
 """
 
@@ -521,6 +533,148 @@ def cmd_campaign_watch(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import ColoringServer
+
+    server = ColoringServer(
+        args.store,
+        args.host,
+        args.port,
+        rate=args.rate,
+        burst=args.burst,
+        drain_grace=args.drain_grace,
+        trace_path=args.trace,
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:  # pragma: no cover - ^C without a loop yet
+        pass
+    return 0
+
+
+def _http_call(base, method, path, payload=None, timeout=30.0,
+               client_id=None):
+    """One JSON request against the server; returns (status, payload).
+
+    HTTP-level failures come back as (status, error payload) so callers
+    can map :class:`~repro.api.ErrorBody` codes to exit statuses;
+    transport failures (server unreachable) are a :class:`UserError`.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    data = None if payload is None else _json.dumps(payload).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    if client_id:
+        headers["X-Client-Id"] = client_id
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, _json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            body = _json.loads(exc.read())
+        except (ValueError, OSError):
+            body = {"code": "internal", "message": str(exc)}
+        return exc.code, body
+    except (urllib.error.URLError, OSError) as exc:
+        raise UserError(f"cannot reach server at {base!r}: {exc}") from None
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.campaign import CampaignError, load_campaign
+    from repro.api import CampaignHandle, ErrorBody, SubmitRequest
+
+    if not os.path.exists(args.spec):
+        raise UserError(f"no campaign spec at {args.spec!r}")
+    try:
+        spec = load_campaign(args.spec)
+        request = SubmitRequest(
+            spec=spec,
+            workers=args.workers if args.workers != 1 else None,
+            max_games=args.max_games,
+            retries=args.retries,
+            chunk_size=args.chunk_size,
+            timers=args.timers,
+        )
+    except CampaignError as exc:
+        raise UserError(str(exc)) from None
+
+    base = args.url.rstrip("/")
+    status, payload = _http_call(
+        base, "POST", "/v1/campaigns", request.to_payload(),
+        timeout=args.http_timeout, client_id=args.client_id,
+    )
+    if status >= 400:
+        error = ErrorBody.from_payload(payload)
+        message = f"server rejected submission [{error.code}]: {error.message}"
+        if error.code.startswith("bad-") or error.code == "unsupported-version":
+            raise UserError(message)
+        raise ReproError(message)
+    handle = CampaignHandle.from_payload(payload)
+    coalesced = " (coalesced onto the in-flight run)" if status == 200 else ""
+    print(f"campaign {handle.id} [{handle.kind}] {handle.state}: "
+          f"{handle.name}{coalesced}")
+
+    if args.watch:
+        while handle.state in ("queued", "running"):
+            time.sleep(args.interval)
+            status, payload = _http_call(
+                base, "GET", f"/v1/campaigns/{handle.id}",
+                timeout=args.http_timeout, client_id=args.client_id,
+            )
+            if status == 429:
+                continue  # backed off by the sleep above
+            if status >= 400:
+                error = ErrorBody.from_payload(payload)
+                raise ReproError(
+                    f"status poll failed [{error.code}]: {error.message}"
+                )
+            handle = CampaignHandle.from_payload(payload)
+            total = "?" if handle.total is None else handle.total
+            print(f"  {handle.state}: {handle.done}/{total} games in store")
+        summary = (
+            f"campaign {handle.name} {handle.state}: played "
+            f"{handle.played}, deduped {handle.deduped}, errors "
+            f"{handle.errors}, quarantined {handle.quarantined}"
+        )
+        if handle.detail:
+            summary += f" ({handle.detail})"
+        print(summary)
+        if handle.state == "failed":
+            return 1
+
+    if args.rows:
+        import json as _json
+
+        offset = 0
+        while True:
+            status, payload = _http_call(
+                base, "GET",
+                f"/v1/campaigns/{handle.id}/rows"
+                f"?offset={offset}&limit={args.page_size}",
+                timeout=args.http_timeout, client_id=args.client_id,
+            )
+            if status >= 400:
+                error = ErrorBody.from_payload(payload)
+                raise ReproError(
+                    f"rows fetch failed [{error.code}]: {error.message}"
+                )
+            for row in payload.get("rows", []):
+                print(_json.dumps(row, sort_keys=True))
+            if payload.get("next_offset") is None:
+                break
+            offset = payload["next_offset"]
+    return 0 if handle.errors == 0 else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.observability.stats import aggregate_file, render_stats
 
@@ -749,6 +903,99 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry has been written yet)",
     )
     watch.set_defaults(func=cmd_campaign_watch)
+
+    serve = sub.add_parser(
+        "serve", help="serve the campaign engine over HTTP "
+        "(coloring-as-a-service; see docs/serving.md)"
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store the server runs against",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8423,
+        help="TCP port (0 = ephemeral; the bound port is printed on "
+        "startup either way, default 8423)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=20.0, metavar="R",
+        help="per-client request budget in requests/second "
+        "(0 disables rate limiting, default 20)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=40, metavar="N",
+        help="per-client burst allowance on top of --rate (default 40)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="S",
+        help="seconds a SIGTERM drain waits for the in-flight campaign "
+        "(default 10)",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSON-lines trace of served campaigns to FILE",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running repro server"
+    )
+    submit.add_argument(
+        "spec", metavar="SPEC", help="campaign spec file (.json or .toml)"
+    )
+    submit.add_argument(
+        "--url", required=True, metavar="URL",
+        help="server base URL (e.g. http://127.0.0.1:8423)",
+    )
+    submit.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="worker processes the server should use for this campaign",
+    )
+    submit.add_argument(
+        "--max-games", type=_positive_int, default=None, metavar="N",
+        help="stop after playing N new games (dedupes don't count)",
+    )
+    submit.add_argument(
+        "--retries", type=_positive_int, default=1,
+        help="supervised attempts per game before recording an error",
+    )
+    submit.add_argument(
+        "--chunk-size", type=_positive_int, default=None, metavar="N",
+        help="games per worker lease (default: adaptive)",
+    )
+    submit.add_argument(
+        "--timers", action=argparse.BooleanOptionalAction, default=None,
+        help="phase-attribution timing for the served run "
+        "(default: server setting)",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="poll the campaign handle until it finishes and print "
+        "progress",
+    )
+    submit.add_argument(
+        "--rows", action="store_true",
+        help="after submitting (and watching, if --watch), page through "
+        "the campaign's rows and print them as JSON lines",
+    )
+    submit.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between --watch polls (default 1)",
+    )
+    submit.add_argument(
+        "--page-size", type=_positive_int, default=100, metavar="N",
+        help="rows per page for --rows (default 100)",
+    )
+    submit.add_argument(
+        "--client-id", default=None, metavar="ID",
+        help="X-Client-Id header value (rate-limit identity)",
+    )
+    submit.add_argument(
+        "--http-timeout", type=float, default=30.0, metavar="S",
+        help="per-request HTTP timeout in seconds (default 30)",
+    )
+    submit.set_defaults(func=cmd_submit)
 
     stats = sub.add_parser(
         "stats", help="summarize a trace recorded with --trace, export "

@@ -1,0 +1,49 @@
+"""Coloring-as-a-service: the asyncio HTTP tier over the campaign
+engine.
+
+Stdlib-only by construction — ``asyncio.start_server`` plus a
+hand-rolled HTTP/1.1 layer (:mod:`repro.server.routes`) — so serving
+adds no dependencies to the reproduction.  The wire bodies are the
+typed request/response dataclasses from :mod:`repro.api`; the engine
+underneath is the same content-addressed store + scheduler the CLI
+drives, which is what makes the server's dedupe guarantees inherit
+the store's zero-replay resume story.
+
+Start one with ``repro serve --store DIR`` or programmatically::
+
+    import asyncio
+    from repro.server import ColoringServer
+
+    async def main():
+        server = ColoringServer("/tmp/store", port=8423)
+        await server.run()
+
+    asyncio.run(main())
+
+See ``docs/serving.md`` for the endpoint reference.
+"""
+
+from repro.server.app import CampaignJob, ColoringServer, serve
+from repro.server.ratelimit import RateLimiter, TokenBucket
+from repro.server.routes import (
+    HttpError,
+    Request,
+    Response,
+    Router,
+    json_response,
+    read_request,
+)
+
+__all__ = [
+    "CampaignJob",
+    "ColoringServer",
+    "serve",
+    "RateLimiter",
+    "TokenBucket",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+    "json_response",
+    "read_request",
+]

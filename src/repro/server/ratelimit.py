@@ -1,0 +1,80 @@
+"""Per-client token-bucket rate limiting.
+
+One bucket per client identity (``X-Client-Id`` header, else peer
+address), refilled continuously at ``rate`` tokens per second up to
+``burst``.  The bucket table is a bounded LRU so an open server cannot
+be grown without limit by spraying fresh identities — evicting an idle
+client merely hands it a full bucket on return, which errs on the
+side of admitting traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """The classic leaky counter: ``allow`` spends one token if the
+    continuously-refilled balance covers it."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def allow(self, now: float) -> bool:
+        elapsed = max(now - self.stamp, 0.0)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """A bounded table of per-client :class:`TokenBucket`\\ s.
+
+    ``rate <= 0`` disables limiting entirely (every ``allow`` is True)
+    — the switch the test suite and trusted deployments use.
+    """
+
+    def __init__(
+        self,
+        rate: float = 20.0,
+        burst: int = 40,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, key: str) -> bool:
+        """Spend one token for ``key``; False means 429."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[key] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        self._buckets.move_to_end(key)
+        return bucket.allow(now)
+
+    def retry_after(self) -> float:
+        """A client-friendly wait hint: the time one token takes."""
+        return 1.0 / self.rate if self.enabled else 0.0

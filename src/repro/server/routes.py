@@ -1,0 +1,267 @@
+"""Minimal HTTP/1.1 layer over asyncio streams.
+
+The server speaks exactly as much HTTP as the API needs — JSON bodies,
+path templates, one request per connection (``Connection: close``) —
+implemented on :class:`asyncio.StreamReader`/``StreamWriter`` so the
+whole serving tier stays inside the standard library.  Anything that
+goes wrong at this layer raises :class:`HttpError`, which carries a
+status code plus the same structured :class:`~repro.api.ErrorBody`
+the handlers use, so every failure a client sees is machine-readable.
+
+Limits are deliberate and small: request heads are capped at
+:data:`MAX_HEADER_BYTES` and bodies at :data:`MAX_BODY_BYTES` — a
+campaign spec is a few hundred bytes, so anything near the cap is a
+mistake (or not a friend).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.api import ErrorBody
+
+#: Cap on the request line + headers, together.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Cap on request bodies (a campaign spec is ~1 KiB; 1 MiB is generous).
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Reason phrases for the statuses the server actually emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An HTTP failure with a structured body.
+
+    ``code`` is the machine-readable :class:`~repro.api.ErrorBody`
+    code (``bad-request``, ``not-found``, ``rate-limited``, ...); the
+    CLI and tests match on it, never on the message text.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+        self.body = ErrorBody(code=code, message=message,
+                              detail=dict(detail or {}))
+
+    def to_response(self) -> "Response":
+        return json_response(
+            self.status, self.body.to_payload(), headers=self.headers
+        )
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    peer: str = ""
+
+    def json(self) -> Any:
+        """The body as JSON; raises a 400 :class:`HttpError` otherwise."""
+        if not self.body:
+            raise HttpError(400, "bad-request", "request body is empty")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(
+                400, "bad-request", f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def client_key(self) -> str:
+        """The rate-limit identity: an explicit ``X-Client-Id`` header
+        when the client sends one, else the peer address."""
+        return self.headers.get("x-client-id") or self.peer or "?"
+
+
+@dataclass
+class Response:
+    """One buffered HTTP response (SSE streams bypass this and write
+    their head + events straight to the transport)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = {
+            "Content-Type": self.content_type,
+            "Content-Length": str(len(self.body)),
+            "Connection": "close",
+        }
+        headers.update(self.headers)
+        lines.extend(f"{key}: {value}" for key, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    body = (json.dumps(payload, sort_keys=True, default=str) + "\n").encode(
+        "utf-8"
+    )
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF (the
+    client connected and went away without sending anything)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "bad-request", "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(
+            400, "bad-request",
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+        ) from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(
+            400, "bad-request",
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+        )
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpError(400, "bad-request", "non-ASCII request head") from exc
+    request_line, _, header_block = text.partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(
+            400, "bad-request", f"malformed request line {request_line!r}"
+        )
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad-request", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(
+            400, "bad-request", "chunked request bodies are not supported"
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(
+                400, "bad-request", "malformed Content-Length"
+            ) from exc
+        if length < 0:
+            raise HttpError(400, "bad-request", "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, "payload-too-large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(
+                400, "bad-request", "request body shorter than declared"
+            ) from exc
+    return Request(method=method.upper(), path=path, query=query,
+                   headers=headers, body=body)
+
+
+#: Handlers receive the request, the captured path parameters, and the
+#: stream writer (so SSE can stream); returning a Response sends it,
+#: returning None means the handler wrote the stream itself.
+Handler = Callable[
+    [Request, Dict[str, str], asyncio.StreamWriter],
+    Awaitable[Optional[Response]],
+]
+
+
+class Router:
+    """Path-template dispatch: ``/v1/campaigns/{id}/rows`` captures
+    ``{id}`` into the params dict.  Unknown paths 404; known paths with
+    the wrong method 405 (with ``Allow``)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), tuple(pattern.strip("/").split("/")), handler)
+        )
+
+    @staticmethod
+    def _match(
+        template: Tuple[str, ...], segments: Tuple[str, ...]
+    ) -> Optional[Dict[str, str]]:
+        if len(template) != len(segments):
+            return None
+        params: Dict[str, str] = {}
+        for part, segment in zip(template, segments):
+            if part.startswith("{") and part.endswith("}"):
+                if not segment:
+                    return None
+                params[part[1:-1]] = segment
+            elif part != segment:
+                return None
+        return params
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Tuple[Handler, Dict[str, str]]:
+        segments = tuple(path.strip("/").split("/"))
+        allowed: List[str] = []
+        for route_method, template, handler in self._routes:
+            params = self._match(template, segments)
+            if params is None:
+                continue
+            if route_method == method.upper():
+                return handler, params
+            allowed.append(route_method)
+        if allowed:
+            raise HttpError(
+                405, "method-not-allowed",
+                f"{method} not allowed on {path}",
+                headers={"Allow": ", ".join(sorted(set(allowed)))},
+            )
+        raise HttpError(404, "not-found", f"no route for {path}")

@@ -1,0 +1,43 @@
+"""Server-Sent Events wire formatting (the ``/events`` stream).
+
+SSE is the simplest standard streaming shape HTTP offers — plain text,
+one ``event:``/``data:`` block per message, comment lines as
+keepalives — and needs nothing beyond the stdlib on either end
+(``curl -N`` on the client side).  This module only *formats*; the
+subscription plumbing lives in :mod:`repro.server.app`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+
+def response_head() -> bytes:
+    """The HTTP head that opens an event stream (no Content-Length —
+    the stream ends when the connection closes)."""
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: text/event-stream\r\n"
+        b"Cache-Control: no-cache\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    )
+
+
+def format_event(
+    event: str, data: Any, event_id: Optional[int] = None
+) -> bytes:
+    """One SSE message: ``data`` is JSON-encoded on a single line."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    lines.append("data: " + json.dumps(data, sort_keys=True, default=str))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_comment(text: str = "keepalive") -> bytes:
+    """A comment line — ignored by clients, keeps idle streams alive
+    through buffering proxies and read timeouts."""
+    return f": {text}\n\n".encode("utf-8")

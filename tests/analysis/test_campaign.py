@@ -474,3 +474,85 @@ def test_threshold_search_ledger_records_phases(tmp_path):
     assert entry["kind"] == "threshold"
     assert entry["wall_seconds"] > 0
     assert entry["phases"]
+
+
+# ----------------------------------------------------------------------
+# Spec schema versioning
+# ----------------------------------------------------------------------
+
+
+def test_versioned_spec_accepted_silently():
+    import warnings
+
+    from repro.analysis.campaign import SPEC_VERSION
+
+    payload = {"version": SPEC_VERSION, "kind": "sweep", "name": "v",
+               "victims": ["greedy"], "localities": [1]}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        spec = campaign_from_dict(payload)
+    assert spec.name == "v"
+
+
+def test_versionless_spec_accepted_as_v1_with_warning():
+    payload = {"kind": "sweep", "name": "old", "victims": ["greedy"]}
+    with pytest.warns(FutureWarning, match="no 'version' field"):
+        spec = campaign_from_dict(payload)
+    assert spec.name == "old"
+    # campaign_from_dict normalizes before dispatching to the per-class
+    # from_dict, so a versionless payload warns exactly once.
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        campaign_from_dict(payload)
+    assert sum(1 for w in caught if w.category is FutureWarning) == 1
+
+
+def test_unknown_spec_version_rejected():
+    from repro.analysis.campaign import SpecVersionError
+
+    payload = {"version": 99, "kind": "sweep", "victims": ["greedy"]}
+    with pytest.raises(SpecVersionError, match="version 99"):
+        campaign_from_dict(payload)
+    with pytest.raises(SpecVersionError):
+        CampaignSpec.from_dict({"version": 99})
+    with pytest.raises(SpecVersionError):
+        ThresholdSearchSpec.from_dict({"version": "2"})
+
+
+def test_spec_version_error_is_a_campaign_error():
+    from repro.analysis.campaign import SpecVersionError
+
+    assert issubclass(SpecVersionError, CampaignError)
+
+
+def test_payloads_carry_the_spec_version():
+    from repro.analysis.campaign import SPEC_VERSION
+
+    assert CampaignSpec(victims=("greedy",)).to_payload()["version"] \
+        == SPEC_VERSION
+    assert ThresholdSearchSpec(victims=("greedy",)).to_payload()["version"] \
+        == SPEC_VERSION
+    # Round-tripping a payload is silent: emitted payloads are versioned.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        campaign_from_dict(CampaignSpec(victims=("greedy",)).to_payload())
+
+
+def test_example_specs_are_versioned():
+    """The shipped example specs declare the schema version (the
+    migration the version field's introduction required)."""
+    import glob
+    import json
+
+    examples = sorted(glob.glob(
+        os.path.join(os.path.dirname(__file__), "..", "..",
+                     "examples", "campaigns", "*.json")
+    ))
+    assert examples, "example campaign specs should exist"
+    for path in examples:
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["version"] == 1, path

@@ -163,3 +163,77 @@ def test_add_failure_leaves_store_usable(tmp_path, monkeypatch):
     index = store.index()
     assert {"aaa", "ccc"} <= set(index)
     assert all(isinstance(row, dict) for row in index.values())
+
+
+def test_rows_tolerate_concurrent_writer_thread(tmp_path):
+    """Regression for the serving tier: ``rows()``/``quarantined()``
+    must stay well-formed while another thread is appending — the shard
+    list is snapshotted before iteration, so a scan sees each row at
+    most once and never crashes on files appearing mid-scan."""
+    import threading
+
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "seed", "won": True})
+    stop = threading.Event()
+    wrote = {"n": 1}  # the seed row
+
+    def writer():
+        i = 0
+        while not stop.is_set() and i < 400:
+            # Rotate writer ids so new shard files keep appearing
+            # underneath the readers.
+            shard = store.writer(writer_id=20000 + (i % 5))
+            shard.append({HASH_FIELD: f"h{i:04d}", "won": True})
+            wrote["n"] += 1
+            i += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(60):
+            rows = store.rows()
+            hashes = [row[HASH_FIELD] for row in rows]
+            # Each hash is written exactly once: a scan may be behind
+            # the writer but must never double-count a row.
+            assert len(hashes) == len(set(hashes))
+            assert store.quarantined() == []
+    finally:
+        stop.set()
+        thread.join()
+    final = store.rows()
+    assert len(final) == wrote["n"]
+    assert len({row[HASH_FIELD] for row in final}) == wrote["n"]
+
+
+def test_rows_skip_shard_that_vanishes_mid_scan(tmp_path, monkeypatch):
+    """A shard unlinked between the file-list snapshot and its open
+    contributes nothing instead of raising (the concurrent-reader
+    contract documented on ``rows()``)."""
+    import repro.analysis.store as store_mod
+
+    store = ResultStore(tmp_path / "store")
+    store.writer(writer_id=1).append({HASH_FIELD: "aaa", "won": True})
+    store.writer(writer_id=2).append({HASH_FIELD: "bbb", "won": False})
+
+    real_load = store_mod.SweepJournal.load
+
+    def flaky_load(self):
+        if self.path.endswith("rows-1.jsonl"):
+            raise OSError(2, "No such file or directory")
+        return real_load(self)
+
+    monkeypatch.setattr(store_mod.SweepJournal, "load", flaky_load)
+    assert [row[HASH_FIELD] for row in store.rows()] == ["bbb"]
+
+
+def test_quarantined_reuses_precomputed_index(tmp_path):
+    """Passing an index means no second scan: derived views built from
+    one ``index()`` agree with each other even if the store has since
+    changed on disk."""
+    store = ResultStore(tmp_path / "store")
+    store.add({HASH_FIELD: "aaa", "won": True})
+    store.add({HASH_FIELD: "bbb", "won": True, "cause": "poison"})
+    index = store.index()
+    store.add({HASH_FIELD: "ccc", "won": True, "cause": "poison"})
+    assert [row[HASH_FIELD] for row in store.quarantined(index)] == ["bbb"]
+    assert [row[HASH_FIELD] for row in store.quarantined()] == ["bbb", "ccc"]

@@ -1,0 +1,189 @@
+"""Unit tests for the HTTP plumbing: parsing, routing, rate limiting,
+and SSE formatting — no sockets, no campaign engine."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.ratelimit import RateLimiter, TokenBucket
+from repro.server.routes import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    Response,
+    Router,
+    json_response,
+    read_request,
+)
+from repro.server import sse
+
+
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+# ----------------------------------------------------------------------
+
+
+def test_read_request_parses_line_headers_query_and_body():
+    body = b'{"version": 1}'
+    request = _parse(
+        b"POST /v1/campaigns?offset=3&limit=2 HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"X-Client-Id: alice\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"\r\n" + body
+    )
+    assert request.method == "POST"
+    assert request.path == "/v1/campaigns"
+    assert request.query == {"offset": "3", "limit": "2"}
+    assert request.headers["x-client-id"] == "alice"
+    assert request.json() == {"version": 1}
+    assert request.client_key() == "alice"
+
+
+def test_read_request_returns_none_on_clean_eof():
+    assert _parse(b"") is None
+
+
+def test_read_request_rejects_malformed_request_line():
+    with pytest.raises(HttpError) as excinfo:
+        _parse(b"BROKEN\r\n\r\n")
+    assert excinfo.value.status == 400
+    assert excinfo.value.body.code == "bad-request"
+
+
+def test_read_request_rejects_oversized_body():
+    head = (
+        b"POST /v1/campaigns HTTP/1.1\r\n"
+        b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n"
+    )
+    with pytest.raises(HttpError) as excinfo:
+        _parse(head)
+    assert excinfo.value.status == 413
+    assert excinfo.value.body.code == "payload-too-large"
+
+
+def test_read_request_rejects_truncated_body():
+    with pytest.raises(HttpError) as excinfo:
+        _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+    assert excinfo.value.status == 400
+
+
+def test_request_json_rejects_garbage():
+    request = Request(method="POST", path="/", body=b"not json")
+    with pytest.raises(HttpError) as excinfo:
+        request.json()
+    assert excinfo.value.body.code == "bad-request"
+
+
+def test_response_encode_has_content_length_and_close():
+    response = json_response(200, {"ok": True})
+    raw = response.encode()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"HTTP/1.1 200 OK" in head
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert b"Connection: close" in head
+    assert json.loads(body) == {"ok": True}
+
+
+def test_http_error_to_response_is_structured():
+    error = HttpError(429, "rate-limited", "slow down",
+                      headers={"Retry-After": "1"})
+    response = error.to_response()
+    assert response.status == 429
+    assert response.headers["Retry-After"] == "1"
+    payload = json.loads(response.body)
+    assert payload["code"] == "rate-limited"
+    assert payload["version"] == 1
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+async def _dummy(request, params, writer):  # pragma: no cover - never run
+    return Response(status=200)
+
+
+def test_router_captures_path_params():
+    router = Router()
+    router.add("GET", "/v1/campaigns/{id}/rows", _dummy)
+    handler, params = router.resolve("GET", "/v1/campaigns/abc123/rows")
+    assert handler is _dummy
+    assert params == {"id": "abc123"}
+
+
+def test_router_404_and_405():
+    router = Router()
+    router.add("GET", "/v1/campaigns/{id}", _dummy)
+    with pytest.raises(HttpError) as excinfo:
+        router.resolve("GET", "/nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(HttpError) as excinfo:
+        router.resolve("DELETE", "/v1/campaigns/abc")
+    assert excinfo.value.status == 405
+    assert excinfo.value.headers["Allow"] == "GET"
+    assert excinfo.value.body.code == "method-not-allowed"
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+# ----------------------------------------------------------------------
+
+
+def test_token_bucket_spends_and_refills():
+    clock = {"now": 0.0}
+    bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+    assert bucket.allow(clock["now"]) and bucket.allow(clock["now"])
+    assert not bucket.allow(clock["now"])  # burst spent
+    assert bucket.allow(clock["now"] + 1.0)  # one second = one token
+
+
+def test_rate_limiter_is_per_client():
+    clock = {"now": 0.0}
+    limiter = RateLimiter(rate=1.0, burst=1, clock=lambda: clock["now"])
+    assert limiter.allow("alice")
+    assert not limiter.allow("alice")
+    assert limiter.allow("bob")  # separate bucket
+    clock["now"] += 1.0
+    assert limiter.allow("alice")
+
+
+def test_rate_limiter_lru_is_bounded():
+    limiter = RateLimiter(rate=1.0, burst=1, max_clients=2,
+                          clock=lambda: 0.0)
+    assert limiter.allow("a") and limiter.allow("b") and limiter.allow("c")
+    # "a" was evicted to admit "c"; it returns with a fresh bucket.
+    assert len(limiter._buckets) == 2
+    assert limiter.allow("a")
+
+
+def test_rate_limiter_zero_rate_disables():
+    limiter = RateLimiter(rate=0.0, burst=0)
+    assert all(limiter.allow("x") for _ in range(100))
+    assert limiter.retry_after() == 0.0
+
+
+# ----------------------------------------------------------------------
+# SSE formatting
+# ----------------------------------------------------------------------
+
+
+def test_sse_event_format():
+    raw = sse.format_event("progress", {"done": 1}, event_id=7)
+    assert raw == b'id: 7\nevent: progress\ndata: {"done": 1}\n\n'
+    assert sse.format_comment("hi") == b": hi\n\n"
+    head = sse.response_head()
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    assert b"text/event-stream" in head

@@ -371,3 +371,98 @@ def test_campaign_status_reports_quarantined_games(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "1 quarantined" in out
     assert "cause=poison" in out
+
+
+def test_campaign_run_rejects_unknown_spec_version(capsys, tmp_path):
+    spec = tmp_path / "future.json"
+    spec.write_text('{"version": 99, "kind": "sweep", "victims": ["greedy"]}')
+    code = main(["campaign", "run", str(spec), "--store",
+                 str(tmp_path / "store")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "version 99" in err
+
+
+def test_campaign_run_rejects_unknown_spec_field(capsys, tmp_path):
+    spec = tmp_path / "typo.json"
+    spec.write_text('{"version": 1, "kind": "sweep", "victms": ["greedy"]}')
+    code = main(["campaign", "run", str(spec), "--store",
+                 str(tmp_path / "store")])
+    assert code == 2
+    assert "victms" in capsys.readouterr().err
+
+
+def test_versionless_spec_still_runs_with_warning(capsys, tmp_path):
+    import pytest as _pytest
+
+    spec = _write_smoke_spec(tmp_path)  # deliberately versionless
+    with _pytest.warns(FutureWarning, match="no 'version' field"):
+        code = main(["campaign", "run", spec, "--store",
+                     str(tmp_path / "store")])
+    assert code == 0
+
+
+def test_submit_unreachable_server_is_a_usage_error(capsys, tmp_path):
+    spec = _write_smoke_spec(tmp_path)
+    # A port from the ephemeral range with nothing listening.
+    code = main(["submit", spec, "--url", "http://127.0.0.1:1",
+                 "--http-timeout", "2"])
+    assert code == 2
+    assert "cannot reach server" in capsys.readouterr().err
+
+
+def test_submit_rejects_missing_spec(capsys, tmp_path):
+    code = main(["submit", str(tmp_path / "nope.json"),
+                 "--url", "http://127.0.0.1:1"])
+    assert code == 2
+    assert "no campaign spec" in capsys.readouterr().err
+
+
+def test_serve_and_submit_round_trip(capsys, tmp_path):
+    """The CLI pair end to end: serve in a thread, submit from the test
+    process, watch to completion, page rows."""
+    import asyncio
+    import json as _json
+    import threading
+
+    from repro.server import ColoringServer
+
+    spec = tmp_path / "c.json"
+    spec.write_text(_json.dumps({
+        "version": 1, "kind": "sweep", "name": "cli-serve-smoke",
+        "adversaries": ["theorem1-grid"], "victims": ["greedy"],
+        "localities": [0, 1],
+    }))
+    store = tmp_path / "store"
+    started = threading.Event()
+    box = {}
+
+    def run_server():
+        async def scenario():
+            server = ColoringServer(store, port=0, rate=0)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server._stopped.wait()
+
+        asyncio.run(scenario())
+
+    thread = threading.Thread(target=run_server)
+    thread.start()
+    try:
+        assert started.wait(timeout=10)
+        url = f"http://127.0.0.1:{box['server'].port}"
+        code = main(["submit", str(spec), "--url", url, "--watch", "--rows",
+                     "--interval", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign cli-serve-smoke done: played 2" in out
+        rows = [_json.loads(line) for line in out.splitlines()
+                if line.startswith("{")]
+        assert [row["locality"] for row in rows] == [0, 1]
+    finally:
+        box["loop"].call_soon_threadsafe(box["server"].request_drain)
+        thread.join(timeout=30)
+    assert not thread.is_alive()
